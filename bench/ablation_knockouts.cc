@@ -1,0 +1,144 @@
+// Ablation — knock out NADINO's design choices one at a time and measure the
+// damage on the end-to-end boutique workload and the fairness experiment:
+//   * on-path DNE instead of cross-processor shared memory (section 3.4.2);
+//   * CNE instead of DPU offloading (section 3.2);
+//   * FCFS instead of DWRR (section 3.3);
+//   * deferred transport conversion instead of the early-conversion ingress
+//     (section 3.6) — NADINO's data plane behind an F-Ingress.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/experiments.h"
+#include "src/runtime/chain.h"
+
+using namespace nadino;
+
+namespace {
+
+// NADINO (DNE) end-to-end with a configurable knockout.
+struct KnockoutResult {
+  double rps = 0.0;
+  double latency_ms = 0.0;
+};
+
+KnockoutResult RunKnockout(bool on_path, bool deferred_conversion) {  // NOLINT
+  const CostModel& cost = CostModel::Default();
+  ClusterConfig config;
+  config.worker_nodes = 2;
+  Cluster cluster(&cost, config);
+  const BoutiqueSpec spec = BuildBoutiqueSpec(1);
+  cluster.CreateTenantPools(1);
+  Simulator& sim = cluster.sim();
+
+  NadinoDataPlane::Options dp_options;
+  dp_options.on_path = on_path;
+  NadinoDataPlane dataplane(&sim, &cost, &cluster.routing(), dp_options);
+  std::vector<NetworkEngine*> engines;
+  for (int i = 0; i < cluster.worker_count(); ++i) {
+    engines.push_back(dataplane.AddWorkerNode(cluster.worker(i)));
+  }
+  dataplane.AttachTenant(1, 1);
+  dataplane.Start();
+
+  ChainExecutor executor(&sim, &dataplane);
+  for (const ChainSpec& chain : spec.chains) {
+    executor.RegisterChain(chain);
+  }
+  std::vector<std::unique_ptr<FunctionRuntime>> functions;
+  for (const BoutiqueFunction& bf : spec.functions) {
+    Node* node = cluster.worker(bf.placement_group);
+    functions.push_back(std::make_unique<FunctionRuntime>(
+        bf.id, 1, bf.name, node, node->AllocateCore(), node->tenants().PoolOfTenant(1)));
+    dataplane.RegisterFunction(functions.back().get());
+    executor.AttachFunction(functions.back().get());
+  }
+
+  IngressGateway::Options gw_options;
+  gw_options.mode = deferred_conversion ? IngressMode::kFIngress : IngressMode::kNadino;
+  gw_options.tenant = 1;
+  gw_options.initial_workers = 1;
+  IngressGateway gateway(&sim, &cost, cluster.ingress(), &cluster.routing(), &dataplane,
+                         &executor, gw_options);
+  gateway.AddRoute("/home", kHomeQueryChain, kFrontend);
+  if (deferred_conversion) {
+    std::vector<Node*> worker_nodes;
+    for (int i = 0; i < cluster.worker_count(); ++i) {
+      worker_nodes.push_back(cluster.worker(i));
+    }
+    gateway.ConnectWorkerPortals(worker_nodes);
+  } else {
+    gateway.ConnectWorkerEngines(engines);
+  }
+
+  ClosedLoopClients::Options client_options;
+  client_options.num_clients = 60;
+  client_options.path = "/home";
+  client_options.payload_bytes = 256;
+  ClosedLoopClients clients(&sim, &cost, &gateway, client_options);
+  clients.Start();
+  sim.RunFor(200 * kMillisecond);
+  clients.mutable_latencies().Reset();
+  const uint64_t before = clients.completed();
+  const SimTime start = sim.now();
+  sim.RunFor(500 * kMillisecond);
+  KnockoutResult result;
+  result.rps = static_cast<double>(clients.completed() - before) / ToSeconds(sim.now() - start);
+  result.latency_ms = clients.latencies().MeanUs() / 1000.0;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("Ablation — NADINO design-choice knockouts",
+               "sections 3.2-3.6 mechanisms, measured on Home Query @ 60 clients");
+  const CostModel& cost = CostModel::Default();
+
+  std::printf("%-44s %10s %12s %8s\n", "configuration", "RPS", "mean lat", "vs full");
+  const KnockoutResult full = RunKnockout(false, false);
+  std::printf("%-44s %10.0f %9.2f ms %8s\n", "NADINO (full: off-path DNE, early conv.)",
+              full.rps, full.latency_ms, "1.00x");
+  const KnockoutResult on_path = RunKnockout(true, false);
+  std::printf("%-44s %10.0f %9.2f ms %7.2fx\n", "  - cross-proc shm (on-path SoC DMA)",
+              on_path.rps, on_path.latency_ms, full.rps / on_path.rps);
+  // The conversion knockout is measured where the ingress is the contended
+  // resource (the Fig. 13 workload): the boutique's chain load would mask it
+  // because removing the ingress RDMA leg also unloads the DNE.
+  IngressEchoOptions ingress_options;
+  ingress_options.clients = 32;
+  ingress_options.duration = 400 * kMillisecond;
+  ingress_options.warmup = 100 * kMillisecond;
+  ingress_options.mode = IngressMode::kNadino;
+  const IngressEchoResult early = RunIngressEcho(cost, ingress_options);
+  ingress_options.mode = IngressMode::kFIngress;
+  const IngressEchoResult deferred = RunIngressEcho(cost, ingress_options);
+  std::printf("%-44s %10.0f %9.2f ms %7.2fx   (http-echo @32 clients)\n",
+              "  - early conversion (F-Ingress deferred)", deferred.rps,
+              deferred.mean_latency_us / 1000.0, early.rps / deferred.rps);
+  BoutiqueOptions cne_options;
+  cne_options.system = SystemUnderTest::kNadinoCne;
+  cne_options.clients = 60;
+  cne_options.duration = 500 * kMillisecond;
+  cne_options.warmup = 200 * kMillisecond;
+  const BoutiqueResult cne = RunBoutique(cost, cne_options);
+  std::printf("%-44s %10.0f %9.2f ms %7.2fx\n", "  - DPU offloading (CNE on a host core)",
+              cne.rps, cne.mean_latency_ms, full.rps / cne.rps);
+
+  // DWRR -> FCFS knockout on the two-tenant contention scenario.
+  MultiTenantOptions mt;
+  mt.duration = 2 * kSecond;
+  mt.tenants = {{1, 6, 0, 2 * kSecond, 64, 1024}, {2, 1, 0, 2 * kSecond, 64, 1024}};
+  mt.use_dwrr = true;
+  const MultiTenantResult dwrr = RunMultiTenant(cost, mt);
+  mt.use_dwrr = false;
+  const MultiTenantResult fcfs = RunMultiTenant(cost, mt);
+  const double dwrr_ratio = static_cast<double>(dwrr.tenant_completed.at(1)) /
+                            static_cast<double>(dwrr.tenant_completed.at(2));
+  const double fcfs_ratio = static_cast<double>(fcfs.tenant_completed.at(1)) /
+                            static_cast<double>(fcfs.tenant_completed.at(2));
+  std::printf("%-44s %10s %12s\n", "  - DWRR (FCFS scheduler), weights 6:1:", "", "");
+  std::printf("      share ratio with DWRR: %.2f : 1  (target 6:1)\n", dwrr_ratio);
+  std::printf("      share ratio with FCFS: %.2f : 1  (weights ignored)\n", fcfs_ratio);
+  return 0;
+}

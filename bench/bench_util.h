@@ -1,0 +1,22 @@
+// Shared formatting helpers for the figure/table reproduction binaries.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace nadino::bench {
+
+inline void Title(const std::string& name, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", name.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void Note(const std::string& text) { std::printf("note: %s\n", text.c_str()); }
+
+}  // namespace nadino::bench
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,41 @@
+// Fig. 9 — Viable communication channels between DPU and host CPU:
+// (1) descriptor round-trip latency, (2) descriptor transfer rate, for
+// TCP vs Comch-P (busy-polling ring) vs Comch-E (event-driven), with a
+// growing number of host functions hammering a single-core DNE.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/experiments.h"
+
+using namespace nadino;
+
+int main() {
+  bench::Title("Fig. 9 — DPU<->host communication channels",
+               "section 3.5.4: TCP vs Comch-P vs Comch-E, 1..8 functions");
+  const CostModel& cost = CostModel::Default();
+
+  std::printf("%-6s | %10s %10s %10s | %10s %10s %10s\n", "#fns", "TCP us", "Comch-P us",
+              "Comch-E us", "TCP rps", "Comch-P", "Comch-E");
+  for (const int fns : {1, 2, 4, 6, 8}) {
+    ComchBenchResult results[3];
+    const ComchVariant variants[3] = {ComchVariant::kTcp, ComchVariant::kPolling,
+                                      ComchVariant::kEvent};
+    for (int i = 0; i < 3; ++i) {
+      ComchBenchOptions options;
+      options.variant = variants[i];
+      options.num_functions = fns;
+      options.duration = 300 * kMillisecond;
+      results[i] = RunComchBench(cost, options);
+    }
+    std::printf("%-6d | %10.2f %10.2f %10.2f | %10.0f %10.0f %10.0f\n", fns,
+                results[0].mean_rtt_us, results[1].mean_rtt_us, results[2].mean_rtt_us,
+                results[0].descriptor_rps, results[1].descriptor_rps,
+                results[2].descriptor_rps);
+  }
+  bench::Note(
+      "paper shape: Comch-P cuts latency >8x vs TCP but overloads beyond 6 "
+      "functions (progress-engine epoll per endpoint); Comch-E is 2.7-3.8x better "
+      "than TCP and stays stable — NADINO's choice.");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig. 11 — Off-path DNE (cross-processor shared memory) vs on-path DNE
+// (payloads staged through the SoC DMA engine): (1) RPS with varying payload
+// sizes on a single connection; (2) RPS under growing concurrency at 1 KB.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/experiments.h"
+
+using namespace nadino;
+
+int main() {
+  bench::Title("Fig. 11 — off-path vs on-path DNE",
+               "section 4.1.1: cross-processor shared memory vs SoC DMA staging");
+  const CostModel& cost = CostModel::Default();
+
+  std::printf("(1) RPS vs payload size, single connection\n");
+  std::printf("%-10s %12s %12s %8s\n", "payload", "off-path", "on-path", "gain");
+  for (const uint32_t payload : {64u, 256u, 1024u, 4096u, 16384u}) {
+    DneEchoOptions options;
+    options.payload = payload;
+    options.concurrency = 1;
+    options.via_functions = true;
+    options.duration = 300 * kMillisecond;
+    const EchoResult off_path = RunDneEcho(cost, options);
+    options.on_path = true;
+    const EchoResult on_path = RunDneEcho(cost, options);
+    std::printf("%-10u %12.0f %12.0f %7.2fx\n", payload, off_path.rps, on_path.rps,
+                off_path.rps / on_path.rps);
+  }
+
+  std::printf("\n(2) RPS vs concurrency, 1 KB payload\n");
+  std::printf("%-12s %12s %12s %8s | %14s %14s\n", "concurrency", "off-path", "on-path",
+              "gain", "off-path lat", "on-path lat");
+  for (const int concurrency : {1, 2, 4, 8, 16, 32, 64}) {
+    DneEchoOptions options;
+    options.payload = 1024;
+    options.concurrency = concurrency;
+    options.via_functions = true;
+    options.duration = 300 * kMillisecond;
+    const EchoResult off_path = RunDneEcho(cost, options);
+    options.on_path = true;
+    const EchoResult on_path = RunDneEcho(cost, options);
+    std::printf("%-12d %12.0f %12.0f %7.2fx | %11.1f us %11.1f us\n", concurrency,
+                off_path.rps, on_path.rps, off_path.rps / on_path.rps,
+                off_path.mean_latency_us, on_path.mean_latency_us);
+  }
+  bench::Note(
+      "paper shape: up to ~30% RPS improvement and >20% latency reduction for "
+      "off-path; the gap opens with concurrency as the slow SoC DMA engine "
+      "saturates, while at low concurrency the two run close.");
+  return 0;
+}

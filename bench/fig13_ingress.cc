@@ -1,0 +1,44 @@
+// Fig. 13 — Performance of cluster ingress designs: (1) mean end-to-end
+// latency and (2) RPS with a varying number of clients, for NADINO's
+// HTTP/TCP-to-RDMA ingress vs the deferred-conversion K-Ingress (kernel
+// stack) and F-Ingress (F-stack) baselines. One CPU core per ingress.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/experiments.h"
+
+using namespace nadino;
+
+int main() {
+  bench::Title("Fig. 13 — cluster ingress designs",
+               "section 4.1.3: NADINO ingress vs K-Ingress vs F-Ingress, 1 core");
+  const CostModel& cost = CostModel::Default();
+
+  std::printf("%-9s | %11s %11s %11s | %9s %9s %9s\n", "#clients", "NADINO us",
+              "F-Ingr us", "K-Ingr us", "NADINO", "F-Ingr", "K-Ingr");
+  double best_vs_kernel = 0.0;
+  double best_vs_fstack = 0.0;
+  for (const int clients : {1, 4, 8, 16, 32, 64}) {
+    IngressEchoResult results[3];
+    const IngressMode modes[3] = {IngressMode::kNadino, IngressMode::kFIngress,
+                                  IngressMode::kKIngress};
+    for (int i = 0; i < 3; ++i) {
+      IngressEchoOptions options;
+      options.mode = modes[i];
+      options.clients = clients;
+      options.duration = 500 * kMillisecond;
+      options.warmup = 150 * kMillisecond;
+      results[i] = RunIngressEcho(cost, options);
+    }
+    std::printf("%-9d | %11.1f %11.1f %11.1f | %9.0f %9.0f %9.0f\n", clients,
+                results[0].mean_latency_us, results[1].mean_latency_us,
+                results[2].mean_latency_us, results[0].rps, results[1].rps, results[2].rps);
+    best_vs_kernel = std::max(best_vs_kernel, results[0].rps / results[2].rps);
+    best_vs_fstack = std::max(best_vs_fstack, results[0].rps / results[1].rps);
+  }
+  std::printf("\nbest RPS gain: %.1fx vs K-Ingress (paper: up to 11.4x), "
+              "%.1fx vs F-Ingress (paper: up to 3.2x)\n",
+              best_vs_kernel, best_vs_fstack);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Fig. 15 — Effect of RDMA network isolation: per-tenant RPS time series for
+// three tenants with weights 6:1:2 under (1) an FCFS DNE without
+// multi-tenancy support and (2) NADINO's DWRR DNE.
+//
+// Timeline compressed 24x vs the paper's 4-minute run (same arrival pattern):
+// Tenant-1 active throughout; Tenant-2 joins at "20s" and leaves at "3m20s";
+// Tenant-3 runs "1m30s".."2m30s" (all scaled). The DNE is throttled to
+// sustain ~110K RPS on its single worker core, as in section 4.2.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/experiments.h"
+
+using namespace nadino;
+
+namespace {
+
+constexpr SimDuration kScale = 24;  // Timeline compression.
+
+MultiTenantOptions Scenario(bool use_dwrr) {
+  MultiTenantOptions options;
+  options.use_dwrr = use_dwrr;
+  options.duration = 240 * kSecond / kScale;
+  options.sample_period = 400 * kMillisecond;
+  options.tenants = {
+      // tenant, weight, start, stop, window, payload
+      {1, 6, 0, 240 * kSecond / kScale, 64, 1024},
+      {2, 1, 20 * kSecond / kScale, 200 * kSecond / kScale, 64, 1024},
+      {3, 2, 90 * kSecond / kScale, 150 * kSecond / kScale, 96, 1024},
+  };
+  return options;
+}
+
+void Print(const char* name, const MultiTenantResult& result) {
+  std::printf("\n--- %s ---\n", name);
+  std::printf("%8s %12s %12s %12s %12s\n", "t (s)", "tenant1", "tenant2", "tenant3",
+              "total");
+  const auto& t1 = result.tenant_rps.at(1).samples();
+  const auto& t2 = result.tenant_rps.at(2).samples();
+  const auto& t3 = result.tenant_rps.at(3).samples();
+  for (size_t i = 0; i < t1.size(); ++i) {
+    const double a = t1[i].value;
+    const double b = i < t2.size() ? t2[i].value : 0.0;
+    const double c = i < t3.size() ? t3[i].value : 0.0;
+    std::printf("%8.0f %12.0f %12.0f %12.0f %12.0f\n", ToSeconds(t1[i].at) * kScale, a, b,
+                c, a + b + c);
+  }
+}
+
+void Summarize(const MultiTenantResult& result, SimTime from, SimTime to) {
+  const double r1 = result.tenant_rps.at(1).MeanInWindow(from, to);
+  const double r2 = result.tenant_rps.at(2).MeanInWindow(from, to);
+  const double r3 = result.tenant_rps.at(3).MeanInWindow(from, to);
+  std::printf("three-tenant contention window: T1=%.0f T2=%.0f T3=%.0f "
+              "(share ratio %.1f : %.1f : %.1f; weights 6:1:2)\n",
+              r1, r2, r3, r1 / r2, r2 / r2, r3 / r2);
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("Fig. 15 — RDMA multi-tenancy: DWRR vs FCFS",
+               "section 4.2: 3 tenants, weights 6:1:2, staggered arrivals");
+  const CostModel& cost = CostModel::Default();
+  const MultiTenantResult fcfs = RunMultiTenant(cost, Scenario(false));
+  Print("(1) FCFS DNE — no multi-tenancy support", fcfs);
+  const MultiTenantResult dwrr = RunMultiTenant(cost, Scenario(true));
+  Print("(2) NADINO DNE — DWRR multi-tenancy", dwrr);
+  std::printf("\nDWRR ");
+  Summarize(dwrr, 95 * kSecond / kScale, 145 * kSecond / kScale);
+  std::printf("FCFS ");
+  Summarize(fcfs, 95 * kSecond / kScale, 145 * kSecond / kScale);
+  bench::Note(
+      "paper anchors: with DWRR, T2's arrival moves T1 115K->90K while T2 gets "
+      "15K (1:6 held); with all three, shares settle near 65K/11K/22K. FCFS "
+      "lets bursty tenants starve T1.");
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Micro-operation benchmarks (google-benchmark) for the hot data structures
+// behind the design choices DESIGN.md calls out: pool-based allocation vs
+// malloc (section 3.4), DWRR scheduling overhead (section 3.3), HTTP parsing
+// at the ingress (section 3.6), descriptor encode/decode (section 3.5.4), and
+// QP-cache behaviour under churn.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/core/nadino.h"
+
+namespace {
+
+using namespace nadino;
+
+void BM_BufferPoolGetPut(benchmark::State& state) {
+  HugepageArena arena;
+  BufferPool pool(1, 1, 1024, static_cast<size_t>(state.range(0)), &arena);
+  for (auto _ : state) {
+    Buffer* b = pool.Get(OwnerId::External());
+    benchmark::DoNotOptimize(b);
+    pool.Put(b, OwnerId::External());
+  }
+}
+BENCHMARK(BM_BufferPoolGetPut)->Arg(1024)->Arg(16384);
+
+void BM_MallocFreeBaseline(benchmark::State& state) {
+  for (auto _ : state) {
+    void* p = ::operator new(static_cast<size_t>(state.range(0)));
+    benchmark::DoNotOptimize(p);
+    ::operator delete(p);
+  }
+}
+BENCHMARK(BM_MallocFreeBaseline)->Arg(1024)->Arg(16384);
+
+void BM_OwnershipTransfer(benchmark::State& state) {
+  HugepageArena arena;
+  BufferPool pool(1, 1, 8, 1024, &arena);
+  Buffer* b = pool.Get(OwnerId::Function(1));
+  bool forward = true;
+  for (auto _ : state) {
+    if (forward) {
+      benchmark::DoNotOptimize(pool.Transfer(b, OwnerId::Function(1), OwnerId::Engine(2)));
+    } else {
+      benchmark::DoNotOptimize(pool.Transfer(b, OwnerId::Engine(2), OwnerId::Function(1)));
+    }
+    forward = !forward;
+  }
+}
+BENCHMARK(BM_OwnershipTransfer);
+
+void BM_DwrrEnqueueDequeue(benchmark::State& state) {
+  DwrrScheduler scheduler(2048);
+  const int tenants = static_cast<int>(state.range(0));
+  for (int t = 1; t <= tenants; ++t) {
+    scheduler.SetWeight(static_cast<TenantId>(t), static_cast<uint32_t>(t));
+  }
+  TxItem item;
+  item.bytes = 1024;
+  uint32_t next = 0;
+  for (auto _ : state) {
+    item.tenant = 1 + next++ % static_cast<uint32_t>(tenants);
+    scheduler.Enqueue(item);
+    TxItem out;
+    benchmark::DoNotOptimize(scheduler.Dequeue(&out));
+  }
+}
+BENCHMARK(BM_DwrrEnqueueDequeue)->Arg(1)->Arg(3)->Arg(16);
+
+void BM_FcfsEnqueueDequeue(benchmark::State& state) {
+  FcfsScheduler scheduler;
+  TxItem item;
+  item.tenant = 1;
+  item.bytes = 1024;
+  for (auto _ : state) {
+    scheduler.Enqueue(item);
+    TxItem out;
+    benchmark::DoNotOptimize(scheduler.Dequeue(&out));
+  }
+}
+BENCHMARK(BM_FcfsEnqueueDequeue);
+
+void BM_HttpParseRequest(benchmark::State& state) {
+  HttpRequest request;
+  request.method = "POST";
+  request.target = "/product";
+  request.headers = {{"Host", "nadino.cluster"}, {"User-Agent", "wrk/4"}};
+  request.body = std::string(static_cast<size_t>(state.range(0)), 'x');
+  const std::string wire = HttpCodec::Serialize(request);
+  for (auto _ : state) {
+    HttpRequest parsed;
+    size_t consumed = 0;
+    benchmark::DoNotOptimize(HttpCodec::ParseRequest(wire, &parsed, &consumed));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * wire.size()));
+}
+BENCHMARK(BM_HttpParseRequest)->Arg(64)->Arg(4096);
+
+void BM_DescriptorEncodeDecode(benchmark::State& state) {
+  BufferDescriptor desc{3, 1000, 4096, 42};
+  for (auto _ : state) {
+    const auto wire = desc.Encode();
+    benchmark::DoNotOptimize(BufferDescriptor::Decode(wire));
+  }
+}
+BENCHMARK(BM_DescriptorEncodeDecode);
+
+void BM_MessageHeaderWriteRead(benchmark::State& state) {
+  HugepageArena arena;
+  BufferPool pool(1, 1, 2, 16384, &arena);
+  Buffer* b = pool.Get(OwnerId::External());
+  MessageHeader header;
+  header.payload_length = static_cast<uint32_t>(state.range(0));
+  header.request_id = 7;
+  for (auto _ : state) {
+    WriteMessage(b, header);
+    benchmark::DoNotOptimize(ReadMessage(*b));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_MessageHeaderWriteRead)->Arg(256)->Arg(4096);
+
+void BM_QpCacheChurn(benchmark::State& state) {
+  QpCache cache(64);
+  const QpNum span = static_cast<QpNum>(state.range(0));
+  QpNum next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Touch(next++ % span));
+  }
+}
+BENCHMARK(BM_QpCacheChurn)->Arg(32)->Arg(256);
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.Schedule(i, []() {});
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleRun);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,24 @@
+// Table 1 — Comparison of existing high-performance serverless data plane
+// systems: multi-tenancy support, distributed zero-copy, DPU offloading, and
+// elimination of protocol processing within the cluster.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/baselines/capabilities.h"
+
+using namespace nadino;
+
+int main() {
+  bench::Title("Table 1 — serverless data plane capability comparison",
+               "section 2.2, Table 1");
+  std::printf("%-12s %14s %14s %14s %22s\n", "system", "multi-tenancy", "dist. 0-copy",
+              "DPU offload", "no proto. in cluster");
+  for (const SystemCapabilities& row : CapabilityTable()) {
+    std::printf("%-12s %14s %14s %14s %22s\n", row.system.c_str(),
+                row.multi_tenancy ? "yes" : "no", row.distributed_zero_copy ? "yes" : "no",
+                row.dpu_offloading ? "yes" : "no",
+                row.eliminates_proto_processing ? "yes" : "no");
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Multi-tenant fairness demo: two tenants with a 4:1 weight ratio compete for
+// one throttled DNE. With DWRR the bandwidth split follows the weights; with
+// the FCFS engine the aggressive tenant simply wins.
+//
+//   ./build/examples/multi_tenant_fairness
+
+#include <cstdio>
+
+#include "src/core/nadino.h"
+
+using namespace nadino;
+
+namespace {
+
+void RunOnce(bool use_dwrr) {
+  MultiTenantOptions options;
+  options.use_dwrr = use_dwrr;
+  options.duration = 3 * kSecond;
+  options.tenants = {
+      // The "important" tenant: weight 4, moderate demand window.
+      {1, 4, 0, 3 * kSecond, 64, 1024},
+      // The aggressive tenant: weight 1, twice the outstanding demand.
+      {2, 1, 0, 3 * kSecond, 128, 1024},
+  };
+  const MultiTenantResult result = RunMultiTenant(CostModel::Default(), options);
+  const double t1 = static_cast<double>(result.tenant_completed.at(1));
+  const double t2 = static_cast<double>(result.tenant_completed.at(2));
+  std::printf("%-18s tenant1 (weight 4): %8.0f rps | tenant2 (weight 1): %8.0f rps | "
+              "ratio %.2f : 1\n",
+              use_dwrr ? "NADINO DNE (DWRR)" : "FCFS DNE", t1 / 3.0, t2 / 3.0, t1 / t2);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Two tenants share one DNE throttled to ~110K RPS. Tenant 2 pushes twice\n"
+              "the outstanding requests but carries 1/4 the weight.\n\n");
+  RunOnce(/*use_dwrr=*/false);
+  RunOnce(/*use_dwrr=*/true);
+  std::printf("\nDWRR pins the split to the 4:1 weights no matter how aggressively\n"
+              "tenant 2 floods its queue — the Fig. 15 isolation property.\n");
+  return 0;
+}

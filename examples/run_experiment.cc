@@ -1,0 +1,184 @@
+// Command-line experiment runner: drive any packaged experiment with custom
+// parameters without writing code.
+//
+//   ./build/examples/run_experiment echo --payload 4096 --concurrency 8
+//   ./build/examples/run_experiment onesided --variant owdl --payload 4096
+//   ./build/examples/run_experiment comch --variant polling --functions 6
+//   ./build/examples/run_experiment ingress --mode kernel --clients 32
+//   ./build/examples/run_experiment boutique --system spright --clients 60
+//   ./build/examples/run_experiment tenants --dwrr 0
+//
+// Run with no arguments for the available experiments and flags.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/nadino.h"
+
+using namespace nadino;
+
+namespace {
+
+// Minimal --flag value parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 2; i + 1 < argc; i += 2) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) == 0) {
+        key = key.substr(2);
+      }
+      values_[key] = argv[i + 1];
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int GetInt(const std::string& key, int fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Usage() {
+  std::printf(
+      "usage: run_experiment <experiment> [--flag value]...\n\n"
+      "experiments:\n"
+      "  echo      two-sided DNE echo        --payload N --concurrency N --onpath 0|1\n"
+      "            --functions 0|1 (echo via host functions instead of engines)\n"
+      "  native    native RDMA echo          --payload N --dpu 0|1\n"
+      "  onesided  one-sided echo            --payload N --variant best|worst|owdl\n"
+      "  comch     DPU<->host channels       --variant event|polling|tcp --functions N\n"
+      "  ingress   HTTP ingress echo         --mode nadino|fstack|kernel --clients N\n"
+      "  boutique  Online Boutique           --system dne|cne|spright|nightcore|\n"
+      "                                               fuyao-f|fuyao-k|junction\n"
+      "            --chain home|cart|product --clients N\n"
+      "  tenants   2-tenant fairness (6:1)   --dwrr 0|1 --seconds N\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string experiment = argv[1];
+  const Flags flags(argc, argv);
+  const CostModel& cost = CostModel::Default();
+
+  if (experiment == "echo") {
+    DneEchoOptions options;
+    options.payload = static_cast<uint32_t>(flags.GetInt("payload", 64));
+    options.concurrency = flags.GetInt("concurrency", 1);
+    options.on_path = flags.GetInt("onpath", 0) != 0;
+    options.via_functions = flags.GetInt("functions", 0) != 0;
+    options.duration = 300 * kMillisecond;
+    const EchoResult result = RunDneEcho(cost, options);
+    std::printf("two-sided echo: %.2f us mean, %.2f us p99, %.0f RPS\n",
+                result.mean_latency_us, result.p99_latency_us, result.rps);
+    return 0;
+  }
+  if (experiment == "native") {
+    NativeEchoOptions options;
+    options.payload = static_cast<uint32_t>(flags.GetInt("payload", 64));
+    options.on_dpu_cores = flags.GetInt("dpu", 0) != 0;
+    options.duration = 300 * kMillisecond;
+    const EchoResult result = RunNativeRdmaEcho(cost, options);
+    std::printf("native RDMA echo (%s cores): %.2f us mean, %.0f RPS\n",
+                options.on_dpu_cores ? "DPU" : "CPU", result.mean_latency_us, result.rps);
+    return 0;
+  }
+  if (experiment == "onesided") {
+    OneSidedEchoOptions options;
+    options.payload = static_cast<uint32_t>(flags.GetInt("payload", 4096));
+    const std::string variant = flags.Get("variant", "best");
+    options.variant = variant == "owdl"    ? OneSidedVariant::kOwdl
+                      : variant == "worst" ? OneSidedVariant::kOwrcWorst
+                                           : OneSidedVariant::kOwrcBest;
+    options.duration = 300 * kMillisecond;
+    const EchoResult result = RunOneSidedEcho(cost, options);
+    std::printf("one-sided (%s): %.2f us mean, %.0f RPS\n", variant.c_str(),
+                result.mean_latency_us, result.rps);
+    return 0;
+  }
+  if (experiment == "comch") {
+    ComchBenchOptions options;
+    const std::string variant = flags.Get("variant", "event");
+    options.variant = variant == "polling" ? ComchVariant::kPolling
+                      : variant == "tcp"   ? ComchVariant::kTcp
+                                           : ComchVariant::kEvent;
+    options.num_functions = flags.GetInt("functions", 1);
+    options.duration = 300 * kMillisecond;
+    const ComchBenchResult result = RunComchBench(cost, options);
+    std::printf("comch (%s, %d fns): %.2f us RTT, %.0f descriptors/s\n", variant.c_str(),
+                options.num_functions, result.mean_rtt_us, result.descriptor_rps);
+    return 0;
+  }
+  if (experiment == "ingress") {
+    IngressEchoOptions options;
+    const std::string mode = flags.Get("mode", "nadino");
+    options.mode = mode == "kernel"   ? IngressMode::kKIngress
+                   : mode == "fstack" ? IngressMode::kFIngress
+                                      : IngressMode::kNadino;
+    options.clients = flags.GetInt("clients", 8);
+    options.duration = 500 * kMillisecond;
+    const IngressEchoResult result = RunIngressEcho(cost, options);
+    std::printf("ingress (%s, %d clients): %.1f us mean, %.0f RPS\n", mode.c_str(),
+                options.clients, result.mean_latency_us, result.rps);
+    return 0;
+  }
+  if (experiment == "boutique") {
+    BoutiqueOptions options;
+    const std::string system = flags.Get("system", "dne");
+    const std::map<std::string, SystemUnderTest> systems = {
+        {"dne", SystemUnderTest::kNadinoDne},     {"cne", SystemUnderTest::kNadinoCne},
+        {"spright", SystemUnderTest::kSpright},   {"nightcore", SystemUnderTest::kNightcore},
+        {"fuyao-f", SystemUnderTest::kFuyaoF},    {"fuyao-k", SystemUnderTest::kFuyaoK},
+        {"junction", SystemUnderTest::kJunction},
+    };
+    const auto it = systems.find(system);
+    if (it == systems.end()) {
+      std::printf("unknown system '%s'\n", system.c_str());
+      return Usage();
+    }
+    options.system = it->second;
+    const std::string chain = flags.Get("chain", "home");
+    options.chain = chain == "cart"      ? kViewCartChain
+                    : chain == "product" ? kProductQueryChain
+                                         : kHomeQueryChain;
+    options.clients = flags.GetInt("clients", 60);
+    options.duration = 500 * kMillisecond;
+    const BoutiqueResult result = RunBoutique(cost, options);
+    std::printf("%s on %s @%d clients: %.0f RPS, %.2f ms mean, dataplane %.2f CPU + "
+                "%.2f DPU cores\n",
+                SystemName(options.system).c_str(), chain.c_str(), options.clients,
+                result.rps, result.mean_latency_ms, result.dataplane_cpu_cores,
+                result.dpu_cores);
+    return 0;
+  }
+  if (experiment == "tenants") {
+    MultiTenantOptions options;
+    options.use_dwrr = flags.GetInt("dwrr", 1) != 0;
+    const int seconds = flags.GetInt("seconds", 2);
+    options.duration = seconds * kSecond;
+    options.tenants = {{1, 6, 0, options.duration, 64, 1024},
+                       {2, 1, 0, options.duration, 64, 1024}};
+    const MultiTenantResult result = RunMultiTenant(cost, options);
+    std::printf("%s: tenant1 %.0f RPS, tenant2 %.0f RPS (weights 6:1)\n",
+                options.use_dwrr ? "DWRR" : "FCFS",
+                static_cast<double>(result.tenant_completed.at(1)) / seconds,
+                static_cast<double>(result.tenant_completed.at(2)) / seconds);
+    return 0;
+  }
+  return Usage();
+}

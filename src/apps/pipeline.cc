@@ -1,0 +1,45 @@
+#include "src/apps/pipeline.h"
+
+namespace nadino {
+
+PipelineSpec BuildPipelineSpec(uint32_t frame_bytes, TenantId tenant) {
+  PipelineSpec spec;
+  spec.tenant = tenant;
+  spec.stages = {kPipelineIngest, kPipelineDecode, kPipelineFilter, kPipelineEncode};
+
+  ChainSpec chain;
+  chain.id = kPipelineChain;
+  chain.tenant = tenant;
+  chain.name = "Media Pipeline";
+  chain.entry = kPipelineIngest;
+  chain.entry_request_payload = frame_bytes;
+
+  // Each stage does per-byte work (~2 GB/s effective) then forwards the frame.
+  const auto stage_compute = [frame_bytes](double scale) {
+    return static_cast<SimDuration>(scale * frame_bytes / 2.0);  // ns @ ~2 B/ns.
+  };
+  FunctionBehavior ingest;
+  ingest.compute = stage_compute(0.2);
+  ingest.calls = {{kPipelineDecode, frame_bytes}};
+  ingest.response_payload = 256;  // Completion record back to the client.
+  chain.behaviors[kPipelineIngest] = ingest;
+  FunctionBehavior decode;
+  decode.compute = stage_compute(1.0);
+  decode.calls = {{kPipelineFilter, frame_bytes}};
+  decode.response_payload = frame_bytes;
+  chain.behaviors[kPipelineDecode] = decode;
+  FunctionBehavior filter;
+  filter.compute = stage_compute(0.6);
+  filter.calls = {{kPipelineEncode, frame_bytes}};
+  filter.response_payload = frame_bytes;
+  chain.behaviors[kPipelineFilter] = filter;
+  FunctionBehavior encode;
+  encode.compute = stage_compute(0.8);
+  encode.response_payload = frame_bytes / 2;  // Compressed output.
+  chain.behaviors[kPipelineEncode] = encode;
+
+  spec.chain = chain;
+  return spec;
+}
+
+}  // namespace nadino

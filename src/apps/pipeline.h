@@ -1,0 +1,34 @@
+// A synthetic media-processing pipeline: a linear chain of four stages moving
+// large payloads (decode -> resize -> filter -> encode). Where Online
+// Boutique stresses fan-out with small messages, this app stresses payload
+// size — the regime where zero-copy vs copy-per-hop data planes diverge the
+// most. Used by the payload-scaling study (bench/payload_scaling) and the
+// large-payload integration tests.
+
+#ifndef SRC_APPS_PIPELINE_H_
+#define SRC_APPS_PIPELINE_H_
+
+#include "src/core/types.h"
+#include "src/runtime/chain.h"
+
+namespace nadino {
+
+inline constexpr FunctionId kPipelineIngest = 31;
+inline constexpr FunctionId kPipelineDecode = 32;
+inline constexpr FunctionId kPipelineFilter = 33;
+inline constexpr FunctionId kPipelineEncode = 34;
+inline constexpr ChainId kPipelineChain = 20;
+
+struct PipelineSpec {
+  TenantId tenant = 1;
+  ChainSpec chain;
+  // Stage ids in order; place alternately across nodes so every hop crosses.
+  std::vector<FunctionId> stages;
+};
+
+// `frame_bytes` is the payload carried between stages (e.g. 64 KB tiles).
+PipelineSpec BuildPipelineSpec(uint32_t frame_bytes, TenantId tenant = 1);
+
+}  // namespace nadino
+
+#endif  // SRC_APPS_PIPELINE_H_

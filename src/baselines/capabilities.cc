@@ -1,0 +1,15 @@
+#include "src/baselines/capabilities.h"
+
+namespace nadino {
+
+std::vector<SystemCapabilities> CapabilityTable() {
+  return {
+      {"NightCore", false, false, false, false},
+      {"SPRIGHT", false, false, false, false},
+      {"FUYAO", false, false, true, false},
+      {"RMMAP", false, true, false, false},
+      {"NADINO", true, true, true, true},
+  };
+}
+
+}  // namespace nadino

@@ -1,0 +1,26 @@
+// Table 1: qualitative capability comparison of high-performance serverless
+// data planes. Encoded as data so the table bench prints it and tests can
+// assert the shape the paper claims.
+
+#ifndef SRC_BASELINES_CAPABILITIES_H_
+#define SRC_BASELINES_CAPABILITIES_H_
+
+#include <string>
+#include <vector>
+
+namespace nadino {
+
+struct SystemCapabilities {
+  std::string system;
+  bool multi_tenancy = false;         // RDMA-fabric tenant isolation.
+  bool distributed_zero_copy = false; // Zero-copy across nodes.
+  bool dpu_offloading = false;
+  bool eliminates_proto_processing = false;  // No TCP/IP inside the cluster.
+};
+
+// Rows of Table 1, NADINO last.
+std::vector<SystemCapabilities> CapabilityTable();
+
+}  // namespace nadino
+
+#endif  // SRC_BASELINES_CAPABILITIES_H_

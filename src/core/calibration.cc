@@ -1,0 +1,10 @@
+#include "src/core/calibration.h"
+
+namespace nadino {
+
+const CostModel& CostModel::Default() {
+  static const CostModel model{};
+  return model;
+}
+
+}  // namespace nadino

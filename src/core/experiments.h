@@ -1,0 +1,229 @@
+// Experiment harness: cluster assembly plus one entry point per paper
+// experiment. The bench binaries under bench/ are thin wrappers that call
+// these and print the paper-shaped rows; tests reuse them for calibration and
+// integration coverage.
+
+#ifndef SRC_CORE_EXPERIMENTS_H_
+#define SRC_CORE_EXPERIMENTS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/boutique.h"
+#include "src/baselines/baseline_dataplane.h"
+#include "src/core/calibration.h"
+#include "src/dne/nadino_dataplane.h"
+#include "src/dpu/comch.h"
+#include "src/ingress/gateway.h"
+#include "src/rdma/rdma_engine.h"
+#include "src/runtime/node.h"
+#include "src/runtime/routing_table.h"
+#include "src/runtime/workload.h"
+#include "src/sim/simulator.h"
+#include "src/sim/stats.h"
+
+namespace nadino {
+
+// ---------------------------------------------------------------------------
+// Cluster: nodes + fabric + routing, mirroring the paper's testbed (section
+// 4): worker nodes with BlueField-2 DPUs, an ingress node with plain RNICs,
+// all on one 200 Gbps switch.
+// ---------------------------------------------------------------------------
+
+struct ClusterConfig {
+  int worker_nodes = 2;
+  int host_cores_per_node = 12;
+  bool workers_have_dpu = true;
+  int dpu_cores = 8;
+  bool with_ingress_node = true;
+  int ingress_cores = 12;
+};
+
+class Cluster {
+ public:
+  Cluster(const CostModel* cost, const ClusterConfig& config);
+
+  Simulator& sim() { return sim_; }
+  RdmaNetwork& network() { return network_; }
+  RoutingTable& routing() { return routing_; }
+  const CostModel& cost() const { return *cost_; }
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+  Node* worker(int i) { return workers_.at(static_cast<size_t>(i)).get(); }
+  Node* ingress() { return ingress_.get(); }
+
+  // Creates `tenant`'s unified pool on every worker node.
+  void CreateTenantPools(TenantId tenant, size_t buffers = 8192, size_t buffer_size = 16384);
+
+ private:
+  const CostModel* cost_;
+  Simulator sim_;
+  RdmaNetwork network_;
+  RoutingTable routing_;
+  std::vector<std::unique_ptr<Node>> workers_;
+  std::unique_ptr<Node> ingress_;
+};
+
+// ---------------------------------------------------------------------------
+// Echo microbenchmarks (Figs. 6, 11, 12)
+// ---------------------------------------------------------------------------
+
+struct EchoResult {
+  double mean_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  double rps = 0.0;
+  uint64_t completed = 0;
+};
+
+// DNE/CNE echo across two worker nodes.
+struct DneEchoOptions {
+  uint32_t payload = 64;
+  int concurrency = 1;
+  SimDuration duration = 1 * kSecond;
+  SimDuration warmup = 100 * kMillisecond;
+  bool on_path = false;
+  NetworkEngine::Kind kind = NetworkEngine::Kind::kDne;
+  // false: the engines themselves are the echo endpoints (Fig. 12 setup);
+  // true: host functions echo through Comch/SK_MSG (Fig. 6 setup).
+  bool via_functions = false;
+  SimDuration extra_engine_cost = 0;
+};
+EchoResult RunDneEcho(const CostModel& cost, const DneEchoOptions& options);
+
+// Functions drive two-sided verbs directly, on host or DPU cores (Fig. 6).
+struct NativeEchoOptions {
+  uint32_t payload = 64;
+  int concurrency = 1;
+  SimDuration duration = 1 * kSecond;
+  SimDuration warmup = 100 * kMillisecond;
+  bool on_dpu_cores = false;
+};
+EchoResult RunNativeRdmaEcho(const CostModel& cost, const NativeEchoOptions& options);
+
+// One-sided alternatives of Fig. 3 / Fig. 12.
+enum class OneSidedVariant {
+  kOwrcBest,   // One-sided write + receiver-side copy, cache-hot copy.
+  kOwrcWorst,  // Same with forced main-memory copy.
+  kOwdl,       // One-sided write + distributed locks, unified pool.
+};
+struct OneSidedEchoOptions {
+  OneSidedVariant variant = OneSidedVariant::kOwrcBest;
+  uint32_t payload = 64;
+  int concurrency = 1;
+  SimDuration duration = 1 * kSecond;
+  SimDuration warmup = 100 * kMillisecond;
+};
+EchoResult RunOneSidedEcho(const CostModel& cost, const OneSidedEchoOptions& options);
+
+// ---------------------------------------------------------------------------
+// Cross-processor channel benchmark (Fig. 9)
+// ---------------------------------------------------------------------------
+
+struct ComchBenchOptions {
+  ComchVariant variant = ComchVariant::kEvent;
+  int num_functions = 1;
+  SimDuration duration = 500 * kMillisecond;
+  SimDuration warmup = 50 * kMillisecond;
+};
+struct ComchBenchResult {
+  double mean_rtt_us = 0.0;
+  double descriptor_rps = 0.0;
+};
+ComchBenchResult RunComchBench(const CostModel& cost, const ComchBenchOptions& options);
+
+// ---------------------------------------------------------------------------
+// Ingress experiments (Figs. 13, 14)
+// ---------------------------------------------------------------------------
+
+struct IngressEchoOptions {
+  IngressMode mode = IngressMode::kNadino;
+  int clients = 1;
+  SimDuration duration = 1 * kSecond;
+  SimDuration warmup = 200 * kMillisecond;
+  uint32_t payload = 256;
+  bool autoscale = false;
+  int initial_workers = 1;
+  int max_workers = 8;
+  // Fig. 14 ramp: add one client every `ramp_interval` until `clients`.
+  SimDuration ramp_interval = 0;
+  SimDuration sample_period = kSecond;
+};
+struct IngressEchoResult {
+  double mean_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  double rps = 0.0;
+  TimeSeries cpu_series;  // Worker cores in use (busy-poll aware).
+  TimeSeries rps_series;
+  uint64_t scale_ups = 0;
+  uint64_t scale_downs = 0;
+  int final_workers = 0;
+};
+IngressEchoResult RunIngressEcho(const CostModel& cost, const IngressEchoOptions& options);
+
+// ---------------------------------------------------------------------------
+// RDMA multi-tenancy (Figs. 15, 17)
+// ---------------------------------------------------------------------------
+
+struct TenantScenario {
+  TenantId tenant = 1;
+  uint32_t weight = 1;
+  SimTime start = 0;
+  SimTime stop = 0;
+  int window = 64;
+  uint32_t payload = 1024;
+};
+struct MultiTenantOptions {
+  bool use_dwrr = true;
+  std::vector<TenantScenario> tenants;
+  SimDuration duration = 10 * kSecond;
+  SimDuration sample_period = kSecond;
+  // Throttle reproducing "DNE configured to sustain ~110K RPS on one core".
+  SimDuration extra_engine_cost = 1200;
+};
+struct MultiTenantResult {
+  std::map<TenantId, TimeSeries> tenant_rps;
+  std::map<TenantId, uint64_t> tenant_completed;
+  double aggregate_rps = 0.0;
+};
+MultiTenantResult RunMultiTenant(const CostModel& cost, const MultiTenantOptions& options);
+
+// ---------------------------------------------------------------------------
+// Online Boutique end-to-end (Fig. 16, Table 2)
+// ---------------------------------------------------------------------------
+
+enum class SystemUnderTest {
+  kNadinoDne,
+  kNadinoCne,
+  kFuyaoF,
+  kFuyaoK,
+  kJunction,
+  kSpright,
+  kNightcore,
+};
+
+std::string SystemName(SystemUnderTest system);
+
+struct BoutiqueOptions {
+  SystemUnderTest system = SystemUnderTest::kNadinoDne;
+  ChainId chain = kHomeQueryChain;
+  int clients = 20;
+  SimDuration duration = 2 * kSecond;
+  SimDuration warmup = 300 * kMillisecond;
+};
+struct BoutiqueResult {
+  double rps = 0.0;
+  double mean_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  // Worker-side data-plane CPU (engines, pollers, portals, scheduler cores),
+  // in cores; function cores are excluded since the app is identical across
+  // systems. DPU cores are the DNE's two wimpy cores.
+  double dataplane_cpu_cores = 0.0;
+  double dpu_cores = 0.0;
+  uint64_t errors = 0;
+};
+BoutiqueResult RunBoutique(const CostModel& cost, const BoutiqueOptions& options);
+
+}  // namespace nadino
+
+#endif  // SRC_CORE_EXPERIMENTS_H_

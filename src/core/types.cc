@@ -1,0 +1,21 @@
+#include "src/core/types.h"
+
+namespace nadino {
+
+std::string OwnerId::ToString() const {
+  switch (kind) {
+    case Kind::kNone:
+      return "none";
+    case Kind::kFunction:
+      return "function:" + std::to_string(id);
+    case Kind::kEngine:
+      return "engine:" + std::to_string(id);
+    case Kind::kRnic:
+      return "rnic:" + std::to_string(id);
+    case Kind::kExternal:
+      return "external:" + std::to_string(id);
+  }
+  return "invalid";
+}
+
+}  // namespace nadino

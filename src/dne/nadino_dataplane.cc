@@ -1,0 +1,140 @@
+#include "src/dne/nadino_dataplane.h"
+
+#include "src/runtime/message_header.h"
+
+namespace nadino {
+
+NadinoDataPlane::NadinoDataPlane(Simulator* sim, const CostModel* cost, RoutingTable* routing,
+                                 const Options& options)
+    : sim_(sim), cost_(cost), routing_(routing), options_(options), skmsg_(sim, cost) {}
+
+NetworkEngine* NadinoDataPlane::AddWorkerNode(Node* node) {
+  NetworkEngine::Config config;
+  config.kind = options_.engine_kind;
+  config.engine_id = next_engine_id_++;
+  config.on_path = options_.on_path;
+  config.use_dwrr = options_.use_dwrr;
+  config.dwrr_quantum_bytes = options_.dwrr_quantum_bytes;
+  config.extra_per_op = options_.extra_engine_cost;
+  config.comch_variant = options_.comch_variant;
+  config.initial_recv_buffers = options_.initial_recv_buffers;
+  auto engine = std::make_unique<NetworkEngine>(sim_, cost_, node, routing_, config);
+  NetworkEngine* raw = engine.get();
+  engines_[node->id()] = std::move(engine);
+  return raw;
+}
+
+void NadinoDataPlane::AttachTenant(TenantId tenant, uint32_t weight) {
+  tenants_.emplace_back(tenant, weight);
+  for (auto& [node, engine] : engines_) {
+    engine->AttachTenant(tenant, weight);
+  }
+  for (auto& [node_a, engine_a] : engines_) {
+    for (auto& [node_b, engine_b] : engines_) {
+      if (node_a != node_b) {
+        engine_a->PrewarmPeer(engine_b.get(), tenant, options_.prewarm_connections);
+      }
+    }
+  }
+}
+
+void NadinoDataPlane::Start() {
+  for (auto& [node, engine] : engines_) {
+    engine->Start();
+  }
+}
+
+NetworkEngine* NadinoDataPlane::EngineAt(NodeId node) {
+  const auto it = engines_.find(node);
+  return it == engines_.end() ? nullptr : it->second.get();
+}
+
+std::string NadinoDataPlane::name() const {
+  std::string base =
+      options_.engine_kind == NetworkEngine::Kind::kDne ? "NADINO (DNE)" : "NADINO (CNE)";
+  if (options_.on_path) {
+    base += " [on-path]";
+  }
+  if (!options_.use_dwrr) {
+    base += " [FCFS]";
+  }
+  return base;
+}
+
+void NadinoDataPlane::RegisterFunction(FunctionRuntime* function) {
+  functions_[function->id()] = function;
+  routing_->Place(function->id(), function->node()->id());
+  NetworkEngine* engine = EngineAt(function->node()->id());
+  if (engine == nullptr) {
+    return;  // Endpoint on a non-worker node (ingress/client pseudo-function).
+  }
+  engine->RegisterLocalFunction(
+      function->id(), function->core(), [engine, function](Buffer* buffer) {
+        // Arriving inter-node payloads: ownership engine -> function, then up
+        // to the application handler.
+        function->pool()->Transfer(buffer, engine->owner_id(), function->owner_id());
+        function->Deliver(buffer);
+      });
+}
+
+bool NadinoDataPlane::Send(FunctionRuntime* src, Buffer* buffer) {
+  const std::optional<MessageHeader> header = ReadMessage(*buffer);
+  if (!header.has_value()) {
+    ++stats_.drops;
+    return false;
+  }
+  ++stats_.sends;
+  const NodeId dst_node = routing_->NodeOf(header->dst);
+  if (dst_node == kInvalidNode) {
+    ++stats_.drops;
+    return false;
+  }
+  if (dst_node == src->node()->id()) {
+    const auto it = functions_.find(header->dst);
+    if (it == functions_.end()) {
+      ++stats_.drops;
+      return false;
+    }
+    return SendIntraNode(src, it->second, buffer);
+  }
+  return SendInterNode(src, buffer, header->dst);
+}
+
+bool NadinoDataPlane::SendIntraNode(FunctionRuntime* src, FunctionRuntime* dst,
+                                    Buffer* buffer) {
+  BufferPool* pool = src->pool();
+  // Token passing (section 3.5.1): exclusive ownership moves producer ->
+  // consumer; the sem_post cost rides on the producer's core.
+  if (!pool->Transfer(buffer, src->owner_id(), dst->owner_id())) {
+    ++stats_.drops;
+    return false;
+  }
+  ++stats_.intra_node;
+  src->core()->Consume(cost_->token_post_cost);
+  const BufferDescriptor desc = pool->MakeDescriptor(*buffer, dst->id());
+  skmsg_.Send(src->core(), dst->core(), desc, [dst, pool](const BufferDescriptor& d) {
+    Buffer* b = pool->Resolve(d);
+    if (b != nullptr) {
+      dst->Deliver(b);
+    }
+  });
+  return true;
+}
+
+bool NadinoDataPlane::SendInterNode(FunctionRuntime* src, Buffer* buffer, FunctionId dst) {
+  NetworkEngine* engine = EngineAt(src->node()->id());
+  if (engine == nullptr) {
+    ++stats_.drops;
+    return false;
+  }
+  BufferPool* pool = src->pool();
+  if (!pool->Transfer(buffer, src->owner_id(), engine->owner_id())) {
+    ++stats_.drops;
+    return false;
+  }
+  ++stats_.inter_node;
+  engine->SendFromFunction(src, pool->MakeDescriptor(*buffer, dst));
+  return true;
+}
+
+}  // namespace nadino

@@ -1,0 +1,70 @@
+// NADINO's data plane: the unified I/O library over intra-node shared memory
+// (SK_MSG descriptor IPC + token-passing ownership) and inter-node two-sided
+// RDMA proxied by the per-node network engine (DNE on the DPU, or the CNE
+// baseline on a host core).
+
+#ifndef SRC_DNE_NADINO_DATAPLANE_H_
+#define SRC_DNE_NADINO_DATAPLANE_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/dne/network_engine.h"
+#include "src/runtime/dataplane.h"
+#include "src/runtime/routing_table.h"
+
+namespace nadino {
+
+class NadinoDataPlane : public DataPlane {
+ public:
+  struct Options {
+    NetworkEngine::Kind engine_kind = NetworkEngine::Kind::kDne;
+    bool on_path = false;
+    bool use_dwrr = true;
+    SimDuration extra_engine_cost = 0;
+    ComchVariant comch_variant = ComchVariant::kEvent;
+    int prewarm_connections = 2;
+    int initial_recv_buffers = 256;
+    uint32_t dwrr_quantum_bytes = 2048;
+  };
+
+  NadinoDataPlane(Simulator* sim, const CostModel* cost, RoutingTable* routing,
+                  const Options& options);
+
+  // Creates this worker node's network engine. Call before registering the
+  // node's functions.
+  NetworkEngine* AddWorkerNode(Node* node);
+
+  // Attaches `tenant` (weight for DWRR) on every engine, and pre-establishes
+  // RC connections between every pair of worker nodes for it.
+  void AttachTenant(TenantId tenant, uint32_t weight);
+
+  // Starts all engines (CQ handling + receive-buffer replenishers).
+  void Start();
+
+  void RegisterFunction(FunctionRuntime* function) override;
+  bool Send(FunctionRuntime* src, Buffer* buffer) override;
+  std::string name() const override;
+
+  NetworkEngine* EngineAt(NodeId node);
+  RoutingTable* routing() { return routing_; }
+
+ private:
+  bool SendIntraNode(FunctionRuntime* src, FunctionRuntime* dst, Buffer* buffer);
+  bool SendInterNode(FunctionRuntime* src, Buffer* buffer, FunctionId dst);
+
+  Simulator* sim_;
+  const CostModel* cost_;
+  RoutingTable* routing_;
+  Options options_;
+  SkMsgChannel skmsg_;
+  std::map<NodeId, std::unique_ptr<NetworkEngine>> engines_;
+  std::map<FunctionId, FunctionRuntime*> functions_;
+  std::vector<std::pair<TenantId, uint32_t>> tenants_;
+  uint32_t next_engine_id_ = 1000;
+};
+
+}  // namespace nadino
+
+#endif  // SRC_DNE_NADINO_DATAPLANE_H_

@@ -1,0 +1,366 @@
+#include "src/dne/network_engine.h"
+
+#include <cassert>
+#include <utility>
+
+#include "src/runtime/message_header.h"
+
+namespace nadino {
+
+NetworkEngine::NetworkEngine(Simulator* sim, const CostModel* cost, Node* node,
+                             RoutingTable* routing, const Config& config)
+    : sim_(sim),
+      cost_(cost),
+      node_(node),
+      routing_(routing),
+      config_(config),
+      connections_(sim, cost, &node->rnic()),
+      mmap_table_(&exporter_) {
+  if (config_.kind == Kind::kDne) {
+    assert(node_->dpu() != nullptr && "DNE requires a DPU on the node");
+    worker_core_ = &node_->dpu()->core(config_.worker_core_index);
+    core_thread_core_ = &node_->dpu()->core(config_.core_thread_index);
+    // Engine-managed polling: the run-to-completion loop sweeps the Comch
+    // endpoints itself, so per-message channel handling is charged inside the
+    // scheduled TX/RX stages (and thus governed by the DWRR policy).
+    comch_ = std::make_unique<ComchServer>(sim, cost, worker_core_,
+                                           /*engine_managed_polling=*/true);
+    comch_->SetReceiver([this](FunctionId /*src*/, const BufferDescriptor& desc) {
+      IngestTx(desc, ComchDpuCost());
+    });
+  } else {
+    worker_core_ = node_->AllocateCore();
+    core_thread_core_ = worker_core_;  // The CNE is a single busy CPU core.
+    skmsg_ = std::make_unique<SkMsgChannel>(sim, cost);
+  }
+  // Run-to-completion busy-poll loop: the core reads as 100% utilized.
+  worker_core_->set_pinned(true);
+  if (config_.use_priority) {
+    scheduler_ = std::make_unique<PriorityScheduler>();
+  } else if (config_.use_dwrr) {
+    scheduler_ = std::make_unique<DwrrScheduler>(config_.dwrr_quantum_bytes);
+  } else {
+    scheduler_ = std::make_unique<FcfsScheduler>();
+  }
+}
+
+bool NetworkEngine::AttachTenant(TenantId tenant, uint32_t weight) {
+  BufferPool* pool = node_->tenants().PoolOfTenant(tenant);
+  if (pool == nullptr) {
+    return false;
+  }
+  if (config_.kind == Kind::kDne) {
+    // Cross-processor mmap handshake (section 3.4.2): the host agent exports,
+    // the descriptor crosses the Comch, the DNE imports and registers with
+    // the RNIC. NADINO pools carry *no* remote-access rights: all inter-node
+    // traffic is two-sided, so peers can never write into this pool directly.
+    const MmapExportDescriptor export_desc = exporter_.Export(pool, true, true);
+    if (!mmap_table_.CreateFromExport(export_desc, pool)) {
+      return false;
+    }
+    if (!mmap_table_.RegisterWithRnic(pool->id(), &node_->rnic(), kMrLocal)) {
+      return false;
+    }
+  } else {
+    node_->rnic().mr_table().Register(pool, kMrLocal);
+  }
+  tenant_pools_[tenant] = pool;
+  scheduler_->SetWeight(tenant, weight);
+  PostRecvBuffers(tenant, static_cast<uint64_t>(config_.initial_recv_buffers));
+  return true;
+}
+
+void NetworkEngine::PrewarmPeer(NetworkEngine* peer, TenantId tenant, int num_connections) {
+  connections_.Prewarm(&peer->node()->rnic(), tenant, num_connections);
+}
+
+void NetworkEngine::PrewarmRemoteRnic(RdmaEngine* remote, TenantId tenant, int num_connections) {
+  connections_.Prewarm(remote, tenant, num_connections);
+}
+
+void NetworkEngine::RegisterLocalFunction(FunctionId fn, FifoResource* fn_core,
+                                          DeliverFn deliver) {
+  endpoints_[fn] = LocalEndpoint{fn_core, std::move(deliver), false};
+  if (config_.kind == Kind::kDne) {
+    comch_->ConnectEndpoint(fn, config_.comch_variant, fn_core,
+                            [this, fn](const BufferDescriptor& desc) {
+                              const auto it = endpoints_.find(fn);
+                              if (it == endpoints_.end()) {
+                                return;
+                              }
+                              BufferPool* pool = node_->tenants().PoolById(desc.pool);
+                              Buffer* buffer = pool == nullptr ? nullptr : pool->Resolve(desc);
+                              if (buffer != nullptr && it->second.deliver) {
+                                it->second.deliver(buffer);
+                              }
+                            });
+  }
+}
+
+void NetworkEngine::SetEngineEndpoint(FunctionId fn, DeliverFn deliver) {
+  endpoints_[fn] = LocalEndpoint{nullptr, std::move(deliver), true};
+}
+
+void NetworkEngine::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  node_->rnic().cq().SetHandler([this](const Completion& cqe) { OnCompletion(cqe); });
+  sim_->Schedule(config_.replenish_period, [this]() { ReplenishTick(); });
+}
+
+void NetworkEngine::SendFromFunction(FunctionRuntime* src, const BufferDescriptor& desc) {
+  if (config_.kind == Kind::kDne) {
+    comch_->SendToDpu(src->id(), desc);
+    return;
+  }
+  // CNE ingestion over SK_MSG: the shared engine pays the per-message
+  // interrupt cost — the mechanism that throttles it at high concurrency.
+  skmsg_->Send(src->core(), worker_core_, desc,
+               [this](const BufferDescriptor& d) { IngestTx(d); },
+               /*engine_endpoint=*/true);
+}
+
+bool NetworkEngine::SendFromEngine(TenantId tenant, Buffer* buffer) {
+  const auto it = tenant_pools_.find(tenant);
+  if (it == tenant_pools_.end() || buffer == nullptr) {
+    return false;
+  }
+  const std::optional<MessageHeader> header = ReadMessage(*buffer);
+  if (!header.has_value()) {
+    return false;
+  }
+  IngestTx(it->second->MakeDescriptor(*buffer, header->dst));
+  return true;
+}
+
+SimDuration NetworkEngine::ComchDpuCost() const {
+  return comch_ ? comch_->DpuSideCost(config_.comch_variant) : 0;
+}
+
+void NetworkEngine::IngestTx(const BufferDescriptor& desc, SimDuration ingest_cost) {
+  BufferPool* pool = node_->tenants().PoolById(desc.pool);
+  Buffer* buffer = pool == nullptr ? nullptr : pool->Resolve(desc);
+  if (buffer == nullptr || !(buffer->owner == owner_id())) {
+    ++stats_.unroutable;
+    return;
+  }
+  TxItem item;
+  item.tenant = pool->tenant();
+  item.desc = desc;
+  item.bytes = buffer->length + static_cast<uint32_t>(kWireHeaderBytes);
+  item.ingest_cost = ingest_cost;
+  // Tenant shaping policy (token bucket): messages over the tenant's rate are
+  // held back at admission; fairness scheduling applies below the caps.
+  const SimDuration shaping_delay =
+      rate_limiter_.AdmissionDelay(item.tenant, item.bytes, sim_->now());
+  if (shaping_delay > 0) {
+    sim_->Schedule(shaping_delay, [this, item = std::move(item)]() mutable {
+      scheduler_->Enqueue(std::move(item));
+      PumpTx();
+    });
+    return;
+  }
+  scheduler_->Enqueue(std::move(item));
+  PumpTx();
+}
+
+void NetworkEngine::PumpTx() {
+  if (tx_scheduled_) {
+    return;
+  }
+  TxItem item;
+  if (!scheduler_->Dequeue(&item)) {
+    return;
+  }
+  tx_scheduled_ = true;
+  const SimDuration cost = cost_->dne_loop_iteration + cost_->dne_sched_op +
+                           cost_->dne_tx_stage + config_.extra_per_op + item.ingest_cost;
+  worker_core_->Submit(cost, [this, item]() {
+    ExecuteTx(item);
+    tx_scheduled_ = false;
+    PumpTx();
+  });
+}
+
+void NetworkEngine::ExecuteTx(const TxItem& item) {
+  BufferPool* pool = node_->tenants().PoolById(item.desc.pool);
+  Buffer* buffer = pool == nullptr ? nullptr : pool->Resolve(item.desc);
+  if (buffer == nullptr) {
+    ++stats_.unroutable;
+    return;
+  }
+  const NodeId dst_node = routing_->NodeOf(item.desc.dst_function);
+  if (dst_node == kInvalidNode) {
+    ++stats_.unroutable;
+    pool->Put(buffer, owner_id());
+    return;
+  }
+  if (dst_node == node_->id()) {
+    // Destination is co-located after all (e.g. rescheduled function):
+    // short-circuit through the local delivery path.
+    DeliverLocal(item.desc.dst_function, buffer, pool);
+    return;
+  }
+  const ConnectionManager::Acquired acquired = connections_.Acquire(dst_node, item.tenant);
+  if (acquired.qp == 0) {
+    ++stats_.unroutable;
+    pool->Put(buffer, owner_id());
+    return;
+  }
+  auto post = [this, item, buffer, pool, qp = acquired.qp]() {
+    PostToRnic(item, buffer, pool, qp);
+  };
+  auto maybe_dma = [this, buffer, post = std::move(post)]() {
+    if (config_.on_path) {
+      // On-path: the payload is staged host -> SoC memory through the slow
+      // SoC DMA engine before the RNIC can transmit it (Fig. 2 (1)).
+      node_->dpu()->SocDmaTransfer(buffer->length, post);
+    } else {
+      post();
+    }
+  };
+  if (acquired.control_cost > 0) {
+    worker_core_->Submit(acquired.control_cost, std::move(maybe_dma));
+  } else {
+    maybe_dma();
+  }
+}
+
+void NetworkEngine::PostToRnic(const TxItem& item, Buffer* buffer, BufferPool* pool, QpNum qp) {
+  if (!pool->Transfer(buffer, owner_id(), OwnerId::Rnic(node_->id()))) {
+    ++stats_.unroutable;
+    return;
+  }
+  const uint64_t wr_id = next_wr_id_++;
+  in_flight_[wr_id] = InFlightSend{buffer, pool, qp};
+  node_->rnic().PostSend(qp, *buffer, wr_id, item.desc.dst_function);
+  ++stats_.tx_messages;
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceCategory::kEngine, config_.engine_id, "tx_post",
+                    item.desc.dst_function, buffer->length);
+  }
+}
+
+void NetworkEngine::OnCompletion(const Completion& cqe) {
+  if (cqe.opcode == RdmaOpcode::kRecv) {
+    const SimDuration cost =
+        cost_->dne_loop_iteration + cost_->dne_rx_stage + config_.extra_per_op;
+    worker_core_->Submit(cost, [this, cqe]() { HandleRecvCompletion(cqe); });
+    return;
+  }
+  if (cqe.opcode == RdmaOpcode::kSend) {
+    worker_core_->Submit(cost_->dne_loop_iteration, [this, cqe]() {
+      const auto it = in_flight_.find(cqe.wr_id);
+      if (it == in_flight_.end()) {
+        return;
+      }
+      // The RNIC is done reading the source buffer: recycle it to the pool.
+      it->second.pool->Put(it->second.buffer, OwnerId::Rnic(node_->id()));
+      connections_.NoteIdle(it->second.qp);
+      in_flight_.erase(it);
+      ++stats_.send_completions;
+    });
+  }
+}
+
+void NetworkEngine::HandleRecvCompletion(const Completion& cqe) {
+  Buffer* registered = rbr_.Consume(cqe.wr_id, cqe.tenant);
+  if (registered == nullptr || registered != cqe.buffer) {
+    ++stats_.unroutable;
+    return;
+  }
+  ++stats_.rbr_hits;
+  ++stats_.rx_messages;
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceCategory::kEngine, config_.engine_id, "rx_deliver", cqe.imm,
+                    cqe.byte_len);
+  }
+  const auto pool_it = tenant_pools_.find(cqe.tenant);
+  if (pool_it == tenant_pools_.end()) {
+    ++stats_.unroutable;
+    return;
+  }
+  BufferPool* pool = pool_it->second;
+  pool->Transfer(registered, OwnerId::Rnic(node_->id()), owner_id());
+  const FunctionId dst = cqe.imm;
+  if (config_.on_path) {
+    // On-path: the RNIC deposited into SoC memory; stage SoC -> host pool.
+    node_->dpu()->SocDmaTransfer(registered->length,
+                                 [this, dst, registered, pool]() {
+                                   DeliverLocal(dst, registered, pool);
+                                 });
+    return;
+  }
+  DeliverLocal(dst, registered, pool);
+}
+
+void NetworkEngine::DeliverLocal(FunctionId fn, Buffer* buffer, BufferPool* pool) {
+  const auto it = endpoints_.find(fn);
+  if (it == endpoints_.end()) {
+    ++stats_.unroutable;
+    pool->Put(buffer, owner_id());
+    return;
+  }
+  if (it->second.engine_endpoint) {
+    it->second.deliver(buffer);
+    return;
+  }
+  const BufferDescriptor desc = pool->MakeDescriptor(*buffer, fn);
+  if (config_.kind == Kind::kDne) {
+    // Charge the Comch channel handling on the worker loop, then push the
+    // descriptor toward the host function.
+    worker_core_->Submit(ComchDpuCost(), [this, fn, desc]() { comch_->SendToHost(fn, desc); });
+    return;
+  }
+  skmsg_->Send(worker_core_, it->second.fn_core, desc,
+               [this, fn](const BufferDescriptor& d) {
+                 const auto ep = endpoints_.find(fn);
+                 if (ep == endpoints_.end()) {
+                   return;
+                 }
+                 BufferPool* p = node_->tenants().PoolById(d.pool);
+                 Buffer* b = p == nullptr ? nullptr : p->Resolve(d);
+                 if (b != nullptr && ep->second.deliver) {
+                   ep->second.deliver(b);
+                 }
+               });
+}
+
+void NetworkEngine::ReplenishTick() {
+  // Core-thread work (section 3.5.2): post as many fresh receive buffers as
+  // the RX stage consumed since the last tick, per tenant.
+  SimDuration work = 300;
+  for (auto& [tenant, pool] : tenant_pools_) {
+    const uint64_t due = rbr_.TakeConsumedCount(tenant) + replenish_debt_[tenant];
+    if (due > 0) {
+      const uint64_t posted = PostRecvBuffers(tenant, due);
+      work += static_cast<SimDuration>(150 * posted);
+      replenish_debt_[tenant] = due - posted;  // Retry the rest next tick.
+    }
+  }
+  core_thread_core_->Consume(work);
+  sim_->Schedule(config_.replenish_period, [this]() { ReplenishTick(); });
+}
+
+uint64_t NetworkEngine::PostRecvBuffers(TenantId tenant, uint64_t count) {
+  BufferPool* pool = tenant_pools_[tenant];
+  for (uint64_t i = 0; i < count; ++i) {
+    Buffer* buffer = pool->Get(owner_id());
+    if (buffer == nullptr) {
+      ++stats_.replenish_failures;
+      return i;
+    }
+    const uint64_t wr_id = next_wr_id_++;
+    if (!node_->rnic().PostRecvBuffer(pool, buffer, owner_id(), wr_id)) {
+      pool->Put(buffer, owner_id());
+      ++stats_.replenish_failures;
+      return i;
+    }
+    rbr_.Insert(wr_id, buffer, tenant);
+  }
+  return count;
+}
+
+}  // namespace nadino

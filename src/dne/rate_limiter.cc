@@ -1,0 +1,89 @@
+#include "src/dne/rate_limiter.h"
+
+#include <algorithm>
+
+namespace nadino {
+
+TokenBucket::TokenBucket(double rate_bps, uint64_t burst_bytes)
+    : rate_bps_(rate_bps), burst_bytes_(burst_bytes),
+      tokens_(static_cast<double>(burst_bytes)) {}
+
+double TokenBucket::AvailableTokens(SimTime now) const {
+  const double refilled =
+      tokens_ + rate_bps_ / 8.0 * ToSeconds(now - updated_at_);
+  return std::min(refilled, static_cast<double>(burst_bytes_));
+}
+
+SimTime TokenBucket::ReserveSendTime(uint64_t bytes, SimTime now) {
+  tokens_ = AvailableTokens(now);
+  updated_at_ = now;
+  tokens_ -= static_cast<double>(bytes);
+  if (tokens_ >= 0.0) {
+    return now;
+  }
+  // The deficit refills at rate_bps: the message may pass once it has.
+  const double deficit_seconds = -tokens_ * 8.0 / rate_bps_;
+  return now + static_cast<SimDuration>(deficit_seconds * kSecond);
+}
+
+void TenantRateLimiter::SetRate(TenantId tenant, double rate_bps, uint64_t burst_bytes) {
+  buckets_.erase(tenant);
+  buckets_.emplace(tenant, TokenBucket(rate_bps, burst_bytes));
+}
+
+void TenantRateLimiter::ClearRate(TenantId tenant) { buckets_.erase(tenant); }
+
+SimDuration TenantRateLimiter::AdmissionDelay(TenantId tenant, uint64_t bytes, SimTime now) {
+  const auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    ++stats_.admitted;
+    return 0;
+  }
+  const SimTime send_at = it->second.ReserveSendTime(bytes, now);
+  if (send_at <= now) {
+    ++stats_.admitted;
+    return 0;
+  }
+  ++stats_.delayed;
+  stats_.total_delay += send_at - now;
+  return send_at - now;
+}
+
+void PriorityScheduler::SetWeight(TenantId tenant, uint32_t weight) {
+  priority_of_[tenant] = weight;
+}
+
+void PriorityScheduler::Enqueue(TxItem item) {
+  const auto it = priority_of_.find(item.tenant);
+  const uint32_t priority = it == priority_of_.end() ? 100 : it->second;
+  classes_[priority].push_back(std::move(item));
+  ++pending_;
+}
+
+bool PriorityScheduler::Dequeue(TxItem* out) {
+  for (auto it = classes_.begin(); it != classes_.end(); ++it) {
+    if (it->second.empty()) {
+      continue;
+    }
+    *out = std::move(it->second.front());
+    it->second.pop_front();
+    --pending_;
+    ++served_[out->tenant];
+    // Anything left in lower classes was bypassed by this dequeue.
+    for (auto lower = std::next(it); lower != classes_.end(); ++lower) {
+      if (!lower->second.empty()) {
+        ++bypass_events_;
+        break;
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+uint64_t PriorityScheduler::Served(TenantId tenant) const {
+  const auto it = served_.find(tenant);
+  return it == served_.end() ? 0 : it->second;
+}
+
+}  // namespace nadino

@@ -1,0 +1,114 @@
+#include "src/dpu/comch.h"
+
+#include <utility>
+
+namespace nadino {
+
+ComchServer::ComchServer(Simulator* sim, const CostModel* cost, FifoResource* dpu_core,
+                         bool engine_managed_polling)
+    : sim_(sim), cost_(cost), dpu_core_(dpu_core),
+      engine_managed_polling_(engine_managed_polling) {}
+
+ComchServer::Costs ComchServer::CostsFor(ComchVariant variant) const {
+  switch (variant) {
+    case ComchVariant::kEvent:
+      return {cost_->comch_e_host_send, cost_->comch_e_host_recv, cost_->comch_e_channel,
+              cost_->comch_e_dpu_side};
+    case ComchVariant::kPolling:
+      return {cost_->comch_p_host_side, cost_->comch_p_host_side, cost_->comch_p_channel,
+              cost_->comch_p_dpu_side +
+                  cost_->comch_p_progress_sweep_per_endpoint * polling_endpoints_};
+    case ComchVariant::kTcp:
+      return {cost_->comch_tcp_host_side, cost_->comch_tcp_host_side, cost_->comch_tcp_channel,
+              cost_->comch_tcp_dpu_side};
+  }
+  return {};
+}
+
+void ComchServer::ConnectEndpoint(FunctionId fn, ComchVariant variant, FifoResource* host_core,
+                                  HostReceiver host_receiver) {
+  Endpoint ep;
+  ep.variant = variant;
+  ep.host_core = host_core;
+  ep.host_receiver = std::move(host_receiver);
+  if (variant == ComchVariant::kPolling) {
+    ++polling_endpoints_;
+    host_core->set_pinned(true);  // Busy polling ties up the function's core.
+  }
+  endpoints_[fn] = std::move(ep);
+}
+
+void ComchServer::Disconnect(FunctionId fn) {
+  const auto it = endpoints_.find(fn);
+  if (it == endpoints_.end()) {
+    return;
+  }
+  if (it->second.variant == ComchVariant::kPolling) {
+    --polling_endpoints_;
+    it->second.host_core->set_pinned(false);
+  }
+  endpoints_.erase(it);
+}
+
+void ComchServer::SendToDpu(FunctionId fn, const BufferDescriptor& desc) {
+  const auto it = endpoints_.find(fn);
+  if (it == endpoints_.end()) {
+    ++dropped_;
+    return;
+  }
+  ++to_dpu_;
+  const Costs costs = CostsFor(it->second.variant);
+  it->second.host_core->Submit(costs.host_send, [this, fn, desc, costs]() {
+    sim_->Schedule(costs.channel, [this, fn, desc, costs]() {
+      if (engine_managed_polling_) {
+        // The owning engine discovers the descriptor on its next loop pass
+        // and charges the handling cost within its scheduled stage.
+        if (receiver_) {
+          receiver_(fn, desc);
+        }
+        return;
+      }
+      dpu_core_->Submit(costs.dpu_side, [this, fn, desc]() {
+        if (receiver_) {
+          receiver_(fn, desc);
+        }
+      });
+    });
+  });
+}
+
+void ComchServer::SendToHost(FunctionId fn, const BufferDescriptor& desc) {
+  const auto it = endpoints_.find(fn);
+  if (it == endpoints_.end()) {
+    ++dropped_;
+    return;
+  }
+  ++to_host_;
+  const Costs costs = CostsFor(it->second.variant);
+  // Re-resolve the endpoint at each stage: it may be Disconnect()ed while the
+  // message is in flight, in which case the descriptor is dropped.
+  auto after_dpu_side = [this, fn, desc, costs]() {
+    sim_->Schedule(costs.channel, [this, fn, desc, costs]() {
+      const auto ep_it = endpoints_.find(fn);
+      if (ep_it == endpoints_.end()) {
+        ++dropped_;
+        return;
+      }
+      ep_it->second.host_core->Submit(costs.host_recv, [this, fn, desc]() {
+        const auto final_it = endpoints_.find(fn);
+        if (final_it == endpoints_.end() || !final_it->second.host_receiver) {
+          ++dropped_;
+          return;
+        }
+        final_it->second.host_receiver(desc);
+      });
+    });
+  };
+  if (engine_managed_polling_) {
+    after_dpu_side();  // The engine already charged the DPU-side handling.
+    return;
+  }
+  dpu_core_->Submit(costs.dpu_side, std::move(after_dpu_side));
+}
+
+}  // namespace nadino

@@ -1,0 +1,121 @@
+// Cross-processor communication channel between host functions and the DNE.
+//
+// Models DOCA Comch (paper section 3.5.4) in its two variants plus the TCP
+// baseline the paper benchmarks in Fig. 9:
+//   * Comch-E — event-driven send/recv over blocking epoll: no pinned cores,
+//     moderate per-message cost; NADINO's choice for dense multi-tenancy.
+//   * Comch-P — producer/consumer ring with busy polling: lowest latency but
+//     pins one host core per function, and the DOCA progress engine's
+//     internal epoll_wait costs the single-core DNE time per *endpoint*,
+//     which overloads it beyond ~6 functions.
+//   * TCP — descriptors over the kernel stack (PCIe netdev), the slow path.
+//
+// Only 16-byte buffer descriptors travel here; payloads stay in the
+// cross-processor shared memory pool. The server side may Disconnect() a
+// misbehaving tenant's endpoint — the isolation lever the paper contrasts
+// with raw intra-node RDMA (section 3.5.4).
+
+#ifndef SRC_DPU_COMCH_H_
+#define SRC_DPU_COMCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "src/core/calibration.h"
+#include "src/core/types.h"
+#include "src/mem/buffer.h"
+#include "src/sim/resource.h"
+#include "src/sim/simulator.h"
+
+namespace nadino {
+
+enum class ComchVariant : uint8_t {
+  kEvent,    // Comch-E
+  kPolling,  // Comch-P
+  kTcp,      // Kernel TCP baseline
+};
+
+class ComchServer {
+ public:
+  // Receives (function, descriptor) messages after DPU-side processing.
+  using ServerReceiver = std::function<void(FunctionId, const BufferDescriptor&)>;
+  using HostReceiver = std::function<void(const BufferDescriptor&)>;
+
+  // `dpu_core` is the DNE core that executes channel handling; costs given in
+  // host time are scaled by that core's speed factor automatically.
+  //
+  // With `engine_managed_polling` set, the server does NOT charge the
+  // DPU-side handling cost itself: the owning engine busy-polls the endpoints
+  // inside its run-to-completion event loop (section 3.5.4) and accounts for
+  // the per-message channel handling as part of its scheduled TX/RX stages.
+  // This keeps per-tenant DWRR in control of *all* per-message engine work.
+  ComchServer(Simulator* sim, const CostModel* cost, FifoResource* dpu_core,
+              bool engine_managed_polling = false);
+
+  // DPU-side per-message handling cost (host time) for this server's
+  // configuration — what an engine-managed owner must charge per message.
+  SimDuration DpuSideCost(ComchVariant variant) const { return CostsFor(variant).dpu_side; }
+
+  ComchServer(const ComchServer&) = delete;
+  ComchServer& operator=(const ComchServer&) = delete;
+
+  void SetReceiver(ServerReceiver receiver) { receiver_ = std::move(receiver); }
+
+  // Registers a host-side endpoint for `fn`. `host_core` runs the function's
+  // send/receive costs; with kPolling it becomes a pinned (busy-poll) core.
+  void ConnectEndpoint(FunctionId fn, ComchVariant variant, FifoResource* host_core,
+                       HostReceiver host_receiver);
+
+  // Severs a tenant function's endpoint; subsequent sends are dropped and
+  // counted (the DNE's defense against misbehaving tenants).
+  void Disconnect(FunctionId fn);
+
+  bool IsConnected(FunctionId fn) const { return endpoints_.count(fn) > 0; }
+
+  // Host -> DPU: called from function context. Charges the function's core,
+  // the channel latency, then DPU-side processing before handing the
+  // descriptor to the server receiver.
+  void SendToDpu(FunctionId fn, const BufferDescriptor& desc);
+
+  // DPU -> host: called from DNE context. Charges DPU-side processing, the
+  // channel, then the function-side receive cost before invoking the host
+  // receiver.
+  void SendToHost(FunctionId fn, const BufferDescriptor& desc);
+
+  uint64_t messages_to_dpu() const { return to_dpu_; }
+  uint64_t messages_to_host() const { return to_host_; }
+  uint64_t dropped() const { return dropped_; }
+  int polling_endpoints() const { return polling_endpoints_; }
+
+ private:
+  struct Endpoint {
+    ComchVariant variant = ComchVariant::kEvent;
+    FifoResource* host_core = nullptr;
+    HostReceiver host_receiver;
+  };
+
+  struct Costs {
+    SimDuration host_send = 0;
+    SimDuration host_recv = 0;
+    SimDuration channel = 0;
+    SimDuration dpu_side = 0;  // Host time; includes the progress sweep.
+  };
+
+  Costs CostsFor(ComchVariant variant) const;
+
+  Simulator* sim_;
+  const CostModel* cost_;
+  FifoResource* dpu_core_;
+  bool engine_managed_polling_;
+  ServerReceiver receiver_;
+  std::map<FunctionId, Endpoint> endpoints_;
+  int polling_endpoints_ = 0;
+  uint64_t to_dpu_ = 0;
+  uint64_t to_host_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace nadino
+
+#endif  // SRC_DPU_COMCH_H_

@@ -1,0 +1,30 @@
+#include "src/dpu/dpu.h"
+
+#include <string>
+#include <utility>
+
+namespace nadino {
+
+Dpu::Dpu(Simulator* sim, const CostModel* cost, NodeId node, int num_cores)
+    : cost_(cost), node_(node), dma_engine_(sim, "soc_dma:" + std::to_string(node)) {
+  cores_.reserve(static_cast<size_t>(num_cores));
+  for (int i = 0; i < num_cores; ++i) {
+    cores_.push_back(std::make_unique<FifoResource>(
+        sim, "dpu_core:" + std::to_string(node) + ":" + std::to_string(i),
+        cost->dpu_speed_factor));
+  }
+}
+
+SimDuration Dpu::SocDmaCost(uint64_t bytes) const {
+  const double bytes_per_ns = cost_->soc_dma_gbps / 8.0;
+  return cost_->soc_dma_base +
+         static_cast<SimDuration>(static_cast<double>(bytes) / bytes_per_ns + 0.5);
+}
+
+void Dpu::SocDmaTransfer(uint64_t bytes, FifoResource::Callback done) {
+  ++soc_dma_transfers_;
+  soc_dma_bytes_ += bytes;
+  dma_engine_.Submit(SocDmaCost(bytes), std::move(done));
+}
+
+}  // namespace nadino

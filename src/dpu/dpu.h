@@ -1,0 +1,63 @@
+// BlueField-2-class DPU SoC model.
+//
+// The DPU contributes three resources the paper's design reasons about:
+//   * wimpy general-purpose ARM cores (A72 @ <=2.5 GHz vs host Xeon @ 3.7 GHz):
+//     modelled as FifoResources with a speed factor > 1;
+//   * a SoC DMA engine for host<->DPU staging: low per-op latency when idle
+//     (2.6 us for 64 B [95]) but poor throughput under concurrency — the
+//     reason on-path offloading loses (section 4.1.1);
+//   * the integrated RNIC, which DMAs at line rate directly into *host*
+//     memory and is modelled separately (src/rdma/rdma_engine.h).
+
+#ifndef SRC_DPU_DPU_H_
+#define SRC_DPU_DPU_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/calibration.h"
+#include "src/core/types.h"
+#include "src/sim/resource.h"
+#include "src/sim/simulator.h"
+
+namespace nadino {
+
+class Dpu {
+ public:
+  Dpu(Simulator* sim, const CostModel* cost, NodeId node, int num_cores = 8);
+
+  Dpu(const Dpu&) = delete;
+  Dpu& operator=(const Dpu&) = delete;
+
+  NodeId node() const { return node_; }
+  int num_cores() const { return static_cast<int>(cores_.size()); }
+
+  // A wimpy ARM core. Jobs submitted here should use *host-CPU-equivalent*
+  // service times; the core's speed factor applies the DPU penalty.
+  FifoResource& core(int i) { return *cores_.at(static_cast<size_t>(i)); }
+
+  // The shared SoC DMA engine (one per DPU; transfers serialize on it).
+  FifoResource& dma_engine() { return dma_engine_; }
+
+  // Queues a host<->SoC staging transfer of `bytes` through the SoC DMA
+  // engine; `done` fires when the data has landed.
+  void SocDmaTransfer(uint64_t bytes, FifoResource::Callback done);
+
+  // Service time of a single SoC DMA transfer when the engine is idle.
+  SimDuration SocDmaCost(uint64_t bytes) const;
+
+  uint64_t soc_dma_transfers() const { return soc_dma_transfers_; }
+  uint64_t soc_dma_bytes() const { return soc_dma_bytes_; }
+
+ private:
+  const CostModel* cost_;
+  NodeId node_;
+  std::vector<std::unique_ptr<FifoResource>> cores_;
+  FifoResource dma_engine_;
+  uint64_t soc_dma_transfers_ = 0;
+  uint64_t soc_dma_bytes_ = 0;
+};
+
+}  // namespace nadino
+
+#endif  // SRC_DPU_DPU_H_

@@ -1,0 +1,43 @@
+#include "src/mem/buffer.h"
+
+#include <algorithm>
+
+namespace nadino {
+
+void Buffer::FillPattern(uint64_t seed, uint32_t payload_length) {
+  length = static_cast<uint32_t>(std::min<size_t>(payload_length, data.size()));
+  uint64_t x = seed ^ 0x9E3779B97F4A7C15ULL;
+  for (uint32_t i = 0; i < length; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    data[i] = static_cast<std::byte>(x >> 56);
+  }
+}
+
+std::array<std::byte, BufferDescriptor::kWireSize> BufferDescriptor::Encode() const {
+  std::array<std::byte, kWireSize> wire{};
+  std::memcpy(wire.data() + 0, &pool, 4);
+  std::memcpy(wire.data() + 4, &buffer_index, 4);
+  std::memcpy(wire.data() + 8, &length, 4);
+  std::memcpy(wire.data() + 12, &dst_function, 4);
+  return wire;
+}
+
+BufferDescriptor BufferDescriptor::Decode(std::span<const std::byte, kWireSize> wire) {
+  BufferDescriptor d;
+  std::memcpy(&d.pool, wire.data() + 0, 4);
+  std::memcpy(&d.buffer_index, wire.data() + 4, 4);
+  std::memcpy(&d.length, wire.data() + 8, 4);
+  std::memcpy(&d.dst_function, wire.data() + 12, 4);
+  return d;
+}
+
+uint64_t Checksum(std::span<const std::byte> bytes) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::byte b : bytes) {
+    h ^= static_cast<uint64_t>(b);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace nadino

@@ -1,0 +1,70 @@
+#include "src/mem/buffer_pool.h"
+
+namespace nadino {
+
+BufferPool::BufferPool(PoolId id, TenantId tenant, size_t buffer_count, size_t buffer_size,
+                       HugepageArena* arena)
+    : id_(id), tenant_(tenant), buffer_size_(buffer_size) {
+  buffers_.resize(buffer_count);
+  free_list_.reserve(buffer_count);
+  for (size_t i = 0; i < buffer_count; ++i) {
+    Buffer& b = buffers_[i];
+    b.pool = id_;
+    b.index = static_cast<uint32_t>(i);
+    b.tenant = tenant_;
+    b.data = arena->Carve(buffer_size);
+    free_list_.push_back(static_cast<uint32_t>(i));
+  }
+}
+
+Buffer* BufferPool::Get(OwnerId owner) {
+  if (free_list_.empty()) {
+    ++stats_.get_failures;
+    return nullptr;
+  }
+  const uint32_t index = free_list_.back();
+  free_list_.pop_back();
+  Buffer& b = buffers_[index];
+  b.owner = owner;
+  b.length = 0;
+  ++stats_.gets;
+  return &b;
+}
+
+bool BufferPool::Put(Buffer* buffer, OwnerId releaser) {
+  if (buffer == nullptr || buffer->pool != id_ || buffer->owner != releaser ||
+      releaser == OwnerId::None()) {
+    ++stats_.ownership_violations;
+    return false;
+  }
+  buffer->owner = OwnerId::None();
+  buffer->length = 0;
+  ++buffer->generation;
+  free_list_.push_back(buffer->index);
+  ++stats_.puts;
+  return true;
+}
+
+bool BufferPool::Transfer(Buffer* buffer, OwnerId from, OwnerId to) {
+  if (buffer == nullptr || buffer->pool != id_ || buffer->owner != from ||
+      from == OwnerId::None() || to == OwnerId::None()) {
+    ++stats_.ownership_violations;
+    return false;
+  }
+  buffer->owner = to;
+  ++stats_.transfers;
+  return true;
+}
+
+Buffer* BufferPool::Resolve(const BufferDescriptor& desc) {
+  if (desc.pool != id_ || desc.buffer_index >= buffers_.size()) {
+    return nullptr;
+  }
+  return &buffers_[desc.buffer_index];
+}
+
+BufferDescriptor BufferPool::MakeDescriptor(const Buffer& buffer, FunctionId dst) const {
+  return BufferDescriptor{buffer.pool, buffer.index, buffer.length, dst};
+}
+
+}  // namespace nadino

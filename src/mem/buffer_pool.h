@@ -1,0 +1,75 @@
+// Pool-based buffer allocation with exclusive-ownership enforcement.
+//
+// Models NADINO's rte_mempool-style fixed-size pool (paper section 3.4):
+// buffers are pre-carved from hugepages, Get/Put replace per-message malloc,
+// and every ownership transition is validated against the exclusive-ownership
+// lifecycle (section 3.5.1). Violations are counted and rejected rather than
+// silently corrupting, so property tests can probe misuse.
+
+#ifndef SRC_MEM_BUFFER_POOL_H_
+#define SRC_MEM_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/mem/buffer.h"
+#include "src/mem/hugepage_arena.h"
+
+namespace nadino {
+
+class BufferPool {
+ public:
+  struct Stats {
+    uint64_t gets = 0;
+    uint64_t puts = 0;
+    uint64_t get_failures = 0;       // Pool exhausted.
+    uint64_t ownership_violations = 0;  // Rejected Put/Transfer attempts.
+    uint64_t transfers = 0;
+  };
+
+  // Carves `buffer_count` buffers of `buffer_size` bytes each from `arena`.
+  BufferPool(PoolId id, TenantId tenant, size_t buffer_count, size_t buffer_size,
+             HugepageArena* arena);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Allocates a free buffer and assigns it to `owner`. Returns nullptr when
+  // the pool is exhausted (callers must back-pressure, never spin-copy).
+  Buffer* Get(OwnerId owner);
+
+  // Recycles a buffer. `releaser` must be the current owner; otherwise the
+  // call is rejected (returns false) and counted as a violation.
+  bool Put(Buffer* buffer, OwnerId releaser);
+
+  // Hands exclusive ownership from `from` to `to`. Rejected unless `from`
+  // matches the current owner.
+  bool Transfer(Buffer* buffer, OwnerId from, OwnerId to);
+
+  // Resolves a descriptor to its buffer; nullptr if the index is out of range
+  // or the descriptor's pool id does not match.
+  Buffer* Resolve(const BufferDescriptor& desc);
+
+  BufferDescriptor MakeDescriptor(const Buffer& buffer, FunctionId dst) const;
+
+  PoolId id() const { return id_; }
+  TenantId tenant() const { return tenant_; }
+  size_t capacity() const { return buffers_.size(); }
+  size_t buffer_size() const { return buffer_size_; }
+  size_t free_count() const { return free_list_.size(); }
+  size_t in_use() const { return buffers_.size() - free_list_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  PoolId id_;
+  TenantId tenant_;
+  size_t buffer_size_;
+  std::vector<Buffer> buffers_;
+  std::vector<uint32_t> free_list_;  // LIFO for cache warmth, like rte_mempool caches.
+  Stats stats_;
+};
+
+}  // namespace nadino
+
+#endif  // SRC_MEM_BUFFER_POOL_H_

@@ -1,0 +1,41 @@
+#include "src/mem/hugepage_arena.h"
+
+namespace nadino {
+
+namespace {
+constexpr size_t kCacheLine = 64;
+constexpr size_t AlignUp(size_t n, size_t a) { return (n + a - 1) / a * a; }
+}  // namespace
+
+void HugepageArena::AddPage() {
+  auto* raw = static_cast<std::byte*>(::operator new[](kHugepageSize,
+                                                       std::align_val_t{kHugepageSize}));
+  pages_.emplace_back(raw);
+  offset_in_page_ = 0;
+}
+
+std::span<std::byte> HugepageArena::Carve(size_t size) {
+  const size_t aligned = AlignUp(size == 0 ? 1 : size, kCacheLine);
+  if (aligned > kHugepageSize) {
+    // Oversized carve: give it dedicated page-multiple storage. Buffers larger
+    // than a hugepage are not used by NADINO, but the arena stays safe.
+    const size_t pages = AlignUp(aligned, kHugepageSize) / kHugepageSize;
+    auto* raw = static_cast<std::byte*>(::operator new[](pages * kHugepageSize,
+                                                         std::align_val_t{kHugepageSize}));
+    for (size_t i = 0; i < pages; ++i) {
+      pages_.emplace_back(i == 0 ? raw : nullptr);
+    }
+    offset_in_page_ = kHugepageSize;  // Do not carve further from these pages.
+    bytes_carved_ += aligned;
+    return {raw, aligned};
+  }
+  if (offset_in_page_ + aligned > kHugepageSize) {
+    AddPage();
+  }
+  std::byte* p = pages_.back().get() + offset_in_page_;
+  offset_in_page_ += aligned;
+  bytes_carved_ += aligned;
+  return {p, aligned};
+}
+
+}  // namespace nadino

@@ -1,0 +1,51 @@
+// Hugepage-backed arena for the unified shared-memory pool.
+//
+// NADINO creates its buffers from 2 MB hugepages (paper section 3.4) to keep
+// the RNIC's Memory Translation Table small. The model allocates real,
+// 2 MB-aligned host memory in page-sized chunks and carves fixed-size buffers
+// from them, tracking the page count so tests can assert the MTT footprint a
+// given pool implies.
+
+#ifndef SRC_MEM_HUGEPAGE_ARENA_H_
+#define SRC_MEM_HUGEPAGE_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace nadino {
+
+inline constexpr size_t kHugepageSize = 2 * 1024 * 1024;
+
+class HugepageArena {
+ public:
+  HugepageArena() = default;
+  HugepageArena(const HugepageArena&) = delete;
+  HugepageArena& operator=(const HugepageArena&) = delete;
+
+  // Carves `size` bytes (rounded up to 64-byte alignment) out of the current
+  // hugepage, allocating a new page when the remainder is too small. Carved
+  // regions never straddle a page boundary, matching how rte_mempool lays out
+  // objects in hugepage segments.
+  std::span<std::byte> Carve(size_t size);
+
+  size_t pages_allocated() const { return pages_.size(); }
+  size_t bytes_carved() const { return bytes_carved_; }
+
+ private:
+  struct AlignedDelete {
+    void operator()(std::byte* p) const { ::operator delete[](p, std::align_val_t{kHugepageSize}); }
+  };
+  using Page = std::unique_ptr<std::byte[], AlignedDelete>;
+
+  void AddPage();
+
+  std::vector<Page> pages_;
+  size_t offset_in_page_ = kHugepageSize;  // Forces a page on first carve.
+  size_t bytes_carved_ = 0;
+};
+
+}  // namespace nadino
+
+#endif  // SRC_MEM_HUGEPAGE_ARENA_H_

@@ -1,0 +1,66 @@
+#include "src/mem/pool_cache.h"
+
+namespace nadino {
+
+PoolCache::PoolCache(BufferPool* pool, OwnerId owner, size_t cache_size)
+    : pool_(pool), owner_(owner), cache_size_(cache_size == 0 ? 1 : cache_size) {
+  cache_.reserve(cache_size_);
+}
+
+PoolCache::~PoolCache() { Flush(); }
+
+Buffer* PoolCache::Get(OwnerId new_owner) {
+  if (cache_.empty()) {
+    // Bulk refill: half a cache's worth, so steady-state traffic ping-pongs
+    // inside the cache instead of oscillating against the shared pool.
+    const size_t want = cache_size_ / 2 + 1;
+    for (size_t i = 0; i < want; ++i) {
+      Buffer* buffer = pool_->Get(owner_);
+      if (buffer == nullptr) {
+        break;
+      }
+      cache_.push_back(buffer);
+    }
+    if (cache_.empty()) {
+      return nullptr;  // Shared pool exhausted too.
+    }
+    ++stats_.refills;
+  } else {
+    ++stats_.hits;
+  }
+  Buffer* buffer = cache_.back();
+  cache_.pop_back();
+  if (!pool_->Transfer(buffer, owner_, new_owner)) {
+    // Should not happen (cache owns its buffers); fail closed.
+    cache_.push_back(buffer);
+    return nullptr;
+  }
+  return buffer;
+}
+
+bool PoolCache::Put(Buffer* buffer, OwnerId releaser) {
+  if (buffer == nullptr || !pool_->Transfer(buffer, releaser, owner_)) {
+    return false;
+  }
+  buffer->length = 0;
+  cache_.push_back(buffer);
+  if (cache_.size() >= cache_size_) {
+    // Flush half back to the shared pool.
+    const size_t keep = cache_size_ / 2;
+    while (cache_.size() > keep) {
+      pool_->Put(cache_.back(), owner_);
+      cache_.pop_back();
+    }
+    ++stats_.flushes;
+  }
+  return true;
+}
+
+void PoolCache::Flush() {
+  while (!cache_.empty()) {
+    pool_->Put(cache_.back(), owner_);
+    cache_.pop_back();
+  }
+}
+
+}  // namespace nadino

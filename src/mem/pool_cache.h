@@ -1,0 +1,59 @@
+// Per-consumer buffer-pool cache, modelled on rte_mempool's per-lcore caches.
+//
+// The shared pool's free list is conceptually a contended structure; DPDK
+// amortizes it by giving each consumer a small local cache refilled/flushed
+// in bulk. Functions and engines that allocate at high rate (the ingress
+// workers, the DNE replenisher) hold a PoolCache over the tenant pool:
+// Get/Put hit the local stack and only touch the shared pool in batches.
+
+#ifndef SRC_MEM_POOL_CACHE_H_
+#define SRC_MEM_POOL_CACHE_H_
+
+#include <vector>
+
+#include "src/mem/buffer_pool.h"
+
+namespace nadino {
+
+class PoolCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;        // Served from the local cache.
+    uint64_t refills = 0;     // Bulk fetches from the shared pool.
+    uint64_t flushes = 0;     // Bulk returns to the shared pool.
+  };
+
+  // Cached buffers are parked under `owner` while they sit in the cache;
+  // Get() re-assigns them to the requested owner.
+  PoolCache(BufferPool* pool, OwnerId owner, size_t cache_size = 32);
+  ~PoolCache();
+
+  PoolCache(const PoolCache&) = delete;
+  PoolCache& operator=(const PoolCache&) = delete;
+
+  // Like BufferPool::Get, but amortized: refills `cache_size / 2` buffers
+  // from the shared pool when the cache is empty.
+  Buffer* Get(OwnerId new_owner);
+
+  // Like BufferPool::Put: the releaser must own the buffer. The buffer parks
+  // in the cache; when full, half flushes back to the shared pool.
+  bool Put(Buffer* buffer, OwnerId releaser);
+
+  // Returns every cached buffer to the shared pool.
+  void Flush();
+
+  size_t cached() const { return cache_.size(); }
+  const Stats& stats() const { return stats_; }
+  BufferPool* pool() { return pool_; }
+
+ private:
+  BufferPool* pool_;
+  OwnerId owner_;
+  size_t cache_size_;
+  std::vector<Buffer*> cache_;
+  Stats stats_;
+};
+
+}  // namespace nadino
+
+#endif  // SRC_MEM_POOL_CACHE_H_

@@ -1,0 +1,56 @@
+#include "src/mem/tenant_registry.h"
+
+namespace nadino {
+
+BufferPool* TenantRegistry::CreatePool(TenantId tenant, const std::string& file_prefix,
+                                       const PoolConfig& config) {
+  if (prefix_to_tenant_.count(file_prefix) > 0 || tenant_to_pool_.count(tenant) > 0) {
+    return nullptr;
+  }
+  const auto pool_id = static_cast<PoolId>(pools_.size());
+  pools_.push_back(std::make_unique<BufferPool>(pool_id, tenant, config.buffer_count,
+                                                config.buffer_size, &arena_));
+  prefix_to_tenant_[file_prefix] = tenant;
+  tenant_to_pool_[tenant] = pool_id;
+  return pools_.back().get();
+}
+
+bool TenantRegistry::RegisterFunction(FunctionId function, TenantId tenant) {
+  return function_to_tenant_.emplace(function, tenant).second;
+}
+
+BufferPool* TenantRegistry::Attach(FunctionId function, const std::string& file_prefix) {
+  const auto prefix_it = prefix_to_tenant_.find(file_prefix);
+  const auto fn_it = function_to_tenant_.find(function);
+  if (prefix_it == prefix_to_tenant_.end() || fn_it == function_to_tenant_.end() ||
+      prefix_it->second != fn_it->second) {
+    ++denied_attaches_;
+    return nullptr;
+  }
+  return PoolOfTenant(prefix_it->second);
+}
+
+BufferPool* TenantRegistry::PoolOfTenant(TenantId tenant) {
+  const auto it = tenant_to_pool_.find(tenant);
+  return it == tenant_to_pool_.end() ? nullptr : pools_[it->second].get();
+}
+
+BufferPool* TenantRegistry::PoolById(PoolId pool) {
+  return pool < pools_.size() ? pools_[pool].get() : nullptr;
+}
+
+TenantId TenantRegistry::TenantOfFunction(FunctionId function) const {
+  const auto it = function_to_tenant_.find(function);
+  return it == function_to_tenant_.end() ? kInvalidTenant : it->second;
+}
+
+std::vector<PoolId> TenantRegistry::AllPools() const {
+  std::vector<PoolId> ids;
+  ids.reserve(pools_.size());
+  for (const auto& p : pools_) {
+    ids.push_back(p->id());
+  }
+  return ids;
+}
+
+}  // namespace nadino

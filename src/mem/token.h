@@ -1,0 +1,53 @@
+// Token passing for intra-node buffer-ownership transfer.
+//
+// Paper section 3.5.1: NADINO emulates a single-producer single-consumer
+// handoff with POSIX semaphores — the upstream function sem_posts the
+// downstream function's semaphore to pass buffer ownership down the chain.
+// TokenSemaphore is the simulated equivalent: Post() hands a token, Wait()
+// blocks (queues a callback) until a token is available. Order is FIFO, so
+// ownership flows to consumers in the order they asked.
+
+#ifndef SRC_MEM_TOKEN_H_
+#define SRC_MEM_TOKEN_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "src/sim/simulator.h"
+
+namespace nadino {
+
+class TokenSemaphore {
+ public:
+  using Callback = std::function<void()>;
+
+  // `post_cost` models the sem_post syscall + futex wake, charged as delivery
+  // latency between Post() and the waiter running.
+  TokenSemaphore(Simulator* sim, SimDuration post_cost = 400) : sim_(sim), post_cost_(post_cost) {}
+
+  TokenSemaphore(const TokenSemaphore&) = delete;
+  TokenSemaphore& operator=(const TokenSemaphore&) = delete;
+
+  // Releases one token; wakes the oldest waiter if any.
+  void Post();
+
+  // Consumes a token, invoking `cb` when one is available (possibly after a
+  // simulated wake-up delay).
+  void Wait(Callback cb);
+
+  int64_t tokens() const { return tokens_; }
+  size_t waiters() const { return waiters_.size(); }
+  uint64_t posts() const { return posts_; }
+
+ private:
+  Simulator* sim_;
+  SimDuration post_cost_;
+  int64_t tokens_ = 0;
+  uint64_t posts_ = 0;
+  std::deque<Callback> waiters_;
+};
+
+}  // namespace nadino
+
+#endif  // SRC_MEM_TOKEN_H_

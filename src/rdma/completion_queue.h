@@ -1,0 +1,46 @@
+// Completion queue shared by all RC QPs on a node (paper section 3.3: "All
+// RCQPs on a given node share a single Completion Queue").
+//
+// Two consumption styles are supported, matching how the engines use verbs:
+//   * handler-driven: a busy-polling run-to-completion loop registers a
+//     handler that fires as CQEs arrive (the handler charges its own core);
+//   * explicit Poll(): drains up to N entries, for engines that batch.
+
+#ifndef SRC_RDMA_COMPLETION_QUEUE_H_
+#define SRC_RDMA_COMPLETION_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/rdma/verbs.h"
+
+namespace nadino {
+
+class CompletionQueue {
+ public:
+  using Handler = std::function<void(const Completion&)>;
+
+  // Registers the busy-poll consumer. With a handler set, pushed CQEs are
+  // dispatched immediately (the poller would have seen them on its next spin);
+  // without one they accumulate until Poll().
+  void SetHandler(Handler handler) { handler_ = std::move(handler); }
+
+  void Push(const Completion& cqe);
+
+  // Drains up to `max` entries into `out`; returns the number drained.
+  size_t Poll(size_t max, std::vector<Completion>* out);
+
+  size_t depth() const { return queue_.size(); }
+  uint64_t total_completions() const { return total_; }
+
+ private:
+  Handler handler_;
+  std::deque<Completion> queue_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace nadino
+
+#endif  // SRC_RDMA_COMPLETION_QUEUE_H_

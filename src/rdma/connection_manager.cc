@@ -1,0 +1,140 @@
+#include "src/rdma/connection_manager.h"
+
+#include <limits>
+
+namespace nadino {
+
+ConnectionManager::ConnectionManager(Simulator* sim, const CostModel* cost, RdmaEngine* local,
+                                     int max_active_per_peer, uint32_t congestion_threshold)
+    : sim_(sim),
+      cost_(cost),
+      local_(local),
+      max_active_per_peer_(max_active_per_peer),
+      congestion_threshold_(congestion_threshold) {}
+
+void ConnectionManager::Prewarm(RdmaEngine* peer, TenantId tenant, int count) {
+  const PeerKey key{peer->node(), tenant};
+  auto& pool = pools_[key];
+  for (int i = 0; i < count; ++i) {
+    const auto [local_qp, remote_qp] = RdmaEngine::CreateConnectedPair(*local_, *peer, tenant);
+    (void)remote_qp;
+    // Connection setup happens on the virtual clock but off the data path;
+    // handshakes to the same peer pipeline rather than serialize.
+    sim_->Schedule(cost_->rc_connect_cost, [] {});
+    const bool active = static_cast<int>(pool.size()) < max_active_per_peer_;
+    pool.push_back(Pooled{local_qp, active});
+    qp_index_[local_qp] = key;
+    ++stats_.connects;
+    if (active) {
+      ++stats_.activations;
+    } else {
+      local_->qp_cache().Evict(local_qp);
+    }
+  }
+}
+
+ConnectionManager::Acquired ConnectionManager::Acquire(NodeId peer, TenantId tenant) {
+  ++stats_.acquires;
+  const auto it = pools_.find(PeerKey{peer, tenant});
+  if (it == pools_.end() || it->second.empty()) {
+    return {};
+  }
+  auto& pool = it->second;
+  Pooled* best = nullptr;
+  uint32_t best_outstanding = std::numeric_limits<uint32_t>::max();
+  Pooled* inactive = nullptr;
+  int active_count = 0;
+  for (Pooled& p : pool) {
+    if (local_->InError(p.qp)) {
+      continue;  // Awaiting Repair().
+    }
+    if (!p.active) {
+      if (inactive == nullptr) {
+        inactive = &p;
+      }
+      continue;
+    }
+    ++active_count;
+    const uint32_t outstanding = local_->Outstanding(p.qp);
+    if (outstanding < best_outstanding) {
+      best_outstanding = outstanding;
+      best = &p;
+    }
+  }
+  // All active connections congested: bring a shadow QP online if the active
+  // bound allows (load-proportional activation, section 3.3).
+  if ((best == nullptr || best_outstanding > congestion_threshold_) && inactive != nullptr &&
+      active_count < max_active_per_peer_) {
+    inactive->active = true;
+    ++stats_.activations;
+    return {inactive->qp, cost_->qp_activate_cost};
+  }
+  if (best == nullptr) {
+    // Nothing active yet (e.g. everything was deactivated): activate one.
+    if (inactive != nullptr) {
+      inactive->active = true;
+      ++stats_.activations;
+      return {inactive->qp, cost_->qp_activate_cost};
+    }
+    return {};
+  }
+  return {best->qp, 0};
+}
+
+void ConnectionManager::NoteIdle(QpNum qp) {
+  const auto idx = qp_index_.find(qp);
+  if (idx == qp_index_.end()) {
+    return;
+  }
+  auto& pool = pools_[idx->second];
+  int active_count = 0;
+  for (const Pooled& p : pool) {
+    active_count += p.active ? 1 : 0;
+  }
+  if (active_count <= max_active_per_peer_) {
+    return;  // Within bounds; keep it warm.
+  }
+  for (Pooled& p : pool) {
+    if (p.qp == qp && p.active && local_->Outstanding(qp) == 0) {
+      p.active = false;
+      local_->qp_cache().Evict(qp);
+      ++stats_.deactivations;
+      return;
+    }
+  }
+}
+
+void ConnectionManager::Repair(QpNum qp, RdmaEngine* peer) {
+  const auto idx = qp_index_.find(qp);
+  if (idx == qp_index_.end()) {
+    return;
+  }
+  ++stats_.repairs;
+  // The handshake runs off the data path; the QP re-enters service when it
+  // completes (real recovery would also resync the peer's QP state).
+  sim_->Schedule(cost_->rc_connect_cost, [this, qp, peer]() {
+    local_->ResetQp(qp);
+    if (peer != nullptr) {
+      peer->ResetQp(qp);  // No-op unless the peer tracks the same number.
+    }
+  });
+}
+
+int ConnectionManager::ActiveCount(NodeId peer, TenantId tenant) const {
+  const auto it = pools_.find(PeerKey{peer, tenant});
+  if (it == pools_.end()) {
+    return 0;
+  }
+  int n = 0;
+  for (const Pooled& p : it->second) {
+    n += p.active ? 1 : 0;
+  }
+  return n;
+}
+
+int ConnectionManager::PooledCount(NodeId peer, TenantId tenant) const {
+  const auto it = pools_.find(PeerKey{peer, tenant});
+  return it == pools_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+}  // namespace nadino

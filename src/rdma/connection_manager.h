@@ -1,0 +1,95 @@
+// RC connection pooling with shadow (active/inactive) QPs.
+//
+// Paper section 3.3: RC connection setup costs tens of milliseconds, so each
+// node's DNE manages a pool of pre-established connections per peer. Pooled
+// QPs are categorized as *active* (WRs queued; resident in the RNIC's QP
+// cache) or *inactive* (consume no RNIC resources — the "shadow QP" mechanism
+// of RoGUE [55]). Only the number of *active* QPs per node is bounded, to
+// avoid RNIC cache thrashing; activation/deactivation is local, with no
+// cross-node QP state synchronization.
+
+#ifndef SRC_RDMA_CONNECTION_MANAGER_H_
+#define SRC_RDMA_CONNECTION_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/core/calibration.h"
+#include "src/core/types.h"
+#include "src/rdma/rdma_engine.h"
+#include "src/sim/simulator.h"
+
+namespace nadino {
+
+class ConnectionManager {
+ public:
+  struct Stats {
+    uint64_t connects = 0;
+    uint64_t activations = 0;
+    uint64_t deactivations = 0;
+    uint64_t acquires = 0;
+    uint64_t repairs = 0;
+  };
+
+  // The result of Acquire: the selected QP plus the control-path time the
+  // caller (the DNE worker) must charge to its own core before posting.
+  struct Acquired {
+    QpNum qp = 0;
+    SimDuration control_cost = 0;
+  };
+
+  ConnectionManager(Simulator* sim, const CostModel* cost, RdmaEngine* local,
+                    int max_active_per_peer = 8, uint32_t congestion_threshold = 16);
+
+  ConnectionManager(const ConnectionManager&) = delete;
+  ConnectionManager& operator=(const ConnectionManager&) = delete;
+
+  // Establishes `count` RC connections to `peer` for `tenant` ahead of time.
+  // Setup time (rc_connect_cost each, pipelined) elapses on the virtual clock
+  // via `sim`, but this is control-plane work done off the critical path.
+  // Returns once the connections exist (caller should RunFor the setup time
+  // or call during warm-up).
+  void Prewarm(RdmaEngine* peer, TenantId tenant, int count);
+
+  // Picks the least-congested *active* connection to `peer` for `tenant`.
+  // If every active connection's outstanding count exceeds the congestion
+  // threshold and an inactive one is pooled, it is activated (cost surfaced
+  // via Acquired::control_cost). Returns qp == 0 if no connection exists.
+  Acquired Acquire(NodeId peer, TenantId tenant);
+
+  // Marks a connection idle; once the active count exceeds the configured
+  // bound the surplus idle connections are deactivated (evicted from the QP
+  // cache, consuming no RNIC resources).
+  void NoteIdle(QpNum qp);
+
+  // Repairs a connection whose QP entered the error state: re-runs the RC
+  // handshake (rc_connect_cost elapses on the virtual clock) and returns the
+  // QP to service. Errored connections are excluded by Acquire() meanwhile.
+  void Repair(QpNum qp, RdmaEngine* peer);
+
+  int ActiveCount(NodeId peer, TenantId tenant) const;
+  int PooledCount(NodeId peer, TenantId tenant) const;
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Pooled {
+    QpNum qp = 0;
+    bool active = false;
+  };
+
+  using PeerKey = std::pair<NodeId, TenantId>;
+
+  Simulator* sim_;
+  const CostModel* cost_;
+  RdmaEngine* local_;
+  int max_active_per_peer_;
+  uint32_t congestion_threshold_;
+  std::map<PeerKey, std::vector<Pooled>> pools_;
+  std::map<QpNum, PeerKey> qp_index_;
+  Stats stats_;
+};
+
+}  // namespace nadino
+
+#endif  // SRC_RDMA_CONNECTION_MANAGER_H_

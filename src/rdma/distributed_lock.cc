@@ -1,0 +1,77 @@
+#include "src/rdma/distributed_lock.h"
+
+#include <utility>
+
+namespace nadino {
+
+namespace {
+constexpr uint64_t kLockMessageBytes = 32;
+}  // namespace
+
+DistributedLockService::DistributedLockService(Simulator* sim, const CostModel* cost,
+                                               RdmaNetwork* network, NodeId home,
+                                               FifoResource* manager_core)
+    : sim_(sim), cost_(cost), network_(network), home_(home), manager_core_(manager_core) {}
+
+void DistributedLockService::Acquire(NodeId requester, uint64_t lock_id, Granted granted) {
+  ++acquires_;
+  if (requester == home_) {
+    // Local acquires still pay manager processing but skip the fabric.
+    manager_core_->Submit(cost_->dlock_manager_op,
+                          [this, requester, lock_id, granted = std::move(granted)]() mutable {
+                            ManagerAcquire(requester, lock_id, std::move(granted));
+                          });
+    return;
+  }
+  network_->fabric().Send(requester, home_, kLockMessageBytes,
+                          [this, requester, lock_id, granted = std::move(granted)]() mutable {
+                            manager_core_->Submit(
+                                cost_->dlock_manager_op,
+                                [this, requester, lock_id, granted = std::move(granted)]() mutable {
+                                  ManagerAcquire(requester, lock_id, std::move(granted));
+                                });
+                          });
+}
+
+void DistributedLockService::ManagerAcquire(NodeId requester, uint64_t lock_id, Granted granted) {
+  LockState& state = locks_[lock_id];
+  if (state.held) {
+    ++contended_;
+    state.waiters.emplace_back(requester, std::move(granted));
+    return;
+  }
+  state.held = true;
+  Grant(requester, std::move(granted));
+}
+
+void DistributedLockService::Release(NodeId requester, uint64_t lock_id) {
+  if (requester == home_) {
+    manager_core_->Submit(cost_->dlock_manager_op,
+                          [this, lock_id]() { ManagerRelease(lock_id); });
+    return;
+  }
+  network_->fabric().Send(requester, home_, kLockMessageBytes, [this, lock_id]() {
+    manager_core_->Submit(cost_->dlock_manager_op, [this, lock_id]() { ManagerRelease(lock_id); });
+  });
+}
+
+void DistributedLockService::ManagerRelease(uint64_t lock_id) {
+  LockState& state = locks_[lock_id];
+  if (state.waiters.empty()) {
+    state.held = false;
+    return;
+  }
+  auto [next, granted] = std::move(state.waiters.front());
+  state.waiters.pop_front();
+  Grant(next, std::move(granted));
+}
+
+void DistributedLockService::Grant(NodeId requester, Granted granted) {
+  if (requester == home_) {
+    sim_->Schedule(0, std::move(granted));
+    return;
+  }
+  network_->fabric().Send(home_, requester, kLockMessageBytes, std::move(granted));
+}
+
+}  // namespace nadino

@@ -1,0 +1,46 @@
+#include "src/rdma/fabric.h"
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace nadino {
+
+Fabric::Fabric(Simulator* sim, const CostModel* cost) : sim_(sim), cost_(cost) {}
+
+void Fabric::AttachNode(NodeId node) {
+  if (ports_.count(node) > 0) {
+    return;
+  }
+  Port port;
+  port.up = std::make_unique<Link>(sim_, "up:" + std::to_string(node), cost_->fabric_gbps,
+                                   cost_->link_propagation);
+  port.down = std::make_unique<Link>(sim_, "down:" + std::to_string(node), cost_->fabric_gbps,
+                                     cost_->link_propagation);
+  ports_.emplace(node, std::move(port));
+}
+
+void Fabric::Send(NodeId src, NodeId dst, uint64_t payload_bytes, Delivery delivered) {
+  assert(ports_.count(src) > 0 && ports_.count(dst) > 0);
+  const uint64_t wire_bytes = payload_bytes + kWireHeaderBytes;
+  Link* up = ports_.at(src).up.get();
+  Link* down = ports_.at(dst).down.get();
+  up->Transfer(wire_bytes, [this, down, wire_bytes, delivered = std::move(delivered)]() mutable {
+    sim_->Schedule(cost_->switch_latency, [this, down, wire_bytes,
+                                           delivered = std::move(delivered)]() mutable {
+      down->Transfer(wire_bytes, [this, delivered = std::move(delivered)]() {
+        ++messages_delivered_;
+        if (delivered) {
+          delivered();
+        }
+      });
+    });
+  });
+}
+
+size_t Fabric::UplinkQueueDepth(NodeId node) const {
+  const auto it = ports_.find(node);
+  return it == ports_.end() ? 0 : it->second.up->queue_depth();
+}
+
+}  // namespace nadino

@@ -1,0 +1,63 @@
+// The RDMA fabric: per-node uplinks/downlinks joined by a cut-through switch.
+//
+// Matches the testbed topology (section 4): worker-node DPUs and the ingress
+// RNIC hang off one 200 Gbps switch. Contention is modelled per-port: a
+// node's egress stream serializes on its uplink, ingress on its downlink.
+
+#ifndef SRC_RDMA_FABRIC_H_
+#define SRC_RDMA_FABRIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/core/calibration.h"
+#include "src/core/types.h"
+#include "src/sim/link.h"
+#include "src/sim/simulator.h"
+
+namespace nadino {
+
+// Bytes added to every message on the wire (Ethernet + IB BTH-class headers).
+inline constexpr uint64_t kWireHeaderBytes = 60;
+
+class Fabric {
+ public:
+  using Delivery = std::function<void()>;
+
+  Fabric(Simulator* sim, const CostModel* cost);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // Adds a port for `node`. Must be called before Send touches that node.
+  void AttachNode(NodeId node);
+
+  bool HasNode(NodeId node) const { return ports_.count(node) > 0; }
+
+  // Moves `payload_bytes` (+ header) from src to dst; `delivered` fires when
+  // the last byte arrives at dst's port.
+  void Send(NodeId src, NodeId dst, uint64_t payload_bytes, Delivery delivered);
+
+  // Congestion signal: messages queued on the node's uplink.
+  size_t UplinkQueueDepth(NodeId node) const;
+
+  uint64_t messages_delivered() const { return messages_delivered_; }
+
+ private:
+  struct Port {
+    std::unique_ptr<Link> up;    // node -> switch
+    std::unique_ptr<Link> down;  // switch -> node
+  };
+
+  Simulator* sim_;
+  const CostModel* cost_;
+  std::map<NodeId, Port> ports_;
+  uint64_t messages_delivered_ = 0;
+};
+
+}  // namespace nadino
+
+#endif  // SRC_RDMA_FABRIC_H_

@@ -1,0 +1,31 @@
+#include "src/rdma/qp_cache.h"
+
+namespace nadino {
+
+bool QpCache::Touch(QpNum qp) {
+  const auto it = index_.find(qp);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  if (static_cast<int>(lru_.size()) >= capacity_) {
+    index_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(qp);
+  index_[qp] = lru_.begin();
+  return false;
+}
+
+void QpCache::Evict(QpNum qp) {
+  const auto it = index_.find(qp);
+  if (it == index_.end()) {
+    return;
+  }
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+}  // namespace nadino

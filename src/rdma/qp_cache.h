@@ -1,0 +1,48 @@
+// RNIC QP-context cache (ICM cache) model.
+//
+// RC QP state lives in host memory and is cached on the NIC; touching more
+// QPs than fit causes misses that stall the pipeline ("cache line thrashing
+// for QP buffers", sections 2.1/3.3, and the Harmonic-style MTT/MPT
+// exhaustion discussed in section 3.7). The DNE bounds the number of *active*
+// QPs per node precisely to stay inside this cache.
+
+#ifndef SRC_RDMA_QP_CACHE_H_
+#define SRC_RDMA_QP_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/core/types.h"
+
+namespace nadino {
+
+class QpCache {
+ public:
+  explicit QpCache(int capacity) : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  // Records an access to `qp`'s context. Returns true on hit; on miss the
+  // context is fetched (caller charges the miss penalty) and the LRU entry is
+  // evicted.
+  bool Touch(QpNum qp);
+
+  // Drops a QP's context (e.g. when the shadow-QP manager deactivates it),
+  // freeing a slot without an eviction penalty for others.
+  void Evict(QpNum qp);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t resident() const { return lru_.size(); }
+  int capacity() const { return capacity_; }
+
+ private:
+  int capacity_;
+  std::list<QpNum> lru_;  // Front = most recent.
+  std::unordered_map<QpNum, std::list<QpNum>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace nadino
+
+#endif  // SRC_RDMA_QP_CACHE_H_

@@ -1,0 +1,415 @@
+#include "src/rdma/rdma_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace nadino {
+
+void RdmaNetwork::Attach(RdmaEngine* engine) {
+  fabric_.AttachNode(engine->node());
+  engines_[engine->node()] = engine;
+}
+
+RdmaEngine* RdmaNetwork::EngineAt(NodeId node) const {
+  const auto it = engines_.find(node);
+  return it == engines_.end() ? nullptr : it->second;
+}
+
+RdmaEngine::RdmaEngine(Simulator* sim, const CostModel* cost, NodeId node, RdmaNetwork* network)
+    : sim_(sim),
+      cost_(cost),
+      node_(node),
+      network_(network),
+      tx_pipe_(sim, "rnic_tx:" + std::to_string(node)),
+      rx_pipe_(sim, "rnic_rx:" + std::to_string(node)),
+      qp_cache_(cost->rnic_qp_cache_entries) {
+  network_->Attach(this);
+}
+
+QpNum RdmaEngine::CreateQp(TenantId tenant) {
+  // Globally unique QP numbers (node in the high bits), as on real fabrics.
+  const QpNum qp = (node_ << 20) | next_qp_++;
+  qps_[qp] = RcQp{qp, tenant, kInvalidNode, 0, false, 0};
+  return qp;
+}
+
+bool RdmaEngine::Connect(QpNum local_qp, NodeId remote_node, QpNum remote_qp) {
+  RcQp* qp = FindQp(local_qp);
+  if (qp == nullptr || network_->EngineAt(remote_node) == nullptr) {
+    return false;
+  }
+  qp->remote_node = remote_node;
+  qp->remote_qp = remote_qp;
+  qp->connected = true;
+  return true;
+}
+
+std::pair<QpNum, QpNum> RdmaEngine::CreateConnectedPair(RdmaEngine& a, RdmaEngine& b,
+                                                        TenantId tenant) {
+  const QpNum qa = a.CreateQp(tenant);
+  const QpNum qb = b.CreateQp(tenant);
+  a.Connect(qa, b.node(), qb);
+  b.Connect(qb, a.node(), qa);
+  return {qa, qb};
+}
+
+SharedReceiveQueue& RdmaEngine::SrqOfTenant(TenantId tenant) {
+  auto& slot = srqs_[tenant];
+  if (!slot) {
+    slot = std::make_unique<SharedReceiveQueue>(tenant);
+  }
+  return *slot;
+}
+
+bool RdmaEngine::PostRecvBuffer(BufferPool* pool, Buffer* buffer, OwnerId from,
+                                uint64_t wr_id) {
+  if (pool == nullptr || buffer == nullptr) {
+    return false;
+  }
+  if (!pool->Transfer(buffer, from, OwnerId::Rnic(node_))) {
+    return false;
+  }
+  if (!SrqOfTenant(pool->tenant()).Post(buffer, wr_id, node_)) {
+    // Roll the ownership back so the caller still holds the buffer.
+    pool->Transfer(buffer, OwnerId::Rnic(node_), from);
+    return false;
+  }
+  return true;
+}
+
+RdmaEngine::RcQp* RdmaEngine::FindQp(QpNum qp) {
+  const auto it = qps_.find(qp);
+  return it == qps_.end() ? nullptr : &it->second;
+}
+
+const RdmaEngine::RcQp* RdmaEngine::FindQp(QpNum qp) const {
+  const auto it = qps_.find(qp);
+  return it == qps_.end() ? nullptr : &it->second;
+}
+
+uint32_t RdmaEngine::Outstanding(QpNum qp) const {
+  const RcQp* q = FindQp(qp);
+  return q == nullptr ? 0 : q->outstanding;
+}
+
+TenantId RdmaEngine::TenantOfQp(QpNum qp) const {
+  const RcQp* q = FindQp(qp);
+  return q == nullptr ? kInvalidTenant : q->tenant;
+}
+
+bool RdmaEngine::InError(QpNum qp) const {
+  const RcQp* q = FindQp(qp);
+  return q != nullptr && q->in_error;
+}
+
+void RdmaEngine::ResetQp(QpNum qp) {
+  RcQp* q = FindQp(qp);
+  if (q != nullptr) {
+    q->in_error = false;
+    q->outstanding = 0;
+  }
+}
+
+uint64_t RdmaEngine::TenantBytesTx(TenantId tenant) const {
+  const auto it = tenant_bytes_tx_.find(tenant);
+  return it == tenant_bytes_tx_.end() ? 0 : it->second;
+}
+
+SimDuration RdmaEngine::QpTouchCost(QpNum qp) {
+  return qp_cache_.Touch(qp) ? 0 : cost_->rnic_qp_cache_miss;
+}
+
+void RdmaEngine::Transmit(Packet pkt, SimDuration extra_cost) {
+  const uint64_t bytes = pkt.payload.size();
+  SimDuration service = extra_cost;
+  if (pkt.kind == Packet::Kind::kAck) {
+    service += 100;  // ACK generation is nearly free in the NIC pipeline.
+  } else {
+    service += cost_->rnic_wr_tx +
+               static_cast<SimDuration>(static_cast<double>(bytes) * cost_->rnic_per_byte_ns);
+  }
+  stats_.bytes_tx += bytes;
+  if (pkt.tenant != kInvalidTenant && pkt.kind != Packet::Kind::kAck) {
+    tenant_bytes_tx_[pkt.tenant] += bytes + kWireHeaderBytes;
+  }
+  tx_pipe_.Submit(service, [this, pkt = std::move(pkt)]() mutable {
+    const NodeId dst = pkt.dst;
+    const uint64_t wire_bytes = pkt.payload.size();
+    auto* network = network_;
+    network->fabric().Send(node_, dst, wire_bytes,
+                           [network, dst, pkt = std::move(pkt)]() mutable {
+                             RdmaEngine* peer = network->EngineAt(dst);
+                             assert(peer != nullptr);
+                             peer->DeliverFromWire(std::move(pkt));
+                           });
+  });
+}
+
+bool RdmaEngine::PostSend(QpNum qp, const Buffer& src, uint64_t wr_id, uint32_t imm) {
+  RcQp* q = FindQp(qp);
+  if (q == nullptr || !q->connected || q->in_error) {
+    return false;
+  }
+  ++q->outstanding;
+  ++stats_.sends;
+  Packet pkt;
+  pkt.kind = Packet::Kind::kSend;
+  pkt.src = node_;
+  pkt.dst = q->remote_node;
+  pkt.src_qp = qp;
+  pkt.dst_qp = q->remote_qp;
+  pkt.tenant = q->tenant;
+  pkt.wr_id = wr_id;
+  pkt.imm = imm;
+  // DMA read of the source buffer happens at post time; the sender must not
+  // touch the buffer again until the completion (ownership rules enforce it).
+  pkt.payload.assign(src.payload().begin(), src.payload().end());
+  Transmit(std::move(pkt), QpTouchCost(qp));
+  return true;
+}
+
+bool RdmaEngine::PostWrite(QpNum qp, const Buffer& src, PoolId remote_pool, uint32_t remote_index,
+                           uint64_t wr_id, uint32_t imm) {
+  RcQp* q = FindQp(qp);
+  if (q == nullptr || !q->connected) {
+    return false;
+  }
+  ++q->outstanding;
+  ++stats_.writes;
+  Packet pkt;
+  pkt.kind = Packet::Kind::kWrite;
+  pkt.src = node_;
+  pkt.dst = q->remote_node;
+  pkt.src_qp = qp;
+  pkt.dst_qp = q->remote_qp;
+  pkt.tenant = q->tenant;
+  pkt.wr_id = wr_id;
+  pkt.imm = imm;
+  pkt.remote_pool = remote_pool;
+  pkt.remote_index = remote_index;
+  pkt.payload.assign(src.payload().begin(), src.payload().end());
+  Transmit(std::move(pkt), QpTouchCost(qp));
+  return true;
+}
+
+bool RdmaEngine::PostRead(QpNum qp, Buffer* dst, PoolId remote_pool, uint32_t remote_index,
+                          uint32_t len, uint64_t wr_id) {
+  RcQp* q = FindQp(qp);
+  if (q == nullptr || !q->connected || dst == nullptr) {
+    return false;
+  }
+  ++q->outstanding;
+  ++stats_.reads;
+  Packet pkt;
+  pkt.kind = Packet::Kind::kReadReq;
+  pkt.src = node_;
+  pkt.dst = q->remote_node;
+  pkt.src_qp = qp;
+  pkt.dst_qp = q->remote_qp;
+  pkt.tenant = q->tenant;
+  pkt.wr_id = wr_id;
+  pkt.remote_pool = remote_pool;
+  pkt.remote_index = remote_index;
+  pkt.read_len = len;
+  // Stash where the response lands via wr_id -> caller keeps dst alive; we
+  // record the destination pointer in a side table keyed by wr_id.
+  pending_reads_[wr_id] = dst;
+  Transmit(std::move(pkt), QpTouchCost(qp));
+  return true;
+}
+
+void RdmaEngine::DeliverFromWire(Packet pkt) {
+  SimDuration service = 0;
+  switch (pkt.kind) {
+    case Packet::Kind::kAck:
+      service = 100;
+      break;
+    case Packet::Kind::kReadReq:
+      service = cost_->rnic_wr_rx;
+      break;
+    default:
+      service = cost_->rnic_wr_rx + static_cast<SimDuration>(
+                                        static_cast<double>(pkt.payload.size()) *
+                                        cost_->rnic_per_byte_ns);
+      break;
+  }
+  service += QpTouchCost(pkt.dst_qp);
+  rx_pipe_.Submit(service, [this, pkt = std::move(pkt)]() mutable {
+    stats_.bytes_rx += pkt.payload.size();
+    switch (pkt.kind) {
+      case Packet::Kind::kSend:
+        HandleSend(std::move(pkt));
+        break;
+      case Packet::Kind::kWrite:
+        HandleWrite(std::move(pkt));
+        break;
+      case Packet::Kind::kAck:
+        HandleAck(pkt);
+        break;
+      case Packet::Kind::kReadReq:
+        HandleReadReq(std::move(pkt));
+        break;
+      case Packet::Kind::kReadResp:
+        HandleReadResp(std::move(pkt));
+        break;
+    }
+  });
+}
+
+void RdmaEngine::HandleSend(Packet pkt) {
+  SharedReceiveQueue& srq = SrqOfTenant(pkt.tenant);
+  const SharedReceiveQueue::PostedRecv recv = srq.Pop();
+  Buffer* buffer = recv.buffer;
+  if (buffer == nullptr) {
+    // Receiver not ready: back off and retry delivery, as RC RNR NAK does.
+    ++stats_.rnr_events;
+    if (++pkt.rnr_attempts > kMaxRnrRetries) {
+      ++stats_.rnr_failures;
+      SendAck(pkt, RdmaOpcode::kSend, WrStatus::kRnrRetryExceeded, 0);
+      return;
+    }
+    sim_->Schedule(cost_->rnic_rnr_backoff,
+                   [this, pkt = std::move(pkt)]() mutable { HandleSend(std::move(pkt)); });
+    return;
+  }
+  const auto len =
+      static_cast<uint32_t>(std::min(pkt.payload.size(), buffer->data.size()));
+  std::memcpy(buffer->data.data(), pkt.payload.data(), len);  // The DMA write.
+  buffer->length = len;
+  ++stats_.recv_completions;
+  SendAck(pkt, RdmaOpcode::kSend, WrStatus::kSuccess, len);
+  Completion cqe;
+  cqe.wr_id = recv.wr_id;  // The *receiver's* posted WR id, per verbs semantics.
+  cqe.opcode = RdmaOpcode::kRecv;
+  cqe.status = WrStatus::kSuccess;
+  cqe.byte_len = len;
+  cqe.qp = pkt.dst_qp;
+  cqe.tenant = pkt.tenant;
+  cqe.src_node = pkt.src;
+  cqe.buffer = buffer;
+  cqe.imm = pkt.imm;
+  cq_.Push(cqe);
+}
+
+void RdmaEngine::HandleWrite(Packet pkt) {
+  BufferPool* pool = mr_table_.CheckAccess(pkt.remote_pool, kMrRemoteWrite);
+  Buffer* buffer = pool == nullptr ? nullptr : pool->Resolve(BufferDescriptor{
+                                                   pkt.remote_pool, pkt.remote_index, 0, 0});
+  if (buffer == nullptr) {
+    SendAck(pkt, RdmaOpcode::kWrite, WrStatus::kRemoteAccessError, 0);
+    return;
+  }
+  if (buffer->owner.kind == OwnerId::Kind::kFunction) {
+    // The receiver-oblivious hazard (section 2.1): the writer cannot know a
+    // local function currently owns this buffer. The write proceeds anyway —
+    // exactly the data race one-sided RDMA permits.
+    ++stats_.oblivious_overwrites;
+  }
+  const auto len =
+      static_cast<uint32_t>(std::min(pkt.payload.size(), buffer->data.size()));
+  std::memcpy(buffer->data.data(), pkt.payload.data(), len);
+  buffer->length = len;
+  // No receiver CQE for one-sided writes; only the sender learns.
+  SendAck(pkt, RdmaOpcode::kWrite, WrStatus::kSuccess, len);
+  const auto hook_it = write_hooks_.find(pkt.remote_pool);
+  if (hook_it != write_hooks_.end()) {
+    hook_it->second(buffer, pkt.remote_index);
+  }
+}
+
+void RdmaEngine::SetWriteArrivalHook(PoolId pool, WriteArrivalHook hook) {
+  write_hooks_[pool] = std::move(hook);
+}
+
+void RdmaEngine::HandleAck(const Packet& pkt) {
+  RcQp* q = FindQp(pkt.dst_qp);
+  if (q != nullptr && q->outstanding > 0) {
+    --q->outstanding;
+  }
+  if (q != nullptr && pkt.status == WrStatus::kRnrRetryExceeded) {
+    // Transport error: the QP transitions to the error state (RC semantics);
+    // further posts fail until the connection is repaired.
+    q->in_error = true;
+  }
+  Completion cqe;
+  cqe.wr_id = pkt.wr_id;
+  cqe.opcode = pkt.acked_op;
+  cqe.status = pkt.status;
+  cqe.byte_len = pkt.read_len;
+  cqe.qp = pkt.dst_qp;
+  cqe.tenant = pkt.tenant;
+  cqe.src_node = pkt.src;
+  cqe.imm = pkt.imm;
+  cq_.Push(cqe);
+}
+
+void RdmaEngine::HandleReadReq(Packet pkt) {
+  BufferPool* pool = mr_table_.CheckAccess(pkt.remote_pool, kMrRemoteRead);
+  Buffer* buffer = pool == nullptr ? nullptr : pool->Resolve(BufferDescriptor{
+                                                   pkt.remote_pool, pkt.remote_index, 0, 0});
+  Packet resp;
+  resp.kind = Packet::Kind::kReadResp;
+  resp.src = node_;
+  resp.dst = pkt.src;
+  resp.src_qp = pkt.dst_qp;
+  resp.dst_qp = pkt.src_qp;
+  resp.tenant = pkt.tenant;
+  resp.wr_id = pkt.wr_id;
+  if (buffer == nullptr) {
+    resp.status = WrStatus::kRemoteAccessError;
+  } else {
+    const auto len = static_cast<uint32_t>(
+        std::min<size_t>(pkt.read_len, buffer->data.size()));
+    resp.payload.assign(buffer->data.begin(), buffer->data.begin() + len);
+  }
+  Transmit(std::move(resp));
+}
+
+void RdmaEngine::HandleReadResp(Packet pkt) {
+  RcQp* q = FindQp(pkt.dst_qp);
+  if (q != nullptr && q->outstanding > 0) {
+    --q->outstanding;
+  }
+  uint32_t len = 0;
+  const auto it = pending_reads_.find(pkt.wr_id);
+  if (it != pending_reads_.end() && pkt.status == WrStatus::kSuccess) {
+    Buffer* dst = it->second;
+    len = static_cast<uint32_t>(std::min(pkt.payload.size(), dst->data.size()));
+    std::memcpy(dst->data.data(), pkt.payload.data(), len);
+    dst->length = len;
+  }
+  if (it != pending_reads_.end()) {
+    pending_reads_.erase(it);
+  }
+  Completion cqe;
+  cqe.wr_id = pkt.wr_id;
+  cqe.opcode = RdmaOpcode::kRead;
+  cqe.status = pkt.status;
+  cqe.byte_len = len;
+  cqe.qp = pkt.dst_qp;
+  cqe.tenant = pkt.tenant;
+  cqe.src_node = pkt.src;
+  cq_.Push(cqe);
+}
+
+void RdmaEngine::SendAck(const Packet& original, RdmaOpcode op, WrStatus status,
+                         uint32_t byte_len) {
+  Packet ack;
+  ack.kind = Packet::Kind::kAck;
+  ack.src = node_;
+  ack.dst = original.src;
+  ack.src_qp = original.dst_qp;
+  ack.dst_qp = original.src_qp;
+  ack.tenant = original.tenant;
+  ack.wr_id = original.wr_id;
+  ack.imm = original.imm;
+  ack.acked_op = op;
+  ack.status = status;
+  ack.read_len = byte_len;
+  Transmit(std::move(ack));
+}
+
+}  // namespace nadino

@@ -1,0 +1,215 @@
+// Per-node simulated RNIC + verbs provider.
+//
+// An RdmaEngine models one RNIC (a ConnectX-6, standalone or integrated into
+// a BlueField DPU): RC QPs, a node-wide completion queue, per-tenant shared
+// receive queues, a QP-context cache, TX/RX processing pipelines, and the
+// memory-region table. Payload bytes really move: the TX path snapshots the
+// source buffer (the DMA read) and the RX path deposits the bytes into the
+// posted receive buffer (the DMA write) — neither counts as a *software*
+// copy, which is exactly the paper's definition of zero-copy (footnote 1).
+
+#ifndef SRC_RDMA_RDMA_ENGINE_H_
+#define SRC_RDMA_RDMA_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/core/calibration.h"
+#include "src/core/types.h"
+#include "src/mem/buffer_pool.h"
+#include "src/rdma/completion_queue.h"
+#include "src/rdma/fabric.h"
+#include "src/rdma/memory_region.h"
+#include "src/rdma/qp_cache.h"
+#include "src/rdma/shared_receive_queue.h"
+#include "src/rdma/verbs.h"
+#include "src/sim/resource.h"
+#include "src/sim/simulator.h"
+
+namespace nadino {
+
+class RdmaEngine;
+
+// Owns the fabric and the engine registry; routes packets between engines.
+class RdmaNetwork {
+ public:
+  RdmaNetwork(Simulator* sim, const CostModel* cost) : fabric_(sim, cost) {}
+
+  void Attach(RdmaEngine* engine);
+  RdmaEngine* EngineAt(NodeId node) const;
+  Fabric& fabric() { return fabric_; }
+
+ private:
+  Fabric fabric_;
+  std::map<NodeId, RdmaEngine*> engines_;
+};
+
+class RdmaEngine {
+ public:
+  struct Stats {
+    uint64_t sends = 0;
+    uint64_t writes = 0;
+    uint64_t reads = 0;
+    uint64_t recv_completions = 0;
+    uint64_t rnr_events = 0;
+    uint64_t rnr_failures = 0;
+    uint64_t bytes_tx = 0;
+    uint64_t bytes_rx = 0;
+    // One-sided writes that landed in a buffer currently owned by a function:
+    // the "receiver-oblivious" data race the paper's section 2.1 warns about.
+    uint64_t oblivious_overwrites = 0;
+  };
+
+  RdmaEngine(Simulator* sim, const CostModel* cost, NodeId node, RdmaNetwork* network);
+
+  RdmaEngine(const RdmaEngine&) = delete;
+  RdmaEngine& operator=(const RdmaEngine&) = delete;
+
+  NodeId node() const { return node_; }
+  RdmaNetwork* network() const { return network_; }
+  CompletionQueue& cq() { return cq_; }
+  MrTable& mr_table() { return mr_table_; }
+  QpCache& qp_cache() { return qp_cache_; }
+  const Stats& stats() const { return stats_; }
+  const CostModel& cost() const { return *cost_; }
+
+  // --- Control path ---------------------------------------------------------
+
+  // Creates a (half-open) RC QP for `tenant`; pair it with Connect().
+  QpNum CreateQp(TenantId tenant);
+
+  // Binds a local QP to its remote peer. Control-plane only: connection setup
+  // *time* is charged by the ConnectionManager (section 3.3), not here.
+  bool Connect(QpNum local_qp, NodeId remote_node, QpNum remote_qp);
+
+  // Creates and pairs a QP on each engine; returns {qp_on_a, qp_on_b}.
+  static std::pair<QpNum, QpNum> CreateConnectedPair(RdmaEngine& a, RdmaEngine& b,
+                                                     TenantId tenant);
+
+  SharedReceiveQueue& SrqOfTenant(TenantId tenant);
+
+  // Transfers ownership of `buffer` from `from` to this RNIC and posts it to
+  // the tenant's shared RQ under the receiver-chosen `wr_id`. Returns false on
+  // ownership/tenant mismatch.
+  bool PostRecvBuffer(BufferPool* pool, Buffer* buffer, OwnerId from, uint64_t wr_id);
+
+  // --- Data path (costs charged to the NIC pipelines, not the caller) -------
+
+  // Two-sided send: the payload is snapshotted now (DMA read) and lands in a
+  // receive buffer posted at the peer. `imm` travels in the CQE.
+  bool PostSend(QpNum qp, const Buffer& src, uint64_t wr_id, uint32_t imm = 0);
+
+  // One-sided write into `remote_pool[remote_index]`. Completes locally with
+  // kRemoteAccessError if the peer never granted kMrRemoteWrite on that pool.
+  bool PostWrite(QpNum qp, const Buffer& src, PoolId remote_pool, uint32_t remote_index,
+                 uint64_t wr_id, uint32_t imm = 0);
+
+  // One-sided read of `len` bytes from `remote_pool[remote_index]` into `dst`.
+  bool PostRead(QpNum qp, Buffer* dst, PoolId remote_pool, uint32_t remote_index, uint32_t len,
+                uint64_t wr_id);
+
+  // Outstanding (un-acked) WRs on a QP; the DNE's least-congested connection
+  // selection reads this.
+  uint32_t Outstanding(QpNum qp) const;
+
+  // RC semantics: a transport error (RNR retry exhaustion) moves the QP to
+  // the error state; subsequent posts fail fast until it is reset.
+  bool InError(QpNum qp) const;
+
+  // Control-plane reset (back to RTS); the pair's peer QP is NOT reset here —
+  // real recovery re-runs the connection handshake, which ConnectionManager's
+  // Repair() models with the full reconnect cost.
+  void ResetQp(QpNum qp);
+
+  TenantId TenantOfQp(QpNum qp) const;
+
+  // Per-tenant bytes transmitted (fairness accounting for Figs. 15/17).
+  uint64_t TenantBytesTx(TenantId tenant) const;
+
+  // SIMULATION OBSERVER, not a data-plane signal: one-sided writes are
+  // invisible to the receiver CPU by design. Receiver-side *pollers* (FaRM /
+  // FUYAO style) register this hook so the simulator can schedule their next
+  // poll-loop discovery of the written buffer instead of idle-spinning the
+  // event queue; the hook implementation must still charge the poll interval
+  // and iteration costs.
+  using WriteArrivalHook = std::function<void(Buffer* buffer, uint32_t index)>;
+  void SetWriteArrivalHook(PoolId pool, WriteArrivalHook hook);
+
+ private:
+  friend class RdmaNetwork;
+
+  struct RcQp {
+    QpNum num = 0;
+    TenantId tenant = kInvalidTenant;
+    NodeId remote_node = kInvalidNode;
+    QpNum remote_qp = 0;
+    bool connected = false;
+    bool in_error = false;  // RC error state (e.g. RNR retry exhaustion).
+    uint32_t outstanding = 0;
+  };
+
+  struct Packet {
+    enum class Kind : uint8_t { kSend, kWrite, kAck, kReadReq, kReadResp };
+    Kind kind = Kind::kSend;
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    QpNum src_qp = 0;
+    QpNum dst_qp = 0;
+    TenantId tenant = kInvalidTenant;
+    uint64_t wr_id = 0;
+    uint32_t imm = 0;
+    RdmaOpcode acked_op = RdmaOpcode::kSend;
+    WrStatus status = WrStatus::kSuccess;
+    PoolId remote_pool = 0;
+    uint32_t remote_index = 0;
+    uint32_t read_len = 0;
+    int rnr_attempts = 0;
+    std::vector<std::byte> payload;
+  };
+
+  static constexpr int kMaxRnrRetries = 7;
+
+  RcQp* FindQp(QpNum qp);
+  const RcQp* FindQp(QpNum qp) const;
+
+  // Charges the TX pipeline and puts the packet on the wire.
+  void Transmit(Packet pkt, SimDuration extra_cost = 0);
+
+  // Entry point for packets arriving from the fabric (called by the network).
+  void DeliverFromWire(Packet pkt);
+
+  // RX-pipeline-charged handlers per packet kind.
+  void HandleSend(Packet pkt);
+  void HandleWrite(Packet pkt);
+  void HandleAck(const Packet& pkt);
+  void HandleReadReq(Packet pkt);
+  void HandleReadResp(Packet pkt);
+
+  void SendAck(const Packet& original, RdmaOpcode op, WrStatus status, uint32_t byte_len);
+
+  SimDuration QpTouchCost(QpNum qp);
+
+  Simulator* sim_;
+  const CostModel* cost_;
+  NodeId node_;
+  RdmaNetwork* network_;
+  FifoResource tx_pipe_;
+  FifoResource rx_pipe_;
+  CompletionQueue cq_;
+  MrTable mr_table_;
+  QpCache qp_cache_;
+  QpNum next_qp_ = 1;
+  std::map<QpNum, RcQp> qps_;
+  std::map<TenantId, std::unique_ptr<SharedReceiveQueue>> srqs_;
+  std::map<TenantId, uint64_t> tenant_bytes_tx_;
+  std::map<uint64_t, Buffer*> pending_reads_;  // wr_id -> destination buffer.
+  std::map<PoolId, WriteArrivalHook> write_hooks_;
+  Stats stats_;
+};
+
+}  // namespace nadino
+
+#endif  // SRC_RDMA_RDMA_ENGINE_H_

@@ -1,0 +1,26 @@
+#include "src/rdma/shared_receive_queue.h"
+
+namespace nadino {
+
+bool SharedReceiveQueue::Post(Buffer* buffer, uint64_t wr_id, NodeId rnic_node) {
+  if (buffer == nullptr || buffer->tenant != tenant_ ||
+      !(buffer->owner == OwnerId::Rnic(rnic_node))) {
+    ++post_violations_;
+    return false;
+  }
+  queue_.push_back(PostedRecv{buffer, wr_id});
+  ++posted_;
+  return true;
+}
+
+SharedReceiveQueue::PostedRecv SharedReceiveQueue::Pop() {
+  if (queue_.empty()) {
+    return {};
+  }
+  PostedRecv entry = queue_.front();
+  queue_.pop_front();
+  ++consumed_;
+  return entry;
+}
+
+}  // namespace nadino

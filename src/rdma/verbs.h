@@ -1,0 +1,57 @@
+// IB-verbs-like type definitions for the simulated RDMA stack.
+//
+// The model implements Reliable Connected (RC) transport only, matching the
+// paper (section 2.1): in-order delivery, end-to-end reliability, and both
+// two-sided (send/recv) and one-sided (write/read) operations.
+
+#ifndef SRC_RDMA_VERBS_H_
+#define SRC_RDMA_VERBS_H_
+
+#include <cstdint>
+
+#include "src/core/types.h"
+#include "src/mem/buffer.h"
+
+namespace nadino {
+
+enum class RdmaOpcode : uint8_t {
+  kSend,      // Two-sided: consumes a posted receive buffer at the peer.
+  kRecv,      // Completion of a posted receive.
+  kWrite,     // One-sided: writes into a remote buffer, peer CPU oblivious.
+  kRead,      // One-sided: reads a remote buffer.
+};
+
+enum class WrStatus : uint8_t {
+  kSuccess,
+  kRemoteAccessError,  // One-sided op against an unregistered / protected MR.
+  kRnrRetryExceeded,   // Receiver never posted a buffer.
+  kQpError,
+};
+
+// Access rights granted when registering a memory region, mirroring
+// IBV_ACCESS_* flags.
+enum MrAccess : uint8_t {
+  kMrLocal = 0,
+  kMrRemoteWrite = 1 << 0,
+  kMrRemoteRead = 1 << 1,
+};
+
+// A completion-queue entry.
+struct Completion {
+  uint64_t wr_id = 0;
+  RdmaOpcode opcode = RdmaOpcode::kSend;
+  WrStatus status = WrStatus::kSuccess;
+  uint32_t byte_len = 0;
+  QpNum qp = 0;
+  TenantId tenant = kInvalidTenant;
+  NodeId src_node = kInvalidNode;
+  // For kRecv completions: the receive buffer the payload was DMAed into.
+  Buffer* buffer = nullptr;
+  // Immediate data carried by sends/writes (NADINO uses it for the
+  // destination-function id so the RX stage can route descriptors).
+  uint32_t imm = 0;
+};
+
+}  // namespace nadino
+
+#endif  // SRC_RDMA_VERBS_H_

@@ -1,0 +1,235 @@
+#include "src/runtime/chain.h"
+
+namespace nadino {
+
+namespace {
+
+size_t ExchangesFrom(const ChainSpec& spec, FunctionId fn) {
+  const auto it = spec.behaviors.find(fn);
+  if (it == spec.behaviors.end()) {
+    return 0;
+  }
+  size_t total = 0;
+  for (const CallSpec& call : it->second.calls) {
+    total += 2;  // Request + response.
+    total += ExchangesFrom(spec, call.callee);
+  }
+  return total;
+}
+
+}  // namespace
+
+size_t ChainSpec::ExpectedExchanges() const { return ExchangesFrom(*this, entry); }
+
+ChainExecutor::ChainExecutor(Simulator* sim, DataPlane* dataplane)
+    : sim_(sim), dataplane_(dataplane) {}
+
+void ChainExecutor::RegisterChain(const ChainSpec& spec) { chains_[spec.id] = spec; }
+
+void ChainExecutor::AttachFunction(FunctionRuntime* function) {
+  function->SetHandler(
+      [this](FunctionRuntime& fn, Buffer* buffer) { OnMessage(fn, buffer); });
+}
+
+const FunctionBehavior* ChainExecutor::BehaviorOf(ChainId chain, FunctionId fn) const {
+  const auto chain_it = chains_.find(chain);
+  if (chain_it == chains_.end()) {
+    return nullptr;
+  }
+  const auto fn_it = chain_it->second.behaviors.find(fn);
+  return fn_it == chain_it->second.behaviors.end() ? nullptr : &fn_it->second;
+}
+
+void ChainExecutor::Fail(FunctionRuntime& fn, Buffer* buffer) {
+  ++errors_;
+  fn.pool()->Put(buffer, fn.owner_id());
+}
+
+void ChainExecutor::OnMessage(FunctionRuntime& fn, Buffer* buffer) {
+  const std::optional<MessageHeader> header = ReadMessage(*buffer);
+  if (!header.has_value() || header->dst != fn.id()) {
+    // Truncated, corrupted, or misrouted: the integrity checks failed.
+    Fail(fn, buffer);
+    return;
+  }
+  if (header->is_response()) {
+    HandleResponse(fn, buffer, *header);
+  } else {
+    HandleRequest(fn, buffer, *header);
+  }
+}
+
+void ChainExecutor::HandleRequest(FunctionRuntime& fn, Buffer* buffer,
+                                  const MessageHeader& header) {
+  const FunctionBehavior* behavior = BehaviorOf(header.chain, fn.id());
+  if (behavior == nullptr) {
+    Fail(fn, buffer);
+    return;
+  }
+  ++requests_handled_;
+  // Execute the application logic on the function's dedicated core, then
+  // either fan out to callees or respond.
+  fn.core()->Submit(behavior->compute, [this, &fn, buffer, header]() {
+    const FunctionBehavior* b = BehaviorOf(header.chain, fn.id());
+    if (b == nullptr) {
+      Fail(fn, buffer);
+      return;
+    }
+    if (b->calls.empty()) {
+      Reply(fn, buffer, header.chain, header.request_id, header.src);
+      return;
+    }
+    if (b->parallel && b->calls.size() > 1) {
+      IssueFanout(fn, buffer, header, *b);
+      return;
+    }
+    PendingCall ctx;
+    ctx.chain = header.chain;
+    ctx.caller = fn.id();
+    ctx.parent_request = header.request_id;
+    ctx.parent_src = header.src;
+    ctx.call_index = 0;
+    IssueCall(fn, buffer, ctx);
+  });
+}
+
+void ChainExecutor::IssueCall(FunctionRuntime& fn, Buffer* buffer, const PendingCall& ctx) {
+  const auto chain_it = chains_.find(ctx.chain);
+  const FunctionBehavior* behavior = BehaviorOf(ctx.chain, ctx.caller);
+  if (chain_it == chains_.end() || behavior == nullptr ||
+      ctx.call_index >= behavior->calls.size()) {
+    Fail(fn, buffer);
+    return;
+  }
+  const CallSpec& call = behavior->calls[ctx.call_index];
+  const uint64_t call_id = next_request_id_++;
+  pending_[call_id] = ctx;
+
+  MessageHeader out;
+  out.chain = ctx.chain;
+  out.src = fn.id();
+  out.dst = call.callee;
+  out.payload_length = call.request_payload;
+  out.request_id = call_id;
+  if (!WriteMessage(buffer, out)) {
+    pending_.erase(call_id);
+    Fail(fn, buffer);
+    return;
+  }
+  if (!dataplane_->Send(&fn, buffer)) {
+    pending_.erase(call_id);
+    Fail(fn, buffer);
+  }
+}
+
+void ChainExecutor::HandleResponse(FunctionRuntime& fn, Buffer* buffer,
+                                   const MessageHeader& header) {
+  const auto it = pending_.find(header.request_id);
+  if (it == pending_.end() || it->second.caller != fn.id()) {
+    Fail(fn, buffer);
+    return;
+  }
+  PendingCall ctx = it->second;
+  pending_.erase(it);
+  if (ctx.fanout_group != 0) {
+    HandleFanoutResponse(fn, buffer, ctx);
+    return;
+  }
+  const FunctionBehavior* behavior = BehaviorOf(ctx.chain, ctx.caller);
+  if (behavior == nullptr) {
+    Fail(fn, buffer);
+    return;
+  }
+  ++ctx.call_index;
+  if (ctx.call_index < behavior->calls.size()) {
+    IssueCall(fn, buffer, ctx);
+    return;
+  }
+  Reply(fn, buffer, ctx.chain, ctx.parent_request, ctx.parent_src);
+}
+
+void ChainExecutor::IssueFanout(FunctionRuntime& fn, Buffer* buffer,
+                                const MessageHeader& header,
+                                const FunctionBehavior& behavior) {
+  const uint64_t group = next_fanout_group_++;
+  FanoutGroup& fanout = fanouts_[group];
+  fanout.chain = header.chain;
+  fanout.caller = fn.id();
+  fanout.parent_request = header.request_id;
+  fanout.parent_src = header.src;
+  fanout.remaining = behavior.calls.size();
+  for (size_t i = 0; i < behavior.calls.size(); ++i) {
+    const CallSpec& call = behavior.calls[i];
+    // The incoming buffer carries the first branch; the rest need their own.
+    Buffer* out = i == 0 ? buffer : fn.pool()->Get(fn.owner_id());
+    if (out == nullptr) {
+      // Pool backpressure mid-fan-out: count the branch as failed so the
+      // group can still converge (degraded, but never wedged).
+      ++errors_;
+      --fanout.remaining;
+      continue;
+    }
+    const uint64_t call_id = next_request_id_++;
+    PendingCall ctx;
+    ctx.chain = header.chain;
+    ctx.caller = fn.id();
+    ctx.fanout_group = group;
+    pending_[call_id] = ctx;
+    MessageHeader out_header;
+    out_header.chain = header.chain;
+    out_header.src = fn.id();
+    out_header.dst = call.callee;
+    out_header.payload_length = call.request_payload;
+    out_header.request_id = call_id;
+    if (!WriteMessage(out, out_header) || !dataplane_->Send(&fn, out)) {
+      pending_.erase(call_id);
+      ++errors_;
+      fn.pool()->Put(out, fn.owner_id());
+      --fanout.remaining;
+    }
+  }
+  if (fanout.remaining == 0) {
+    // Every branch failed: nothing will ever come back; drop the group.
+    fanouts_.erase(group);
+  }
+}
+
+void ChainExecutor::HandleFanoutResponse(FunctionRuntime& fn, Buffer* buffer,
+                                         const PendingCall& ctx) {
+  const auto it = fanouts_.find(ctx.fanout_group);
+  if (it == fanouts_.end()) {
+    Fail(fn, buffer);
+    return;
+  }
+  FanoutGroup& group = it->second;
+  --group.remaining;
+  if (group.remaining > 0) {
+    // Intermediate branch: recycle its buffer; the last one carries the reply.
+    fn.pool()->Put(buffer, fn.owner_id());
+    return;
+  }
+  const FanoutGroup done = group;
+  fanouts_.erase(it);
+  Reply(fn, buffer, done.chain, done.parent_request, done.parent_src);
+}
+
+void ChainExecutor::Reply(FunctionRuntime& fn, Buffer* buffer, ChainId chain,
+                          uint64_t parent_request, FunctionId parent_src) {
+  const FunctionBehavior* behavior = BehaviorOf(chain, fn.id());
+  MessageHeader out;
+  out.chain = chain;
+  out.src = fn.id();
+  out.dst = parent_src;
+  out.payload_length = behavior == nullptr ? 0 : behavior->response_payload;
+  out.request_id = parent_request;
+  out.flags = MessageHeader::kFlagResponse;
+  if (!WriteMessage(buffer, out)) {
+    Fail(fn, buffer);
+    return;
+  }
+  if (!dataplane_->Send(&fn, buffer)) {
+    Fail(fn, buffer);
+  }
+}
+
+}  // namespace nadino

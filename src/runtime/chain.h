@@ -1,0 +1,130 @@
+// Function-chain (DAG) specification and the RPC executor layered on the
+// unified I/O library (paper section 3.5: "we layer RPC semantics and
+// DAG-style dataflows on top of the same primitives").
+//
+// A chain gives each participating function a behavior: a compute time, an
+// ordered list of downstream calls (issued sequentially, RPC-style, as a
+// Knative-like service mesh would), and a response payload size. The executor
+// drives requests through the chain, reusing the arrived buffer for the next
+// hop whenever it stays on-node (true zero-copy forwarding) and correlating
+// responses to pending calls by request id carried in the message header.
+
+#ifndef SRC_RUNTIME_CHAIN_H_
+#define SRC_RUNTIME_CHAIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/mem/buffer.h"
+#include "src/runtime/dataplane.h"
+#include "src/runtime/function.h"
+#include "src/runtime/message_header.h"
+#include "src/sim/simulator.h"
+
+namespace nadino {
+
+struct CallSpec {
+  FunctionId callee = kInvalidFunction;
+  uint32_t request_payload = 256;
+};
+
+struct FunctionBehavior {
+  SimDuration compute = 0;
+  std::vector<CallSpec> calls;  // Empty => leaf.
+  // false: calls issue sequentially, RPC style (each awaits its response).
+  // true: DAG-style fan-out — all calls issue at once (each in its own pool
+  // buffer) and the response returns when the last callee answers.
+  bool parallel = false;
+  uint32_t response_payload = 256;
+};
+
+struct ChainSpec {
+  ChainId id = 0;
+  TenantId tenant = 0;
+  std::string name;
+  FunctionId entry = kInvalidFunction;
+  uint32_t entry_request_payload = 256;
+  std::map<FunctionId, FunctionBehavior> behaviors;
+
+  // Total function-to-function data exchanges (requests + responses) for one
+  // invocation, excluding the client<->entry pair. The paper's evaluated
+  // boutique chains each exceed 11 (section 4.3).
+  size_t ExpectedExchanges() const;
+};
+
+class ChainExecutor {
+ public:
+  // `on_complete(chain, request_id)` fires when a response reaches a non-chain
+  // endpoint is NOT routed here — endpoints own their handlers; this callback
+  // reports per-hop errors instead.
+  ChainExecutor(Simulator* sim, DataPlane* dataplane);
+
+  void RegisterChain(const ChainSpec& spec);
+
+  // Installs this executor as the function's message handler.
+  void AttachFunction(FunctionRuntime* function);
+
+  // Allocates a fresh correlation id for an externally injected request
+  // (ingress / load generator).
+  uint64_t NextRequestId() { return next_request_id_++; }
+
+  uint64_t errors() const { return errors_; }
+  uint64_t requests_handled() const { return requests_handled_; }
+
+ private:
+  struct PendingCall {
+    ChainId chain = 0;
+    FunctionId caller = kInvalidFunction;
+    uint64_t parent_request = 0;
+    FunctionId parent_src = kInvalidFunction;
+    size_t call_index = 0;
+    uint64_t fanout_group = 0;  // Nonzero: member of a parallel fan-out.
+  };
+
+  // A parallel fan-out in flight: the reply fires when `remaining` hits zero.
+  struct FanoutGroup {
+    ChainId chain = 0;
+    FunctionId caller = kInvalidFunction;
+    uint64_t parent_request = 0;
+    FunctionId parent_src = kInvalidFunction;
+    size_t remaining = 0;
+  };
+
+  void OnMessage(FunctionRuntime& fn, Buffer* buffer);
+  void HandleRequest(FunctionRuntime& fn, Buffer* buffer, const MessageHeader& header);
+  void HandleResponse(FunctionRuntime& fn, Buffer* buffer, const MessageHeader& header);
+
+  // Issues every call of a parallel behavior at once; the incoming buffer
+  // carries the first call and pool buffers carry the rest.
+  void IssueFanout(FunctionRuntime& fn, Buffer* buffer, const MessageHeader& header,
+                   const FunctionBehavior& behavior);
+  void HandleFanoutResponse(FunctionRuntime& fn, Buffer* buffer, const PendingCall& ctx);
+
+  // Issues behavior.calls[index] from `fn`, reusing `buffer`.
+  void IssueCall(FunctionRuntime& fn, Buffer* buffer, const PendingCall& ctx);
+
+  // Sends fn's response back to the original requester, reusing `buffer`.
+  void Reply(FunctionRuntime& fn, Buffer* buffer, ChainId chain, uint64_t parent_request,
+             FunctionId parent_src);
+
+  const FunctionBehavior* BehaviorOf(ChainId chain, FunctionId fn) const;
+
+  void Fail(FunctionRuntime& fn, Buffer* buffer);
+
+  Simulator* sim_;
+  DataPlane* dataplane_;
+  std::map<ChainId, ChainSpec> chains_;
+  std::map<uint64_t, PendingCall> pending_;
+  std::map<uint64_t, FanoutGroup> fanouts_;
+  uint64_t next_fanout_group_ = 1;
+  uint64_t next_request_id_ = 1;
+  uint64_t errors_ = 0;
+  uint64_t requests_handled_ = 0;
+};
+
+}  // namespace nadino
+
+#endif  // SRC_RUNTIME_CHAIN_H_

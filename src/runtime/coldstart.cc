@@ -1,0 +1,83 @@
+#include "src/runtime/coldstart.h"
+
+namespace nadino {
+
+ColdStartManager::ColdStartManager(Simulator* sim, const Options& options)
+    : sim_(sim), options_(options) {}
+
+void ColdStartManager::Manage(FunctionRuntime* function) {
+  Instance& instance = instances_[function->id()];
+  instance.function = function;
+  instance.app_handler = function->handler();
+  instance.state = InstanceState::kCold;
+  function->SetHandler([this, id = function->id()](FunctionRuntime& fn, Buffer* buffer) {
+    OnMessage(instances_.at(id), fn, buffer);
+  });
+  if (!sweeping_ && options_.sweep_period > 0) {
+    sweeping_ = true;
+    sim_->Schedule(options_.sweep_period, [this]() { SweepTick(); });
+  }
+}
+
+void ColdStartManager::Prewarm(FunctionId function) {
+  const auto it = instances_.find(function);
+  if (it == instances_.end()) {
+    return;
+  }
+  it->second.state = InstanceState::kWarm;
+  it->second.last_active = sim_->now();
+}
+
+ColdStartManager::InstanceState ColdStartManager::StateOf(FunctionId function) const {
+  const auto it = instances_.find(function);
+  return it == instances_.end() ? InstanceState::kCold : it->second.state;
+}
+
+void ColdStartManager::OnMessage(Instance& instance, FunctionRuntime& fn, Buffer* buffer) {
+  instance.last_active = sim_->now();
+  switch (instance.state) {
+    case InstanceState::kWarm:
+      ++stats_.warm_hits;
+      if (instance.app_handler) {
+        instance.app_handler(fn, buffer);
+      }
+      return;
+    case InstanceState::kStarting:
+      ++stats_.queued_during_start;
+      instance.queued.push_back(buffer);
+      return;
+    case InstanceState::kCold:
+      ++stats_.cold_starts;
+      instance.state = InstanceState::kStarting;
+      instance.queued.push_back(buffer);
+      sim_->Schedule(StartDelay(), [this, id = fn.id()]() { FinishStart(id); });
+      return;
+  }
+}
+
+void ColdStartManager::FinishStart(FunctionId function) {
+  Instance& instance = instances_.at(function);
+  instance.state = InstanceState::kWarm;
+  instance.last_active = sim_->now();
+  // Drain everything that piled up behind the boot.
+  std::deque<Buffer*> queued;
+  queued.swap(instance.queued);
+  for (Buffer* buffer : queued) {
+    if (instance.app_handler) {
+      instance.app_handler(*instance.function, buffer);
+    }
+  }
+}
+
+void ColdStartManager::SweepTick() {
+  for (auto& [id, instance] : instances_) {
+    if (instance.state == InstanceState::kWarm &&
+        sim_->now() - instance.last_active >= options_.keep_warm_timeout) {
+      instance.state = InstanceState::kCold;
+      ++stats_.retirements;
+    }
+  }
+  sim_->Schedule(options_.sweep_period, [this]() { SweepTick(); });
+}
+
+}  // namespace nadino

@@ -1,0 +1,53 @@
+// The unified I/O library interface (paper section 3.5): functions call
+// Send() with an addressed buffer; the data plane decides intra-node
+// (shared-memory IPC) vs inter-node (RDMA / TCP / ...) transparently.
+//
+// NADINO and every baseline system implement this interface, so the same
+// application code (chain executor, Online Boutique, generators) runs
+// unchanged over any of them — the apples-to-apples structure of section 4.3.
+
+#ifndef SRC_RUNTIME_DATAPLANE_H_
+#define SRC_RUNTIME_DATAPLANE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/mem/buffer.h"
+#include "src/runtime/function.h"
+
+namespace nadino {
+
+class DataPlane {
+ public:
+  struct Stats {
+    uint64_t sends = 0;
+    uint64_t intra_node = 0;
+    uint64_t inter_node = 0;
+    uint64_t drops = 0;
+    // Software payload copies on the data path (socket copies, pool-to-pool
+    // copies). NADINO paths must keep this at zero — the zero-copy invariant.
+    uint64_t payload_copies = 0;
+  };
+
+  virtual ~DataPlane() = default;
+
+  // Registers a function and wires up its delivery path (Comch endpoint,
+  // SK_MSG socket, TCP port... depending on the implementation).
+  virtual void RegisterFunction(FunctionRuntime* function) = 0;
+
+  // Sends `buffer` (owned by `src`) to the function named in the message
+  // header. Returns false when the message is unroutable or malformed; the
+  // buffer then stays with the caller.
+  virtual bool Send(FunctionRuntime* src, Buffer* buffer) = 0;
+
+  virtual std::string name() const = 0;
+
+  const Stats& stats() const { return stats_; }
+
+ protected:
+  Stats stats_;
+};
+
+}  // namespace nadino
+
+#endif  // SRC_RUNTIME_DATAPLANE_H_

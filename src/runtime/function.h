@@ -1,0 +1,69 @@
+// A serverless function instance: identity, placement, a dedicated host core,
+// and its tenant's unified memory pool. Application logic is installed as a
+// handler (the chain executor for service functions; custom handlers for
+// ingress/client endpoints).
+
+#ifndef SRC_RUNTIME_FUNCTION_H_
+#define SRC_RUNTIME_FUNCTION_H_
+
+#include <functional>
+#include <string>
+
+#include "src/core/types.h"
+#include "src/mem/buffer_pool.h"
+#include "src/runtime/node.h"
+#include "src/sim/resource.h"
+
+namespace nadino {
+
+class FunctionRuntime {
+ public:
+  using Handler = std::function<void(FunctionRuntime&, Buffer*)>;
+
+  FunctionRuntime(FunctionId id, TenantId tenant, std::string name, Node* node,
+                  FifoResource* core, BufferPool* pool)
+      : id_(id), tenant_(tenant), name_(std::move(name)), node_(node), core_(core),
+        pool_(pool) {}
+
+  FunctionRuntime(const FunctionRuntime&) = delete;
+  FunctionRuntime& operator=(const FunctionRuntime&) = delete;
+
+  FunctionId id() const { return id_; }
+  TenantId tenant() const { return tenant_; }
+  const std::string& name() const { return name_; }
+  Node* node() { return node_; }
+  FifoResource* core() { return core_; }
+  BufferPool* pool() { return pool_; }
+  OwnerId owner_id() const { return OwnerId::Function(id_); }
+
+  void SetHandler(Handler handler) { handler_ = std::move(handler); }
+
+  // The currently installed handler (used by wrappers such as the cold-start
+  // manager to chain onto application logic).
+  const Handler& handler() const { return handler_; }
+
+  // Hands an arrived message to the function. Ownership of `buffer` must
+  // already be this function's; delivery costs were charged by the IPC layer.
+  void Deliver(Buffer* buffer) {
+    ++messages_received_;
+    if (handler_) {
+      handler_(*this, buffer);
+    }
+  }
+
+  uint64_t messages_received() const { return messages_received_; }
+
+ private:
+  FunctionId id_;
+  TenantId tenant_;
+  std::string name_;
+  Node* node_;
+  FifoResource* core_;
+  BufferPool* pool_;
+  Handler handler_;
+  uint64_t messages_received_ = 0;
+};
+
+}  // namespace nadino
+
+#endif  // SRC_RUNTIME_FUNCTION_H_

@@ -1,0 +1,84 @@
+#include "src/runtime/message_header.h"
+
+#include <cstring>
+
+namespace nadino {
+
+namespace {
+
+void FillPayload(Buffer* buffer, uint64_t seed, uint32_t length) {
+  uint64_t x = seed ^ 0xD1B54A32D192ED03ULL;
+  std::byte* p = buffer->data.data() + MessageHeader::kWireSize;
+  for (uint32_t i = 0; i < length; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    p[i] = static_cast<std::byte>(x >> 56);
+  }
+}
+
+uint64_t PayloadChecksum(const Buffer& buffer, uint32_t length) {
+  return Checksum({buffer.data.data() + MessageHeader::kWireSize, length});
+}
+
+void Serialize(const MessageHeader& h, std::byte* out) {
+  std::memcpy(out + 0, &h.chain, 4);
+  std::memcpy(out + 4, &h.src, 4);
+  std::memcpy(out + 8, &h.dst, 4);
+  std::memcpy(out + 12, &h.payload_length, 4);
+  std::memcpy(out + 16, &h.request_id, 8);
+  std::memcpy(out + 24, &h.payload_checksum, 8);
+  std::memcpy(out + 32, &h.flags, 1);
+  std::memset(out + 33, 0, 7);
+}
+
+MessageHeader Deserialize(const std::byte* in) {
+  MessageHeader h;
+  std::memcpy(&h.chain, in + 0, 4);
+  std::memcpy(&h.src, in + 4, 4);
+  std::memcpy(&h.dst, in + 8, 4);
+  std::memcpy(&h.payload_length, in + 12, 4);
+  std::memcpy(&h.request_id, in + 16, 8);
+  std::memcpy(&h.payload_checksum, in + 24, 8);
+  std::memcpy(&h.flags, in + 32, 1);
+  return h;
+}
+
+}  // namespace
+
+bool WriteMessage(Buffer* buffer, MessageHeader header) {
+  if (buffer == nullptr ||
+      buffer->data.size() < MessageHeader::kWireSize + header.payload_length) {
+    return false;
+  }
+  FillPayload(buffer, header.request_id, header.payload_length);
+  header.payload_checksum = PayloadChecksum(*buffer, header.payload_length);
+  Serialize(header, buffer->data.data());
+  buffer->length = MessageHeader::kWireSize + header.payload_length;
+  return true;
+}
+
+bool RewriteHeader(Buffer* buffer, MessageHeader header) {
+  if (buffer == nullptr ||
+      buffer->data.size() < MessageHeader::kWireSize + header.payload_length) {
+    return false;
+  }
+  header.payload_checksum = PayloadChecksum(*buffer, header.payload_length);
+  Serialize(header, buffer->data.data());
+  buffer->length = MessageHeader::kWireSize + header.payload_length;
+  return true;
+}
+
+std::optional<MessageHeader> ReadMessage(const Buffer& buffer) {
+  if (buffer.length < MessageHeader::kWireSize) {
+    return std::nullopt;
+  }
+  MessageHeader h = Deserialize(buffer.data.data());
+  if (buffer.length < MessageHeader::kWireSize + h.payload_length) {
+    return std::nullopt;
+  }
+  if (PayloadChecksum(buffer, h.payload_length) != h.payload_checksum) {
+    return std::nullopt;
+  }
+  return h;
+}
+
+}  // namespace nadino

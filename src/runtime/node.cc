@@ -1,0 +1,46 @@
+#include "src/runtime/node.h"
+
+#include <string>
+
+namespace nadino {
+
+Node::Node(Simulator* sim, const CostModel* cost, NodeId id, RdmaNetwork* network,
+           const Config& config)
+    : sim_(sim), cost_(cost), id_(id) {
+  cores_.reserve(static_cast<size_t>(config.host_cores));
+  for (int i = 0; i < config.host_cores; ++i) {
+    cores_.push_back(std::make_unique<FifoResource>(
+        sim, "cpu:" + std::to_string(id) + ":" + std::to_string(i)));
+  }
+  if (config.with_dpu) {
+    dpu_ = std::make_unique<Dpu>(sim, cost, id, config.dpu_cores);
+  }
+  rnic_ = std::make_unique<RdmaEngine>(sim, cost, id, network);
+}
+
+FifoResource* Node::AllocateCore() {
+  FifoResource* core = cores_.at(static_cast<size_t>(next_core_)).get();
+  next_core_ = (next_core_ + 1) % static_cast<int>(cores_.size());
+  return core;
+}
+
+double Node::HostUtilizationCores() const {
+  double total = 0.0;
+  for (const auto& core : cores_) {
+    total += core->WindowUtilization();
+  }
+  return total;
+}
+
+void Node::ResetUtilizationWindows() {
+  for (const auto& core : cores_) {
+    core->ResetWindow();
+  }
+  if (dpu_) {
+    for (int i = 0; i < dpu_->num_cores(); ++i) {
+      dpu_->core(i).ResetWindow();
+    }
+  }
+}
+
+}  // namespace nadino

@@ -1,0 +1,68 @@
+// A worker/ingress/client node: host CPU cores, an RNIC, per-node tenant
+// memory registry, and optionally a DPU (worker nodes in the paper's testbed
+// carry BlueField-2s; the ingress node has plain ConnectX-6 RNICs).
+
+#ifndef SRC_RUNTIME_NODE_H_
+#define SRC_RUNTIME_NODE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/calibration.h"
+#include "src/core/types.h"
+#include "src/dpu/dpu.h"
+#include "src/mem/tenant_registry.h"
+#include "src/rdma/rdma_engine.h"
+#include "src/sim/resource.h"
+#include "src/sim/simulator.h"
+
+namespace nadino {
+
+class Node {
+ public:
+  struct Config {
+    int host_cores = 8;
+    bool with_dpu = false;
+    int dpu_cores = 8;
+  };
+
+  Node(Simulator* sim, const CostModel* cost, NodeId id, RdmaNetwork* network,
+       const Config& config);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  int host_core_count() const { return static_cast<int>(cores_.size()); }
+  FifoResource& host_core(int i) { return *cores_.at(static_cast<size_t>(i)); }
+
+  // Assigns the next unassigned host core (functions and engines each get a
+  // dedicated core, as in the paper's experiments). Wraps around when all
+  // cores are taken (over-subscription, e.g. NightCore's single-node setup).
+  FifoResource* AllocateCore();
+
+  // Aggregate useful-work CPU utilization across host cores (sum of per-core
+  // utilizations, in "cores", like `top`'s 100%-per-core convention).
+  double HostUtilizationCores() const;
+  void ResetUtilizationWindows();
+
+  Dpu* dpu() { return dpu_.get(); }
+  RdmaEngine& rnic() { return *rnic_; }
+  TenantRegistry& tenants() { return tenants_; }
+  Simulator* sim() { return sim_; }
+  const CostModel& cost() const { return *cost_; }
+
+ private:
+  Simulator* sim_;
+  const CostModel* cost_;
+  NodeId id_;
+  std::vector<std::unique_ptr<FifoResource>> cores_;
+  int next_core_ = 0;
+  std::unique_ptr<Dpu> dpu_;
+  std::unique_ptr<RdmaEngine> rnic_;
+  TenantRegistry tenants_;
+};
+
+}  // namespace nadino
+
+#endif  // SRC_RUNTIME_NODE_H_

@@ -1,0 +1,36 @@
+// Cluster-wide function placement: the inter-node routing table consulted by
+// the unified I/O library (intra- vs inter-node decision) and by the DNE TX
+// stage to pick the destination node (paper sections 3.2, 3.5).
+
+#ifndef SRC_RUNTIME_ROUTING_TABLE_H_
+#define SRC_RUNTIME_ROUTING_TABLE_H_
+
+#include <map>
+
+#include "src/core/types.h"
+
+namespace nadino {
+
+class RoutingTable {
+ public:
+  void Place(FunctionId function, NodeId node) { placement_[function] = node; }
+
+  NodeId NodeOf(FunctionId function) const {
+    const auto it = placement_.find(function);
+    return it == placement_.end() ? kInvalidNode : it->second;
+  }
+
+  bool SameNode(FunctionId a, FunctionId b) const {
+    const NodeId na = NodeOf(a);
+    return na != kInvalidNode && na == NodeOf(b);
+  }
+
+  size_t size() const { return placement_.size(); }
+
+ private:
+  std::map<FunctionId, NodeId> placement_;
+};
+
+}  // namespace nadino
+
+#endif  // SRC_RUNTIME_ROUTING_TABLE_H_

@@ -1,0 +1,43 @@
+// Intra-node descriptor IPC over eBPF SK_MSG (paper section 3.5.3).
+//
+// Descriptors hop between co-located function sockets with the kernel
+// protocol stack bypassed (SPRIGHT's mechanism [78]): a small send cost on
+// the producer's core, an event-driven wakeup + receive on the consumer's
+// core, and — when the consumer is a *shared engine* (the CNE case) — a
+// per-message interrupt charge that throttles the engine at high concurrency
+// (receive livelock, [72]; observed in section 4.3).
+
+#ifndef SRC_RUNTIME_SKMSG_H_
+#define SRC_RUNTIME_SKMSG_H_
+
+#include <functional>
+
+#include "src/core/calibration.h"
+#include "src/mem/buffer.h"
+#include "src/sim/resource.h"
+#include "src/sim/simulator.h"
+
+namespace nadino {
+
+class SkMsgChannel {
+ public:
+  using Receiver = std::function<void(const BufferDescriptor&)>;
+
+  SkMsgChannel(Simulator* sim, const CostModel* cost) : sim_(sim), cost_(cost) {}
+
+  // Sends `desc` from `src_core` to the receiver running on `dst_core`.
+  // `engine_endpoint` adds the shared-engine interrupt cost (CNE ingestion).
+  void Send(FifoResource* src_core, FifoResource* dst_core, const BufferDescriptor& desc,
+            Receiver receiver, bool engine_endpoint = false);
+
+  uint64_t messages() const { return messages_; }
+
+ private:
+  Simulator* sim_;
+  const CostModel* cost_;
+  uint64_t messages_ = 0;
+};
+
+}  // namespace nadino
+
+#endif  // SRC_RUNTIME_SKMSG_H_

@@ -1,0 +1,148 @@
+#include "src/runtime/workload.h"
+
+namespace nadino {
+
+ClosedLoopClients::ClosedLoopClients(Simulator* sim, const CostModel* cost,
+                                     IngressGateway* gateway, const Options& options)
+    : sim_(sim), cost_(cost), gateway_(gateway), options_(options) {}
+
+void ClosedLoopClients::Start() {
+  for (int i = 0; i < options_.num_clients; ++i) {
+    AddClient();
+  }
+}
+
+void ClosedLoopClients::AddClient() {
+  const uint32_t client_id = static_cast<uint32_t>(next_client_++);
+  sim_->Schedule(options_.start_stagger * client_id % (1 * kMillisecond),
+                 [this, client_id]() { IssueRequest(client_id); });
+}
+
+void ClosedLoopClients::IssueRequest(uint32_t client_id) {
+  if (stopped_) {
+    return;
+  }
+  const SimTime issued_at = sim_->now();
+  // Client-side wire: the request crosses the client<->ingress Ethernet.
+  sim_->Schedule(cost_->client_wire_one_way, [this, client_id, issued_at]() {
+    gateway_->SubmitRequest(client_id, options_.path, options_.payload_bytes,
+                            [this, client_id, issued_at]() {
+                              latencies_.Record(sim_->now() - issued_at);
+                              rate_.RecordCompletion();
+                              ++completed_;
+                              if (stopped_) {
+                                return;
+                              }
+                              if (options_.think_time > 0) {
+                                sim_->Schedule(options_.think_time, [this, client_id]() {
+                                  IssueRequest(client_id);
+                                });
+                              } else {
+                                IssueRequest(client_id);
+                              }
+                            });
+  });
+}
+
+TenantEchoLoad::TenantEchoLoad(Simulator* sim, DataPlane* dataplane, FunctionRuntime* client,
+                               FunctionRuntime* server, const Options& options)
+    : sim_(sim), dataplane_(dataplane), client_(client), server_(server), options_(options) {
+  client_->SetHandler(
+      [this](FunctionRuntime& /*fn*/, Buffer* buffer) { OnClientMessage(buffer); });
+  server_->SetHandler(
+      [this](FunctionRuntime& fn, Buffer* buffer) { OnServerMessage(fn, buffer); });
+}
+
+void TenantEchoLoad::ScheduleActive(SimTime from, SimTime to) {
+  sim_->ScheduleAt(from, [this]() { SetActive(true); });
+  sim_->ScheduleAt(to, [this]() { SetActive(false); });
+}
+
+void TenantEchoLoad::SetActive(bool active) {
+  active_ = active;
+  if (active_) {
+    Fill();
+  }
+}
+
+void TenantEchoLoad::Fill() {
+  while (active_ && outstanding_ < options_.window) {
+    if (!IssueOne()) {
+      break;  // Backpressure: resume filling as completions come back.
+    }
+  }
+}
+
+bool TenantEchoLoad::IssueOne() {
+  Buffer* buffer = client_->pool()->Get(client_->owner_id());
+  if (buffer == nullptr) {
+    return false;  // Pool backpressure: retry as completions come back.
+  }
+  MessageHeader header;
+  header.chain = 0;
+  header.src = client_->id();
+  header.dst = server_->id();
+  header.payload_length = options_.payload_bytes;
+  header.request_id = next_request_++;
+  if (!WriteMessage(buffer, header) || !dataplane_->Send(client_, buffer)) {
+    client_->pool()->Put(buffer, client_->owner_id());
+    return false;
+  }
+  issue_times_[header.request_id] = sim_->now();
+  ++outstanding_;
+  return true;
+}
+
+void TenantEchoLoad::OnClientMessage(Buffer* buffer) {
+  const std::optional<MessageHeader> header = ReadMessage(*buffer);
+  if (header.has_value()) {
+    const auto it = issue_times_.find(header->request_id);
+    if (it != issue_times_.end()) {
+      latencies_.Record(sim_->now() - it->second);
+      issue_times_.erase(it);
+    }
+  }
+  // An echo response: recycle and keep the window full.
+  client_->pool()->Put(buffer, client_->owner_id());
+  --outstanding_;
+  ++completed_;
+  rate_.RecordCompletion();
+  Fill();
+}
+
+void TenantEchoLoad::OnServerMessage(FunctionRuntime& server, Buffer* buffer) {
+  const std::optional<MessageHeader> header = ReadMessage(*buffer);
+  if (!header.has_value()) {
+    server.pool()->Put(buffer, server.owner_id());
+    return;
+  }
+  MessageHeader reply;
+  reply.chain = header->chain;
+  reply.src = server.id();
+  reply.dst = header->src;
+  reply.payload_length = header->payload_length;
+  reply.request_id = header->request_id;
+  reply.flags = MessageHeader::kFlagResponse;
+  if (!RewriteHeader(buffer, reply) || !dataplane_->Send(&server, buffer)) {
+    server.pool()->Put(buffer, server.owner_id());
+  }
+}
+
+void PeriodicSampler::Start() { Tick(); }
+
+void PeriodicSampler::Tick() {
+  if (stopped_) {
+    return;
+  }
+  sim_->Schedule(period_, [this]() {
+    for (RateMeter* meter : meters_) {
+      meter->Roll(sim_->now());
+    }
+    for (const SampleHook& hook : hooks_) {
+      hook(sim_->now());
+    }
+    Tick();
+  });
+}
+
+}  // namespace nadino

@@ -1,0 +1,140 @@
+// Load generation: a wrk-like closed-loop client fleet driving the ingress
+// gateway (sections 4.1.3, 4.3) and per-tenant echo loads for the RDMA
+// multi-tenancy experiments (sections 4.2, Appendix A).
+
+#ifndef SRC_RUNTIME_WORKLOAD_H_
+#define SRC_RUNTIME_WORKLOAD_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/calibration.h"
+#include "src/ingress/gateway.h"
+#include "src/runtime/dataplane.h"
+#include "src/runtime/function.h"
+#include "src/runtime/message_header.h"
+#include "src/sim/stats.h"
+
+namespace nadino {
+
+// N concurrent clients, each keeping exactly one request outstanding against
+// the ingress (wrk's closed-loop behaviour with one connection per client).
+class ClosedLoopClients {
+ public:
+  struct Options {
+    int num_clients = 1;
+    std::string path = "/echo";
+    uint32_t payload_bytes = 256;
+    SimDuration think_time = 0;
+    // Stagger client start times to avoid a synchronized burst at t=0.
+    SimDuration start_stagger = 10 * kMicrosecond;
+  };
+
+  ClosedLoopClients(Simulator* sim, const CostModel* cost, IngressGateway* gateway,
+                    const Options& options);
+
+  void Start();
+
+  // Adds one more client immediately (Fig. 14's +1 client / 10 s ramp).
+  void AddClient();
+
+  // Stops issuing new requests (in-flight ones complete).
+  void Stop() { stopped_ = true; }
+
+  const LatencyHistogram& latencies() const { return latencies_; }
+  LatencyHistogram& mutable_latencies() { return latencies_; }
+  RateMeter& rate() { return rate_; }
+  uint64_t completed() const { return completed_; }
+  int num_clients() const { return next_client_; }
+
+ private:
+  void IssueRequest(uint32_t client_id);
+
+  Simulator* sim_;
+  const CostModel* cost_;
+  IngressGateway* gateway_;
+  Options options_;
+  bool stopped_ = false;
+  int next_client_ = 0;
+  uint64_t completed_ = 0;
+  LatencyHistogram latencies_;
+  RateMeter rate_;
+};
+
+// A client/server echo pair for one tenant, placed on two nodes, driving
+// inter-node transfers through the network engine. Closed loop with a
+// configurable window of outstanding requests; activation windows reproduce
+// the staggered tenant arrivals of Figs. 15/17.
+class TenantEchoLoad {
+ public:
+  struct Options {
+    uint32_t payload_bytes = 256;
+    int window = 64;  // Outstanding requests while active.
+  };
+
+  TenantEchoLoad(Simulator* sim, DataPlane* dataplane, FunctionRuntime* client,
+                 FunctionRuntime* server, const Options& options);
+
+  // Activates at `from` and deactivates at `to` (virtual time).
+  void ScheduleActive(SimTime from, SimTime to);
+  void SetActive(bool active);
+  bool active() const { return active_; }
+
+  RateMeter& rate() { return rate_; }
+  uint64_t completed() const { return completed_; }
+  TenantId tenant() const { return client_->tenant(); }
+  const LatencyHistogram& latencies() const { return latencies_; }
+  LatencyHistogram& mutable_latencies() { return latencies_; }
+
+ private:
+  void Fill();
+  // Issues one request; false when the pool backpressures (retry on the next
+  // completion) or the send fails.
+  bool IssueOne();
+  void OnClientMessage(Buffer* buffer);
+  void OnServerMessage(FunctionRuntime& server, Buffer* buffer);
+
+  Simulator* sim_;
+  DataPlane* dataplane_;
+  FunctionRuntime* client_;
+  FunctionRuntime* server_;
+  Options options_;
+  bool active_ = false;
+  int outstanding_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t next_request_ = 1;
+  RateMeter rate_;
+  LatencyHistogram latencies_;
+  std::map<uint64_t, SimTime> issue_times_;
+};
+
+// Samples a set of RateMeters (and optionally utilizations) once per window,
+// building the time series behind Figs. 14/15/17.
+class PeriodicSampler {
+ public:
+  using SampleHook = std::function<void(SimTime)>;
+
+  PeriodicSampler(Simulator* sim, SimDuration period) : sim_(sim), period_(period) {}
+
+  void AddRate(RateMeter* meter) { meters_.push_back(meter); }
+  void AddHook(SampleHook hook) { hooks_.push_back(std::move(hook)); }
+
+  void Start();
+  void Stop() { stopped_ = true; }
+
+ private:
+  void Tick();
+
+  Simulator* sim_;
+  SimDuration period_;
+  bool stopped_ = false;
+  std::vector<RateMeter*> meters_;
+  std::vector<SampleHook> hooks_;
+};
+
+}  // namespace nadino
+
+#endif  // SRC_RUNTIME_WORKLOAD_H_

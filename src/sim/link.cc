@@ -1,0 +1,29 @@
+#include "src/sim/link.h"
+
+#include <utility>
+
+namespace nadino {
+
+Link::Link(Simulator* sim, std::string name, double bandwidth_gbps, SimDuration propagation)
+    : sim_(sim),
+      bytes_per_ns_(bandwidth_gbps / 8.0),  // Gbit/s == bits/ns; /8 -> bytes/ns.
+      propagation_(propagation),
+      pipe_(sim, std::move(name)) {}
+
+SimDuration Link::SerializationTime(uint64_t bytes) const {
+  return static_cast<SimDuration>(static_cast<double>(bytes) / bytes_per_ns_ + 0.5);
+}
+
+void Link::Transfer(uint64_t bytes, Callback delivered) {
+  bytes_transferred_ += bytes;
+  pipe_.Submit(SerializationTime(bytes), [this, delivered = std::move(delivered)]() {
+    if (!delivered) {
+      return;
+    }
+    // Propagation happens off the shared pipe: back-to-back messages overlap
+    // their propagation with the next message's serialization.
+    sim_->Schedule(propagation_, delivered);
+  });
+}
+
+}  // namespace nadino

@@ -1,0 +1,53 @@
+// Network link model: serialization delay (bytes / bandwidth) on a FIFO
+// resource plus fixed propagation delay. Two links and a switch hop compose
+// into the RDMA fabric (src/rdma/fabric.h).
+
+#ifndef SRC_SIM_LINK_H_
+#define SRC_SIM_LINK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/resource.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace nadino {
+
+class Link {
+ public:
+  using Callback = std::function<void()>;
+
+  // `bandwidth_gbps` in gigabits/second; `propagation` is the fixed one-way
+  // delay added after the message finishes serializing.
+  Link(Simulator* sim, std::string name, double bandwidth_gbps, SimDuration propagation);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  // Sends `bytes` through the link; `delivered` fires at arrival time.
+  void Transfer(uint64_t bytes, Callback delivered);
+
+  // Serialization time for a message of `bytes` at this link's bandwidth.
+  SimDuration SerializationTime(uint64_t bytes) const;
+
+  // Bytes delivered since construction.
+  uint64_t bytes_transferred() const { return bytes_transferred_; }
+
+  // Queue depth of messages waiting to serialize (congestion signal).
+  size_t queue_depth() const { return pipe_.queue_depth(); }
+
+  double WindowUtilization() const { return pipe_.WindowUtilization(); }
+  void ResetWindow() { pipe_.ResetWindow(); }
+
+ private:
+  Simulator* sim_;
+  double bytes_per_ns_;
+  SimDuration propagation_;
+  FifoResource pipe_;
+  uint64_t bytes_transferred_ = 0;
+};
+
+}  // namespace nadino
+
+#endif  // SRC_SIM_LINK_H_

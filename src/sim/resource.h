@@ -1,0 +1,94 @@
+// Queueing resources: the building block for every contended hardware unit in
+// the model (CPU cores, DPU cores, SoC DMA engines, NIC processing pipelines).
+//
+// A FifoResource is a single server with a FIFO queue. Work is submitted as
+// (service_time, completion_callback); the resource serializes jobs, tracks
+// busy time for utilization accounting, and exposes queue depth so congestion
+// -aware policies (e.g. the DNE's least-congested RC connection selection)
+// can inspect it.
+
+#ifndef SRC_SIM_RESOURCE_H_
+#define SRC_SIM_RESOURCE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace nadino {
+
+class FifoResource {
+ public:
+  using Callback = std::function<void()>;
+
+  // `speed_factor` scales every submitted service time; a wimpy DPU core is
+  // modelled as a FifoResource with speed_factor > 1 (jobs take longer).
+  FifoResource(Simulator* sim, std::string name, double speed_factor = 1.0);
+
+  FifoResource(const FifoResource&) = delete;
+  FifoResource& operator=(const FifoResource&) = delete;
+
+  // Submits a job needing `service` time (before speed scaling); `done` fires
+  // when the job completes. Jobs run in submission order.
+  void Submit(SimDuration service, Callback done);
+
+  // Submits a job with no completion callback (pure time consumption).
+  void Consume(SimDuration service) { Submit(service, nullptr); }
+
+  // Number of jobs waiting or in service.
+  size_t queue_depth() const { return queue_.size() + (busy_ ? 1 : 0); }
+
+  bool busy() const { return busy_; }
+
+  // Accumulated busy nanoseconds since construction or the last checkpoint.
+  SimDuration busy_time() const;
+
+  // Utilization in [0, 1] over the window since the last ResetWindow() call.
+  double WindowUtilization() const;
+
+  // Starts a fresh utilization window at the current virtual time.
+  void ResetWindow();
+
+  // When true, the resource reports 100% window utilization regardless of
+  // useful work: models a busy-polling (pinned) core, matching how `top`
+  // reports a poll loop. Useful-work utilization stays queryable through
+  // WindowUsefulUtilization().
+  void set_pinned(bool pinned) { pinned_ = pinned; }
+  bool pinned() const { return pinned_; }
+
+  // Useful-work utilization over the window, ignoring the pinned flag. The
+  // ingress autoscaler uses this: it measures CPU time spent on data-plane
+  // work inside the poll loop (paper section 3.6).
+  double WindowUsefulUtilization() const;
+
+  const std::string& name() const { return name_; }
+  double speed_factor() const { return speed_factor_; }
+  uint64_t jobs_completed() const { return jobs_completed_; }
+
+ private:
+  struct Job {
+    SimDuration service = 0;
+    Callback done;
+  };
+
+  void StartNext();
+
+  Simulator* sim_;
+  std::string name_;
+  double speed_factor_;
+  bool busy_ = false;
+  bool pinned_ = false;
+  std::deque<Job> queue_;
+  SimDuration busy_accum_ = 0;
+  SimTime busy_since_ = 0;
+  SimTime window_start_ = 0;
+  SimDuration window_busy_ = 0;
+  uint64_t jobs_completed_ = 0;
+};
+
+}  // namespace nadino
+
+#endif  // SRC_SIM_RESOURCE_H_

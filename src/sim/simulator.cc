@@ -1,0 +1,69 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+namespace nadino {
+
+EventId Simulator::Schedule(SimDuration delay, Callback cb) {
+  if (delay < 0) {
+    delay = 0;
+  }
+  return ScheduleAt(now_ + delay, std::move(cb));
+}
+
+EventId Simulator::ScheduleAt(SimTime when, Callback cb) {
+  if (when < now_) {
+    when = now_;
+  }
+  EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(cb)});
+  pending_.insert(id);
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) { return pending_.erase(id) > 0; }
+
+void Simulator::SkipCancelled() {
+  while (!queue_.empty() && pending_.count(queue_.top().id) == 0) {
+    queue_.pop();
+  }
+}
+
+bool Simulator::PopAndRun() {
+  SkipCancelled();
+  if (queue_.empty()) {
+    return false;
+  }
+  // The callback may schedule new events; move it out before popping.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  pending_.erase(ev.id);
+  now_ = ev.when;
+  ++events_processed_;
+  ev.cb();
+  return true;
+}
+
+void Simulator::Run() {
+  stopped_ = false;
+  while (!stopped_ && PopAndRun()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  stopped_ = false;
+  while (!stopped_) {
+    SkipCancelled();
+    if (queue_.empty() || queue_.top().when > deadline) {
+      break;
+    }
+    PopAndRun();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+bool Simulator::Step() { return PopAndRun(); }
+
+}  // namespace nadino

@@ -1,0 +1,39 @@
+// Virtual time for the NADINO discrete-event simulator.
+//
+// All simulated durations and timestamps are expressed in integer nanoseconds.
+// Integer time keeps the simulation deterministic (no floating-point drift)
+// and makes event ordering total when combined with a sequence number.
+
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace nadino {
+
+// A point in virtual time, in nanoseconds since simulation start.
+using SimTime = int64_t;
+
+// A span of virtual time, in nanoseconds.
+using SimDuration = int64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+// Converts a virtual duration to fractional microseconds / milliseconds /
+// seconds for reporting. Reporting is the only place floating point is used.
+constexpr double ToUs(SimDuration d) { return static_cast<double>(d) / kMicrosecond; }
+constexpr double ToMs(SimDuration d) { return static_cast<double>(d) / kMillisecond; }
+constexpr double ToSeconds(SimDuration d) { return static_cast<double>(d) / kSecond; }
+
+// Builds a duration from fractional microseconds, rounding to the nearest
+// nanosecond. Convenient for calibration constants quoted in microseconds.
+constexpr SimDuration FromUs(double us) {
+  return static_cast<SimDuration>(us * static_cast<double>(kMicrosecond) + 0.5);
+}
+
+}  // namespace nadino
+
+#endif  // SRC_SIM_TIME_H_

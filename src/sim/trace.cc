@@ -1,0 +1,92 @@
+#include "src/sim/trace.h"
+
+#include <cstdio>
+
+namespace nadino {
+
+const char* TraceCategoryName(TraceCategory category) {
+  switch (category) {
+    case TraceCategory::kEngine:
+      return "engine";
+    case TraceCategory::kRdma:
+      return "rdma";
+    case TraceCategory::kIpc:
+      return "ipc";
+    case TraceCategory::kIngress:
+      return "ingress";
+    case TraceCategory::kApp:
+      return "app";
+  }
+  return "?";
+}
+
+Tracer::Tracer(Simulator* sim, size_t capacity)
+    : sim_(sim), ring_(capacity == 0 ? 1 : capacity) {}
+
+void Tracer::Record(TraceCategory category, uint32_t actor, std::string label, uint64_t arg0,
+                    uint64_t arg1) {
+  TraceEvent& slot = ring_[recorded_ % ring_.size()];
+  slot.at = sim_->now();
+  slot.category = category;
+  slot.actor = actor;
+  slot.label = std::move(label);
+  slot.arg0 = arg0;
+  slot.arg1 = arg1;
+  ++recorded_;
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::vector<TraceEvent> out;
+  const size_t n = size();
+  out.reserve(n);
+  const uint64_t start = recorded_ - n;
+  for (uint64_t i = start; i < recorded_; ++i) {
+    out.push_back(ring_[i % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Tracer::Filter(
+    const std::function<bool(const TraceEvent&)>& pred) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& event : Snapshot()) {
+    if (pred(event)) {
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+size_t Tracer::CountLabel(const std::string& label) const {
+  size_t count = 0;
+  const size_t n = size();
+  const uint64_t start = recorded_ - n;
+  for (uint64_t i = start; i < recorded_; ++i) {
+    if (ring_[i % ring_.size()].label == label) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string Tracer::ToText(size_t max_lines) const {
+  std::string out;
+  char line[256];
+  size_t lines = 0;
+  for (const TraceEvent& event : Snapshot()) {
+    if (lines++ >= max_lines) {
+      out += "... (truncated)\n";
+      break;
+    }
+    std::snprintf(line, sizeof(line), "t=%.3fus [%s/%u] %s arg0=%llu arg1=%llu\n",
+                  ToUs(event.at), TraceCategoryName(event.category), event.actor,
+                  event.label.c_str(), static_cast<unsigned long long>(event.arg0),
+                  static_cast<unsigned long long>(event.arg1));
+    out += line;
+  }
+  return out;
+}
+
+void Tracer::Clear() { recorded_ = 0; }
+
+}  // namespace nadino

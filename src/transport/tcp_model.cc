@@ -1,0 +1,29 @@
+#include "src/transport/tcp_model.h"
+
+namespace nadino {
+
+namespace {
+SimDuration PerByte(double ns_per_byte, uint64_t bytes) {
+  return static_cast<SimDuration>(ns_per_byte * static_cast<double>(bytes) + 0.5);
+}
+}  // namespace
+
+SimDuration TcpStackModel::RxCost(uint64_t bytes) const {
+  if (kind_ == TcpStackKind::kKernel) {
+    return cost_->ktcp_rx + PerByte(cost_->ktcp_per_byte_ns, bytes);
+  }
+  return cost_->fstack_rx + PerByte(cost_->fstack_per_byte_ns, bytes);
+}
+
+SimDuration TcpStackModel::TxCost(uint64_t bytes) const {
+  if (kind_ == TcpStackKind::kKernel) {
+    return cost_->ktcp_tx + PerByte(cost_->ktcp_per_byte_ns, bytes);
+  }
+  return cost_->fstack_tx + PerByte(cost_->fstack_per_byte_ns, bytes);
+}
+
+SimDuration TcpStackModel::IrqCost() const {
+  return kind_ == TcpStackKind::kKernel ? cost_->ktcp_irq_per_msg : 0;
+}
+
+}  // namespace nadino

@@ -1,0 +1,48 @@
+// TCP/IP stack cost models: interrupt-driven kernel stack vs DPDK F-stack.
+//
+// These provide per-message CPU-time costs for receiving/sending a message
+// of a given size through each stack (paper sections 2, 3.6, 4.1.3). The
+// kernel stack additionally charges per-message interrupt handling, the
+// mechanism behind receive livelock under load [72]; F-stack busy-polls, so
+// a worker using it reports a pinned core.
+
+#ifndef SRC_TRANSPORT_TCP_MODEL_H_
+#define SRC_TRANSPORT_TCP_MODEL_H_
+
+#include <cstdint>
+
+#include "src/core/calibration.h"
+#include "src/sim/time.h"
+
+namespace nadino {
+
+enum class TcpStackKind : uint8_t {
+  kKernel,
+  kFstack,
+};
+
+class TcpStackModel {
+ public:
+  TcpStackModel(TcpStackKind kind, const CostModel* cost) : kind_(kind), cost_(cost) {}
+
+  TcpStackKind kind() const { return kind_; }
+  bool busy_polling() const { return kind_ == TcpStackKind::kFstack; }
+
+  // CPU time to receive one message of `bytes` (protocol processing, socket
+  // copy, syscall / poll-loop share). Excludes interrupt cost — see IrqCost().
+  SimDuration RxCost(uint64_t bytes) const;
+
+  // CPU time to send one message of `bytes`.
+  SimDuration TxCost(uint64_t bytes) const;
+
+  // Per-message interrupt/softirq cost; zero for the busy-polling F-stack.
+  SimDuration IrqCost() const;
+
+ private:
+  TcpStackKind kind_;
+  const CostModel* cost_;
+};
+
+}  // namespace nadino
+
+#endif  // SRC_TRANSPORT_TCP_MODEL_H_

@@ -1,0 +1,198 @@
+// Tests for hugepage arena, buffers/descriptors, and the pool-based allocator
+// with exclusive-ownership enforcement.
+
+#include "src/mem/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/mem/hugepage_arena.h"
+
+namespace nadino {
+namespace {
+
+TEST(HugepageArenaTest, CarvesAlignedRegions) {
+  HugepageArena arena;
+  const auto a = arena.Carve(100);
+  const auto b = arena.Carve(100);
+  EXPECT_GE(a.size(), 100u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a.data()) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b.data()) % 64, 0u);
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_EQ(arena.pages_allocated(), 1u);
+}
+
+TEST(HugepageArenaTest, AllocatesNewPageWhenFull) {
+  HugepageArena arena;
+  const size_t half = kHugepageSize / 2 + 64;
+  arena.Carve(half);
+  arena.Carve(half);
+  EXPECT_EQ(arena.pages_allocated(), 2u);
+}
+
+TEST(HugepageArenaTest, RegionsDoNotOverlap) {
+  HugepageArena arena;
+  std::vector<std::span<std::byte>> regions;
+  for (int i = 0; i < 100; ++i) {
+    regions.push_back(arena.Carve(1000));
+  }
+  for (size_t i = 0; i < regions.size(); ++i) {
+    for (size_t j = i + 1; j < regions.size(); ++j) {
+      const auto* ai = regions[i].data();
+      const auto* aj = regions[j].data();
+      EXPECT_TRUE(ai + regions[i].size() <= aj || aj + regions[j].size() <= ai);
+    }
+  }
+}
+
+TEST(BufferDescriptorTest, EncodeDecodeRoundTrip) {
+  BufferDescriptor d{7, 123, 4096, 42};
+  const auto wire = d.Encode();
+  EXPECT_EQ(wire.size(), BufferDescriptor::kWireSize);
+  const BufferDescriptor back = BufferDescriptor::Decode(wire);
+  EXPECT_EQ(back, d);
+}
+
+TEST(ChecksumTest, SensitiveToContent) {
+  std::vector<std::byte> a(100, std::byte{1});
+  std::vector<std::byte> b(100, std::byte{1});
+  b[50] = std::byte{2};
+  EXPECT_NE(Checksum(a), Checksum(b));
+  EXPECT_EQ(Checksum(a), Checksum(std::vector<std::byte>(100, std::byte{1})));
+}
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  HugepageArena arena_;
+  BufferPool pool_{1, 9, 16, 4096, &arena_};
+};
+
+TEST_F(BufferPoolTest, GetAssignsOwnerAndTenant) {
+  Buffer* b = pool_.Get(OwnerId::Function(5));
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->owner, OwnerId::Function(5));
+  EXPECT_EQ(b->tenant, 9u);
+  EXPECT_EQ(b->capacity(), 4096u);
+  EXPECT_EQ(pool_.in_use(), 1u);
+}
+
+TEST_F(BufferPoolTest, ExhaustionReturnsNull) {
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_NE(pool_.Get(OwnerId::External()), nullptr);
+  }
+  EXPECT_EQ(pool_.Get(OwnerId::External()), nullptr);
+  EXPECT_EQ(pool_.stats().get_failures, 1u);
+}
+
+TEST_F(BufferPoolTest, PutByOwnerSucceeds) {
+  Buffer* b = pool_.Get(OwnerId::Function(5));
+  EXPECT_TRUE(pool_.Put(b, OwnerId::Function(5)));
+  EXPECT_EQ(b->owner, OwnerId::None());
+  EXPECT_EQ(pool_.free_count(), 16u);
+}
+
+TEST_F(BufferPoolTest, PutByNonOwnerRejected) {
+  Buffer* b = pool_.Get(OwnerId::Function(5));
+  EXPECT_FALSE(pool_.Put(b, OwnerId::Function(6)));
+  EXPECT_EQ(pool_.stats().ownership_violations, 1u);
+  EXPECT_EQ(b->owner, OwnerId::Function(5));
+}
+
+TEST_F(BufferPoolTest, DoublePutRejected) {
+  Buffer* b = pool_.Get(OwnerId::Function(5));
+  EXPECT_TRUE(pool_.Put(b, OwnerId::Function(5)));
+  EXPECT_FALSE(pool_.Put(b, OwnerId::Function(5)));
+  EXPECT_EQ(pool_.stats().ownership_violations, 1u);
+}
+
+TEST_F(BufferPoolTest, TransferMovesExclusiveOwnership) {
+  Buffer* b = pool_.Get(OwnerId::Function(5));
+  EXPECT_TRUE(pool_.Transfer(b, OwnerId::Function(5), OwnerId::Engine(1)));
+  EXPECT_EQ(b->owner, OwnerId::Engine(1));
+  // The old owner can no longer act on the buffer.
+  EXPECT_FALSE(pool_.Transfer(b, OwnerId::Function(5), OwnerId::Function(5)));
+  EXPECT_FALSE(pool_.Put(b, OwnerId::Function(5)));
+}
+
+TEST_F(BufferPoolTest, TransferToNoneRejected) {
+  Buffer* b = pool_.Get(OwnerId::Function(5));
+  EXPECT_FALSE(pool_.Transfer(b, OwnerId::Function(5), OwnerId::None()));
+}
+
+TEST_F(BufferPoolTest, GenerationBumpsOnRecycle) {
+  Buffer* b = pool_.Get(OwnerId::External());
+  const uint32_t gen = b->generation;
+  pool_.Put(b, OwnerId::External());
+  Buffer* again = pool_.Get(OwnerId::External());
+  EXPECT_EQ(again, b);  // LIFO free list returns the same buffer.
+  EXPECT_EQ(again->generation, gen + 1);
+}
+
+TEST_F(BufferPoolTest, ResolveDescriptor) {
+  Buffer* b = pool_.Get(OwnerId::Function(5));
+  b->length = 128;
+  const BufferDescriptor desc = pool_.MakeDescriptor(*b, 77);
+  EXPECT_EQ(desc.dst_function, 77u);
+  EXPECT_EQ(desc.length, 128u);
+  EXPECT_EQ(pool_.Resolve(desc), b);
+}
+
+TEST_F(BufferPoolTest, ResolveRejectsWrongPoolOrIndex) {
+  EXPECT_EQ(pool_.Resolve(BufferDescriptor{2, 0, 0, 0}), nullptr);
+  EXPECT_EQ(pool_.Resolve(BufferDescriptor{1, 999, 0, 0}), nullptr);
+}
+
+TEST_F(BufferPoolTest, ConservationUnderChurn) {
+  // Property: gets - puts == in_use at every step; no buffer handed out twice.
+  std::set<Buffer*> live;
+  for (int round = 0; round < 100; ++round) {
+    while (pool_.free_count() > 0) {
+      Buffer* b = pool_.Get(OwnerId::External());
+      ASSERT_NE(b, nullptr);
+      EXPECT_TRUE(live.insert(b).second) << "buffer double-allocated";
+    }
+    EXPECT_EQ(pool_.in_use(), live.size());
+    for (Buffer* b : live) {
+      EXPECT_TRUE(pool_.Put(b, OwnerId::External()));
+    }
+    live.clear();
+    EXPECT_EQ(pool_.free_count(), pool_.capacity());
+  }
+  EXPECT_EQ(pool_.stats().ownership_violations, 0u);
+}
+
+class PoolSizeTest : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(PoolSizeTest, AllBuffersUsableAtAnySize) {
+  const auto [count, size] = GetParam();
+  HugepageArena arena;
+  BufferPool pool(3, 1, count, size, &arena);
+  std::vector<Buffer*> buffers;
+  for (size_t i = 0; i < count; ++i) {
+    Buffer* b = pool.Get(OwnerId::External());
+    ASSERT_NE(b, nullptr);
+    EXPECT_GE(b->capacity(), size);
+    b->FillPattern(i, static_cast<uint32_t>(size));
+    buffers.push_back(b);
+  }
+  // Distinct content survives in all buffers simultaneously (no aliasing).
+  std::set<uint64_t> checksums;
+  for (Buffer* b : buffers) {
+    checksums.insert(Checksum(b->payload()));
+  }
+  EXPECT_GT(checksums.size(), count / 2);
+  for (Buffer* b : buffers) {
+    EXPECT_TRUE(pool.Put(b, OwnerId::External()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PoolSizeTest,
+                         ::testing::Values(std::pair<size_t, size_t>{1, 64},
+                                           std::pair<size_t, size_t>{8, 1024},
+                                           std::pair<size_t, size_t>{64, 4096},
+                                           std::pair<size_t, size_t>{256, 16384},
+                                           std::pair<size_t, size_t>{1024, 2048}));
+
+}  // namespace
+}  // namespace nadino

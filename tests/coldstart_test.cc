@@ -1,0 +1,142 @@
+// Tests for cold-start mitigation: keep-warm windows, Catalyzer-style
+// snapshot restore, and queueing behind in-progress starts.
+
+#include "src/runtime/coldstart.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiments.h"
+#include "src/runtime/message_header.h"
+
+namespace nadino {
+namespace {
+
+class ColdStartTest : public ::testing::Test {
+ protected:
+  ColdStartTest() {
+    ClusterConfig config;
+    config.worker_nodes = 1;
+    config.with_ingress_node = false;
+    cluster_ = std::make_unique<Cluster>(&cost_, config);
+    cluster_->CreateTenantPools(1, 256, 8192);
+    node_ = cluster_->worker(0);
+    fn_ = std::make_unique<FunctionRuntime>(7, 1, "fn", node_, node_->AllocateCore(),
+                                            node_->tenants().PoolOfTenant(1));
+    fn_->SetHandler([this](FunctionRuntime& fn, Buffer* buffer) {
+      ++handled_;
+      handled_at_ = cluster_->sim().now();
+      fn.pool()->Put(buffer, fn.owner_id());
+    });
+  }
+
+  Buffer* MakeMessage() {
+    Buffer* buffer = fn_->pool()->Get(fn_->owner_id());
+    MessageHeader header;
+    header.src = 1;
+    header.dst = 7;
+    header.payload_length = 64;
+    WriteMessage(buffer, header);
+    return buffer;
+  }
+
+  CostModel cost_ = CostModel::Default();
+  std::unique_ptr<Cluster> cluster_;
+  Node* node_ = nullptr;
+  std::unique_ptr<FunctionRuntime> fn_;
+  int handled_ = 0;
+  SimTime handled_at_ = 0;
+};
+
+TEST_F(ColdStartTest, FirstInvocationPaysColdStart) {
+  ColdStartManager manager(&cluster_->sim(), {});
+  manager.Manage(fn_.get());
+  EXPECT_EQ(manager.StateOf(7), ColdStartManager::InstanceState::kCold);
+  fn_->Deliver(MakeMessage());
+  cluster_->sim().RunFor(kSecond);
+  EXPECT_EQ(handled_, 1);
+  EXPECT_GE(handled_at_, 500 * kMillisecond);  // Full container boot.
+  EXPECT_EQ(manager.stats().cold_starts, 1u);
+  EXPECT_EQ(manager.StateOf(7), ColdStartManager::InstanceState::kWarm);
+}
+
+TEST_F(ColdStartTest, WarmInvocationsRunImmediately) {
+  ColdStartManager manager(&cluster_->sim(), {});
+  manager.Manage(fn_.get());
+  manager.Prewarm(7);
+  fn_->Deliver(MakeMessage());
+  cluster_->sim().RunFor(kMillisecond);
+  EXPECT_EQ(handled_, 1);
+  EXPECT_LT(handled_at_, kMillisecond);
+  EXPECT_EQ(manager.stats().cold_starts, 0u);
+  EXPECT_EQ(manager.stats().warm_hits, 1u);
+}
+
+TEST_F(ColdStartTest, SnapshotRestoreIsMuchFaster) {
+  ColdStartManager::Options options;
+  options.use_snapshot_restore = true;
+  ColdStartManager manager(&cluster_->sim(), options);
+  manager.Manage(fn_.get());
+  fn_->Deliver(MakeMessage());
+  cluster_->sim().RunFor(kSecond);
+  EXPECT_EQ(handled_, 1);
+  EXPECT_GE(handled_at_, 30 * kMillisecond);
+  EXPECT_LT(handled_at_, 100 * kMillisecond);  // Catalyzer-class, not a boot.
+}
+
+TEST_F(ColdStartTest, MessagesQueueBehindStartAndFlushInOrder) {
+  ColdStartManager manager(&cluster_->sim(), {});
+  manager.Manage(fn_.get());
+  fn_->Deliver(MakeMessage());
+  cluster_->sim().RunFor(100 * kMillisecond);  // Mid-boot.
+  EXPECT_EQ(manager.StateOf(7), ColdStartManager::InstanceState::kStarting);
+  fn_->Deliver(MakeMessage());
+  fn_->Deliver(MakeMessage());
+  EXPECT_EQ(handled_, 0);
+  cluster_->sim().RunFor(kSecond);
+  EXPECT_EQ(handled_, 3);
+  EXPECT_EQ(manager.stats().queued_during_start, 2u);
+  EXPECT_EQ(manager.stats().cold_starts, 1u);  // One boot served all three.
+}
+
+TEST_F(ColdStartTest, KeepWarmWindowExpiresAndInstanceRetires) {
+  ColdStartManager::Options options;
+  options.keep_warm_timeout = 2 * kSecond;
+  options.sweep_period = 500 * kMillisecond;
+  ColdStartManager manager(&cluster_->sim(), options);
+  manager.Manage(fn_.get());
+  manager.Prewarm(7);
+  fn_->Deliver(MakeMessage());
+  cluster_->sim().RunFor(kSecond);
+  EXPECT_EQ(manager.StateOf(7), ColdStartManager::InstanceState::kWarm);
+  cluster_->sim().RunFor(3 * kSecond);  // Idle past the keep-warm window.
+  EXPECT_EQ(manager.StateOf(7), ColdStartManager::InstanceState::kCold);
+  EXPECT_EQ(manager.stats().retirements, 1u);
+  // Next call pays a cold start again.
+  fn_->Deliver(MakeMessage());
+  cluster_->sim().RunFor(kSecond);
+  EXPECT_EQ(manager.stats().cold_starts, 1u);
+  EXPECT_EQ(handled_, 2);
+}
+
+TEST_F(ColdStartTest, SteadyTrafficKeepsInstanceWarm) {
+  ColdStartManager::Options options;
+  options.keep_warm_timeout = 2 * kSecond;
+  ColdStartManager manager(&cluster_->sim(), options);
+  manager.Manage(fn_.get());
+  manager.Prewarm(7);
+  // A call every second — always within the keep-warm window.
+  for (int i = 0; i < 6; ++i) {
+    cluster_->sim().Schedule(i * kSecond, [this]() { fn_->Deliver(MakeMessage()); });
+  }
+  // Check just past the last call (t=5s): never retired while traffic flowed.
+  cluster_->sim().RunFor(6 * kSecond);
+  EXPECT_EQ(handled_, 6);
+  EXPECT_EQ(manager.stats().cold_starts, 0u);
+  EXPECT_EQ(manager.stats().retirements, 0u);
+  // Once traffic stops, the keep-warm window lapses as usual.
+  cluster_->sim().RunFor(3 * kSecond);
+  EXPECT_EQ(manager.stats().retirements, 1u);
+}
+
+}  // namespace
+}  // namespace nadino

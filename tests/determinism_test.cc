@@ -1,0 +1,47 @@
+// Determinism: identical configurations produce bit-identical results across
+// runs — the property that makes every figure in this repo reproducible.
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiments.h"
+
+namespace nadino {
+namespace {
+
+TEST(DeterminismTest, DneEchoIsExactlyReproducible) {
+  DneEchoOptions options;
+  options.payload = 1024;
+  options.concurrency = 4;
+  options.duration = 100 * kMillisecond;
+  const EchoResult a = RunDneEcho(CostModel::Default(), options);
+  const EchoResult b = RunDneEcho(CostModel::Default(), options);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_DOUBLE_EQ(a.mean_latency_us, b.mean_latency_us);
+  EXPECT_DOUBLE_EQ(a.rps, b.rps);
+}
+
+TEST(DeterminismTest, BoutiqueIsExactlyReproducible) {
+  BoutiqueOptions options;
+  options.system = SystemUnderTest::kNadinoDne;
+  options.clients = 6;
+  options.duration = 300 * kMillisecond;
+  options.warmup = 50 * kMillisecond;
+  const BoutiqueResult a = RunBoutique(CostModel::Default(), options);
+  const BoutiqueResult b = RunBoutique(CostModel::Default(), options);
+  EXPECT_DOUBLE_EQ(a.rps, b.rps);
+  EXPECT_DOUBLE_EQ(a.mean_latency_ms, b.mean_latency_ms);
+  EXPECT_DOUBLE_EQ(a.dataplane_cpu_cores, b.dataplane_cpu_cores);
+}
+
+TEST(DeterminismTest, MultiTenantIsExactlyReproducible) {
+  MultiTenantOptions options;
+  options.duration = 1 * kSecond;
+  options.tenants = {{1, 3, 0, kSecond, 32, 1024}, {2, 1, 0, kSecond, 32, 1024}};
+  const MultiTenantResult a = RunMultiTenant(CostModel::Default(), options);
+  const MultiTenantResult b = RunMultiTenant(CostModel::Default(), options);
+  EXPECT_EQ(a.tenant_completed.at(1), b.tenant_completed.at(1));
+  EXPECT_EQ(a.tenant_completed.at(2), b.tenant_completed.at(2));
+}
+
+}  // namespace
+}  // namespace nadino

@@ -1,0 +1,168 @@
+// Tests for DAG-style parallel fan-out in the chain executor (paper section
+// 3.5: "we layer RPC semantics and DAG-style dataflows on top of the same
+// primitives").
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiments.h"
+#include "src/runtime/chain.h"
+#include "src/runtime/message_header.h"
+
+namespace nadino {
+namespace {
+
+class FanoutTest : public ::testing::Test {
+ protected:
+  FanoutTest() {
+    ClusterConfig config;
+    config.worker_nodes = 2;
+    config.with_ingress_node = false;
+    cluster_ = std::make_unique<Cluster>(&cost_, config);
+    cluster_->CreateTenantPools(1, 512, 8192);
+    dataplane_ = std::make_unique<NadinoDataPlane>(&cluster_->sim(), &cost_,
+                                                   &cluster_->routing(),
+                                                   NadinoDataPlane::Options{});
+    dataplane_->AddWorkerNode(cluster_->worker(0));
+    dataplane_->AddWorkerNode(cluster_->worker(1));
+    dataplane_->AttachTenant(1, 1);
+    dataplane_->Start();
+    executor_ = std::make_unique<ChainExecutor>(&cluster_->sim(), dataplane_.get());
+  }
+
+  // Builds a frontend with three slow leaves, sequential or parallel.
+  ChainSpec MakeChain(ChainId id, bool parallel) {
+    ChainSpec chain;
+    chain.id = id;
+    chain.tenant = 1;
+    chain.entry = 11;
+    FunctionBehavior frontend;
+    frontend.compute = 5 * kMicrosecond;
+    frontend.calls = {{21, 128}, {22, 128}, {23, 128}};
+    frontend.parallel = parallel;
+    frontend.response_payload = 512;
+    chain.behaviors[11] = frontend;
+    for (const FunctionId leaf : {21u, 22u, 23u}) {
+      FunctionBehavior b;
+      b.compute = 100 * kMicrosecond;  // Slow leaves make overlap visible.
+      b.response_payload = 128;
+      chain.behaviors[leaf] = b;
+    }
+    return chain;
+  }
+
+  std::unique_ptr<FunctionRuntime> MakeFunction(FunctionId id, int node) {
+    Node* n = cluster_->worker(node);
+    auto fn = std::make_unique<FunctionRuntime>(id, 1, "fn" + std::to_string(id), n,
+                                                n->AllocateCore(),
+                                                n->tenants().PoolOfTenant(1));
+    dataplane_->RegisterFunction(fn.get());
+    executor_->AttachFunction(fn.get());
+    return fn;
+  }
+
+  // Runs one request through `chain` and returns its end-to-end latency.
+  SimDuration RunOne(ChainId chain_id, FunctionRuntime* client) {
+    SimTime done_at = -1;
+    client->SetHandler([&](FunctionRuntime& fn, Buffer* buffer) {
+      const auto header = ReadMessage(*buffer);
+      EXPECT_TRUE(header.has_value());
+      EXPECT_TRUE(header->is_response());
+      done_at = cluster_->sim().now();
+      fn.pool()->Put(buffer, fn.owner_id());
+    });
+    Buffer* request = client->pool()->Get(client->owner_id());
+    MessageHeader header;
+    header.chain = chain_id;
+    header.src = client->id();
+    header.dst = 11;
+    header.payload_length = 128;
+    header.request_id = executor_->NextRequestId();
+    WriteMessage(request, header);
+    const SimTime start = cluster_->sim().now();
+    EXPECT_TRUE(dataplane_->Send(client, request));
+    cluster_->sim().RunFor(50 * kMillisecond);
+    EXPECT_GE(done_at, 0) << "request never completed";
+    return done_at - start;
+  }
+
+  CostModel cost_ = CostModel::Default();
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<NadinoDataPlane> dataplane_;
+  std::unique_ptr<ChainExecutor> executor_;
+};
+
+TEST_F(FanoutTest, ParallelFanoutCompletesWithAllLeavesInvoked) {
+  executor_->RegisterChain(MakeChain(1, /*parallel=*/true));
+  auto frontend = MakeFunction(11, 0);
+  auto leaf_a = MakeFunction(21, 1);
+  auto leaf_b = MakeFunction(22, 1);
+  auto leaf_c = MakeFunction(23, 0);
+  auto client = MakeFunction(10, 0);
+  const SimDuration latency = RunOne(1, client.get());
+  EXPECT_GT(latency, 0);
+  EXPECT_EQ(leaf_a->messages_received(), 1u);
+  EXPECT_EQ(leaf_b->messages_received(), 1u);
+  EXPECT_EQ(leaf_c->messages_received(), 1u);
+  EXPECT_EQ(executor_->errors(), 0u);
+}
+
+TEST_F(FanoutTest, ParallelOverlapsLeafComputeSequentialDoesNot) {
+  executor_->RegisterChain(MakeChain(1, /*parallel=*/true));
+  executor_->RegisterChain(MakeChain(2, /*parallel=*/false));
+  auto frontend = MakeFunction(11, 0);
+  auto leaf_a = MakeFunction(21, 1);
+  auto leaf_b = MakeFunction(22, 1);
+  auto leaf_c = MakeFunction(23, 0);
+  auto client = MakeFunction(10, 0);
+  const SimDuration parallel_latency = RunOne(1, client.get());
+  const SimDuration sequential_latency = RunOne(2, client.get());
+  // Sequential: >= 3 x 100 us of leaf compute on the critical path.
+  EXPECT_GE(sequential_latency, 300 * kMicrosecond);
+  // Parallel: leaves 21/22 share one core (serialize), leaf 23 overlaps, so
+  // the critical path is ~2 x 100 us + hops — decisively below sequential.
+  EXPECT_LT(parallel_latency, sequential_latency - 80 * kMicrosecond);
+  EXPECT_EQ(executor_->errors(), 0u);
+}
+
+TEST_F(FanoutTest, FanoutConservesBuffers) {
+  executor_->RegisterChain(MakeChain(1, /*parallel=*/true));
+  auto frontend = MakeFunction(11, 0);
+  auto leaf_a = MakeFunction(21, 1);
+  auto leaf_b = MakeFunction(22, 1);
+  auto leaf_c = MakeFunction(23, 0);
+  auto client = MakeFunction(10, 0);
+  BufferPool* pool0 = cluster_->worker(0)->tenants().PoolOfTenant(1);
+  BufferPool* pool1 = cluster_->worker(1)->tenants().PoolOfTenant(1);
+  const size_t base0 = pool0->in_use();
+  const size_t base1 = pool1->in_use();
+  for (int i = 0; i < 10; ++i) {
+    RunOne(1, client.get());
+  }
+  EXPECT_EQ(pool0->in_use(), base0);
+  EXPECT_EQ(pool1->in_use(), base1);
+  EXPECT_EQ(pool0->stats().ownership_violations, 0u);
+}
+
+TEST_F(FanoutTest, SingleCallParallelBehaviorDegeneratesToSequential) {
+  ChainSpec chain;
+  chain.id = 3;
+  chain.tenant = 1;
+  chain.entry = 11;
+  FunctionBehavior frontend;
+  frontend.calls = {{21, 128}};
+  frontend.parallel = true;  // One call: nothing to fan out.
+  frontend.response_payload = 256;
+  chain.behaviors[11] = frontend;
+  FunctionBehavior leaf;
+  leaf.response_payload = 128;
+  chain.behaviors[21] = leaf;
+  executor_->RegisterChain(chain);
+  auto frontend_fn = MakeFunction(11, 0);
+  auto leaf_fn = MakeFunction(21, 1);
+  auto client = MakeFunction(10, 0);
+  EXPECT_GT(RunOne(3, client.get()), 0);
+  EXPECT_EQ(executor_->errors(), 0u);
+}
+
+}  // namespace
+}  // namespace nadino

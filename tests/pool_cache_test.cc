@@ -1,0 +1,111 @@
+// Tests for the per-consumer buffer-pool cache.
+
+#include "src/mem/pool_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/mem/hugepage_arena.h"
+
+namespace nadino {
+namespace {
+
+class PoolCacheTest : public ::testing::Test {
+ protected:
+  HugepageArena arena_;
+  BufferPool pool_{1, 1, 64, 1024, &arena_};
+  OwnerId cache_owner_ = OwnerId::Engine(50);
+  OwnerId user_ = OwnerId::Function(7);
+};
+
+TEST_F(PoolCacheTest, GetRefillsInBulkThenHitsLocally) {
+  PoolCache cache(&pool_, cache_owner_, 8);
+  Buffer* first = cache.Get(user_);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->owner, user_);
+  EXPECT_EQ(cache.stats().refills, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  // The refill pulled extra buffers: subsequent gets are cache hits.
+  Buffer* second = cache.Get(user_);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().refills, 1u);
+}
+
+TEST_F(PoolCacheTest, PutParksLocallyAndFlushesWhenFull) {
+  PoolCache cache(&pool_, cache_owner_, 4);
+  std::vector<Buffer*> held;
+  for (int i = 0; i < 8; ++i) {
+    held.push_back(cache.Get(user_));
+  }
+  const uint64_t shared_puts_before = pool_.stats().puts;
+  for (Buffer* b : held) {
+    EXPECT_TRUE(cache.Put(b, user_));
+  }
+  // Some puts flushed through to the shared pool, some parked locally.
+  EXPECT_GT(pool_.stats().puts, shared_puts_before);
+  EXPECT_GT(cache.stats().flushes, 0u);
+  EXPECT_LE(cache.cached(), 4u);
+}
+
+TEST_F(PoolCacheTest, PutByNonOwnerRejected) {
+  PoolCache cache(&pool_, cache_owner_, 4);
+  Buffer* b = cache.Get(user_);
+  EXPECT_FALSE(cache.Put(b, OwnerId::Function(99)));
+  EXPECT_EQ(b->owner, user_);  // Untouched.
+}
+
+TEST_F(PoolCacheTest, ExhaustionPropagates) {
+  PoolCache cache(&pool_, cache_owner_, 8);
+  std::vector<Buffer*> all;
+  Buffer* b = nullptr;
+  while ((b = cache.Get(user_)) != nullptr) {
+    all.push_back(b);
+  }
+  EXPECT_EQ(all.size(), 64u);  // Every pool buffer reachable through the cache.
+  EXPECT_EQ(cache.Get(user_), nullptr);
+  for (Buffer* buffer : all) {
+    cache.Put(buffer, user_);
+  }
+}
+
+TEST_F(PoolCacheTest, FlushReturnsEverythingToSharedPool) {
+  {
+    PoolCache cache(&pool_, cache_owner_, 16);
+    Buffer* b = cache.Get(user_);
+    cache.Put(b, user_);
+    EXPECT_GT(cache.cached(), 0u);
+  }  // Destructor flushes.
+  EXPECT_EQ(pool_.free_count(), pool_.capacity());
+  EXPECT_EQ(pool_.stats().ownership_violations, 0u);
+}
+
+TEST_F(PoolCacheTest, NoDoubleHandOutAcrossCacheAndPool) {
+  PoolCache cache(&pool_, cache_owner_, 8);
+  std::set<Buffer*> seen;
+  std::vector<Buffer*> direct;
+  std::vector<Buffer*> cached;
+  for (int i = 0; i < 20; ++i) {
+    Buffer* a = pool_.Get(OwnerId::External());
+    if (a != nullptr) {
+      EXPECT_TRUE(seen.insert(a).second);
+      direct.push_back(a);
+    }
+    Buffer* c = cache.Get(user_);
+    if (c != nullptr) {
+      EXPECT_TRUE(seen.insert(c).second);
+      cached.push_back(c);
+    }
+  }
+  for (Buffer* a : direct) {
+    pool_.Put(a, OwnerId::External());
+  }
+  for (Buffer* c : cached) {
+    cache.Put(c, user_);
+  }
+  EXPECT_EQ(pool_.stats().ownership_violations, 0u);
+}
+
+}  // namespace
+}  // namespace nadino

@@ -1,0 +1,156 @@
+// Tests for per-tenant traffic policies: token-bucket shaping and strict
+// priority classes, standalone and integrated into the network engine.
+
+#include "src/dne/rate_limiter.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiments.h"
+#include "src/runtime/message_header.h"
+#include "src/runtime/workload.h"
+
+namespace nadino {
+namespace {
+
+TEST(TokenBucketTest, BurstPassesImmediately) {
+  TokenBucket bucket(/*rate_bps=*/8e6, /*burst_bytes=*/10000);  // 1 MB/s.
+  EXPECT_EQ(bucket.ReserveSendTime(10000, 0), 0);
+}
+
+TEST(TokenBucketTest, DeficitMapsToFutureSendTime) {
+  TokenBucket bucket(8e6, 1000);  // 1 MB/s, 1 KB burst.
+  EXPECT_EQ(bucket.ReserveSendTime(1000, 0), 0);  // Burst drained.
+  // The next 1000 bytes need 1 ms of refill at 1 MB/s.
+  const SimTime next = bucket.ReserveSendTime(1000, 0);
+  EXPECT_NEAR(static_cast<double>(next), 1.0 * kMillisecond, 0.05 * kMillisecond);
+}
+
+TEST(TokenBucketTest, TokensRefillOverTime) {
+  TokenBucket bucket(8e6, 1000);
+  bucket.ReserveSendTime(1000, 0);
+  EXPECT_NEAR(bucket.AvailableTokens(500 * kMicrosecond), 500.0, 5.0);
+  // Refill caps at the burst size.
+  EXPECT_NEAR(bucket.AvailableTokens(10 * kSecond), 1000.0, 1.0);
+}
+
+TEST(TokenBucketTest, SustainedRateConvergesToConfigured) {
+  TokenBucket bucket(80e6, 4000);  // 10 MB/s.
+  SimTime now = 0;
+  uint64_t sent_bytes = 0;
+  for (int i = 0; i < 10000; ++i) {
+    now = std::max(now, bucket.ReserveSendTime(1000, now));
+    sent_bytes += 1000;
+  }
+  const double achieved_bps = static_cast<double>(sent_bytes) * 8.0 / ToSeconds(now);
+  EXPECT_NEAR(achieved_bps, 80e6, 80e6 * 0.02);
+}
+
+TEST(TenantRateLimiterTest, UnshapedTenantsPassFree) {
+  TenantRateLimiter limiter;
+  EXPECT_EQ(limiter.AdmissionDelay(1, 1000000, 0), 0);
+  EXPECT_FALSE(limiter.IsShaped(1));
+  EXPECT_EQ(limiter.stats().delayed, 0u);
+}
+
+TEST(TenantRateLimiterTest, ShapedTenantDelaysOverRate) {
+  TenantRateLimiter limiter;
+  limiter.SetRate(1, 8e6, 1000);
+  EXPECT_EQ(limiter.AdmissionDelay(1, 1000, 0), 0);
+  EXPECT_GT(limiter.AdmissionDelay(1, 1000, 0), 0);
+  EXPECT_EQ(limiter.stats().admitted, 1u);
+  EXPECT_EQ(limiter.stats().delayed, 1u);
+  limiter.ClearRate(1);
+  EXPECT_EQ(limiter.AdmissionDelay(1, 1000000, 0), 0);
+}
+
+TEST(PrioritySchedulerTest, HigherClassAlwaysFirst) {
+  PriorityScheduler sched;
+  sched.SetWeight(1, /*class=*/0);  // Latency-critical.
+  sched.SetWeight(2, /*class=*/5);  // Batch.
+  TxItem item;
+  item.bytes = 100;
+  for (int i = 0; i < 5; ++i) {
+    item.tenant = 2;
+    sched.Enqueue(item);
+    item.tenant = 1;
+    sched.Enqueue(item);
+  }
+  TxItem out;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(sched.Dequeue(&out));
+    EXPECT_EQ(out.tenant, 1u);
+  }
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(sched.Dequeue(&out));
+    EXPECT_EQ(out.tenant, 2u);
+  }
+  EXPECT_FALSE(sched.Dequeue(&out));
+  EXPECT_GT(sched.bypass_events(), 0u);
+  EXPECT_EQ(sched.Served(1), 5u);
+  EXPECT_EQ(sched.Served(2), 5u);
+}
+
+TEST(PrioritySchedulerTest, FifoWithinClass) {
+  PriorityScheduler sched;
+  sched.SetWeight(1, 1);
+  TxItem item;
+  item.tenant = 1;
+  for (uint32_t i = 0; i < 4; ++i) {
+    item.desc.buffer_index = i;
+    sched.Enqueue(item);
+  }
+  TxItem out;
+  for (uint32_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(sched.Dequeue(&out));
+    EXPECT_EQ(out.desc.buffer_index, i);
+  }
+}
+
+TEST(RatePolicyIntegrationTest, ShapedTenantCappedWhileOthersSaturate) {
+  // Tenant 2 is shaped to ~1/8 of what it could otherwise take; tenant 1
+  // soaks up the rest of the engine.
+  CostModel cost = CostModel::Default();
+  ClusterConfig config;
+  config.worker_nodes = 2;
+  config.with_ingress_node = false;
+  Cluster cluster(&cost, config);
+  cluster.CreateTenantPools(1, 1024, 8192);
+  cluster.CreateTenantPools(2, 1024, 8192);
+  NadinoDataPlane dp(&cluster.sim(), &cost, &cluster.routing(), {});
+  NetworkEngine* engine = dp.AddWorkerNode(cluster.worker(0));
+  dp.AddWorkerNode(cluster.worker(1));
+  dp.AttachTenant(1, 1);
+  dp.AttachTenant(2, 1);
+  dp.Start();
+  // Cap tenant 2 at ~10K msgs/s of ~1.1 KB wire size => ~88 Mbit/s.
+  engine->SetTenantRate(2, 88e6, 4096);
+
+  std::vector<std::unique_ptr<FunctionRuntime>> fns;
+  std::vector<std::unique_ptr<TenantEchoLoad>> loads;
+  for (const TenantId tenant : {1u, 2u}) {
+    fns.push_back(std::make_unique<FunctionRuntime>(
+        100 + tenant, tenant, "c", cluster.worker(0), cluster.worker(0)->AllocateCore(),
+        cluster.worker(0)->tenants().PoolOfTenant(tenant)));
+    fns.push_back(std::make_unique<FunctionRuntime>(
+        200 + tenant, tenant, "s", cluster.worker(1), cluster.worker(1)->AllocateCore(),
+        cluster.worker(1)->tenants().PoolOfTenant(tenant)));
+    dp.RegisterFunction(fns[fns.size() - 2].get());
+    dp.RegisterFunction(fns.back().get());
+    TenantEchoLoad::Options load_options;
+    load_options.payload_bytes = 1024;
+    load_options.window = 32;
+    loads.push_back(std::make_unique<TenantEchoLoad>(&cluster.sim(), &dp,
+                                                     fns[fns.size() - 2].get(),
+                                                     fns.back().get(), load_options));
+    loads.back()->SetActive(true);
+  }
+  cluster.sim().RunFor(kSecond);
+  const double rps1 = static_cast<double>(loads[0]->completed());
+  const double rps2 = static_cast<double>(loads[1]->completed());
+  EXPECT_NEAR(rps2, 10000.0, 1500.0);  // Held at the cap.
+  EXPECT_GT(rps1, rps2 * 5);           // Unshaped tenant takes the remainder.
+  EXPECT_GT(engine->rate_limiter().stats().delayed, 0u);
+}
+
+}  // namespace
+}  // namespace nadino

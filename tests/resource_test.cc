@@ -1,0 +1,151 @@
+// Tests for FIFO resources (cores, DMA engines) and links.
+
+#include "src/sim/link.h"
+#include "src/sim/resource.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nadino {
+namespace {
+
+TEST(FifoResourceTest, JobsRunInOrder) {
+  Simulator sim;
+  FifoResource core(&sim, "core");
+  std::vector<int> order;
+  core.Submit(100, [&]() { order.push_back(1); });
+  core.Submit(50, [&]() { order.push_back(2); });
+  core.Submit(10, [&]() { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 160);
+}
+
+TEST(FifoResourceTest, SerializesWork) {
+  Simulator sim;
+  FifoResource core(&sim, "core");
+  SimTime first_done = 0;
+  SimTime second_done = 0;
+  core.Submit(100, [&]() { first_done = sim.now(); });
+  core.Submit(100, [&]() { second_done = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(first_done, 100);
+  EXPECT_EQ(second_done, 200);
+}
+
+TEST(FifoResourceTest, SpeedFactorScalesServiceTime) {
+  Simulator sim;
+  FifoResource wimpy(&sim, "dpu", 2.0);
+  SimTime done = 0;
+  wimpy.Submit(100, [&]() { done = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(done, 200);
+}
+
+TEST(FifoResourceTest, QueueDepthCountsWaitingAndInService) {
+  Simulator sim;
+  FifoResource core(&sim, "core");
+  core.Submit(100, nullptr);
+  core.Submit(100, nullptr);
+  core.Submit(100, nullptr);
+  EXPECT_EQ(core.queue_depth(), 3u);
+  sim.RunUntil(150);
+  EXPECT_EQ(core.queue_depth(), 2u);
+  sim.Run();
+  EXPECT_EQ(core.queue_depth(), 0u);
+  EXPECT_EQ(core.jobs_completed(), 3u);
+}
+
+TEST(FifoResourceTest, BusyTimeAccumulates) {
+  Simulator sim;
+  FifoResource core(&sim, "core");
+  core.Submit(100, nullptr);
+  sim.Schedule(500, [&]() { core.Submit(200, nullptr); });
+  sim.Run();
+  EXPECT_EQ(core.busy_time(), 300);
+}
+
+TEST(FifoResourceTest, WindowUtilization) {
+  Simulator sim;
+  FifoResource core(&sim, "core");
+  core.Submit(400, nullptr);
+  sim.RunUntil(1000);
+  EXPECT_NEAR(core.WindowUtilization(), 0.4, 0.01);
+  core.ResetWindow();
+  sim.RunUntil(2000);
+  EXPECT_NEAR(core.WindowUtilization(), 0.0, 0.01);
+}
+
+TEST(FifoResourceTest, PinnedReportsFullUtilization) {
+  Simulator sim;
+  FifoResource core(&sim, "core");
+  core.set_pinned(true);
+  core.Submit(100, nullptr);
+  sim.RunUntil(1000);
+  EXPECT_DOUBLE_EQ(core.WindowUtilization(), 1.0);
+  EXPECT_NEAR(core.WindowUsefulUtilization(), 0.1, 0.01);
+}
+
+TEST(FifoResourceTest, CompletionCallbackSubmitsQueueBehindWaiters) {
+  Simulator sim;
+  FifoResource core(&sim, "core");
+  std::vector<int> order;
+  core.Submit(10, [&]() {
+    order.push_back(1);
+    core.Submit(10, [&]() { order.push_back(3); });
+  });
+  core.Submit(10, [&]() { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(FifoResourceTest, ZeroAndNegativeServiceTimes) {
+  Simulator sim;
+  FifoResource core(&sim, "core");
+  int done = 0;
+  core.Submit(0, [&]() { ++done; });
+  core.Submit(-100, [&]() { ++done; });
+  sim.Run();
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(LinkTest, SerializationPlusPropagation) {
+  Simulator sim;
+  // 8 Gbit/s == 1 byte/ns; 1000 bytes -> 1000 ns + 500 ns propagation.
+  Link link(&sim, "l", 8.0, 500);
+  SimTime delivered = 0;
+  link.Transfer(1000, [&]() { delivered = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(delivered, 1500);
+  EXPECT_EQ(link.bytes_transferred(), 1000u);
+}
+
+TEST(LinkTest, BackToBackMessagesSerializeButOverlapPropagation) {
+  Simulator sim;
+  Link link(&sim, "l", 8.0, 500);
+  SimTime first = 0;
+  SimTime second = 0;
+  link.Transfer(1000, [&]() { first = sim.now(); });
+  link.Transfer(1000, [&]() { second = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(first, 1500);
+  // Second message finishes serializing at 2000, arrives 2500 — its
+  // propagation overlapped the first message's.
+  EXPECT_EQ(second, 2500);
+}
+
+TEST(LinkTest, QueueDepthReflectsBacklog) {
+  Simulator sim;
+  Link link(&sim, "l", 8.0, 0);
+  for (int i = 0; i < 5; ++i) {
+    link.Transfer(1000, nullptr);
+  }
+  EXPECT_EQ(link.queue_depth(), 5u);
+  sim.Run();
+  EXPECT_EQ(link.queue_depth(), 0u);
+}
+
+}  // namespace
+}  // namespace nadino

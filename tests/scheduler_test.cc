@@ -1,0 +1,248 @@
+// Tests for the DWRR / FCFS TX schedulers and the receive buffer registry.
+
+#include "src/dne/rbr_table.h"
+#include "src/dne/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/sim/random.h"
+
+namespace nadino {
+namespace {
+
+TxItem Item(TenantId tenant, uint32_t bytes) {
+  TxItem item;
+  item.tenant = tenant;
+  item.bytes = bytes;
+  return item;
+}
+
+TEST(FcfsSchedulerTest, ServesInArrivalOrder) {
+  FcfsScheduler sched;
+  sched.Enqueue(Item(1, 100));
+  sched.Enqueue(Item(2, 100));
+  sched.Enqueue(Item(1, 100));
+  TxItem out;
+  ASSERT_TRUE(sched.Dequeue(&out));
+  EXPECT_EQ(out.tenant, 1u);
+  ASSERT_TRUE(sched.Dequeue(&out));
+  EXPECT_EQ(out.tenant, 2u);
+  ASSERT_TRUE(sched.Dequeue(&out));
+  EXPECT_EQ(out.tenant, 1u);
+  EXPECT_FALSE(sched.Dequeue(&out));
+  EXPECT_EQ(sched.Served(1), 2u);
+  EXPECT_EQ(sched.Served(2), 1u);
+}
+
+TEST(DwrrSchedulerTest, EmptyDequeueFails) {
+  DwrrScheduler sched;
+  TxItem out;
+  EXPECT_FALSE(sched.Dequeue(&out));
+}
+
+TEST(DwrrSchedulerTest, SingleTenantDrainsFifo) {
+  DwrrScheduler sched(1024);
+  sched.SetWeight(1, 2);
+  for (uint32_t i = 0; i < 5; ++i) {
+    TxItem item = Item(1, 100);
+    item.desc.buffer_index = i;
+    sched.Enqueue(item);
+  }
+  for (uint32_t i = 0; i < 5; ++i) {
+    TxItem out;
+    ASSERT_TRUE(sched.Dequeue(&out));
+    EXPECT_EQ(out.desc.buffer_index, i);
+  }
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(DwrrSchedulerTest, ServiceProportionalToWeights) {
+  // Backlogged tenants with weights 6:1:2 must be served ~6:1:2 by items of
+  // equal size — the Fig. 15 property.
+  DwrrScheduler sched(1024);
+  sched.SetWeight(1, 6);
+  sched.SetWeight(2, 1);
+  sched.SetWeight(3, 2);
+  for (int i = 0; i < 900; ++i) {
+    sched.Enqueue(Item(1, 1024));
+    sched.Enqueue(Item(2, 1024));
+    sched.Enqueue(Item(3, 1024));
+  }
+  // Serve 900 items while every queue stays backlogged.
+  std::map<TenantId, int> served;
+  TxItem out;
+  for (int i = 0; i < 900; ++i) {
+    ASSERT_TRUE(sched.Dequeue(&out));
+    ++served[out.tenant];
+  }
+  EXPECT_NEAR(served[1], 600, 12);
+  EXPECT_NEAR(served[2], 100, 12);
+  EXPECT_NEAR(served[3], 200, 12);
+}
+
+TEST(DwrrSchedulerTest, ByteBasedFairnessWithUnequalSizes) {
+  // Equal weights, tenant 1 sends 4x larger items: it should get ~1/4 the
+  // item count (equal bytes).
+  DwrrScheduler sched(2048);
+  sched.SetWeight(1, 1);
+  sched.SetWeight(2, 1);
+  for (int i = 0; i < 2000; ++i) {
+    sched.Enqueue(Item(1, 4096));
+    sched.Enqueue(Item(2, 1024));
+  }
+  std::map<TenantId, uint64_t> bytes;
+  TxItem out;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(sched.Dequeue(&out));
+    bytes[out.tenant] += out.bytes;
+  }
+  const double ratio = static_cast<double>(bytes[1]) / static_cast<double>(bytes[2]);
+  EXPECT_NEAR(ratio, 1.0, 0.1);
+}
+
+TEST(DwrrSchedulerTest, IdleTenantDoesNotAccumulateCredit) {
+  // A tenant that was idle must not burst beyond its fair share when it
+  // returns (deficit resets when the queue empties).
+  DwrrScheduler sched(1024);
+  sched.SetWeight(1, 1);
+  sched.SetWeight(2, 1);
+  sched.Enqueue(Item(1, 1024));
+  TxItem out;
+  ASSERT_TRUE(sched.Dequeue(&out));
+  EXPECT_EQ(sched.DeficitOf(1), 0);
+}
+
+TEST(DwrrSchedulerTest, OversizedItemEventuallyServed) {
+  // An item larger than weight*quantum accumulates deficit across visits
+  // rather than starving.
+  DwrrScheduler sched(512);
+  sched.SetWeight(1, 1);
+  sched.SetWeight(2, 1);
+  sched.Enqueue(Item(1, 4096));
+  for (int i = 0; i < 16; ++i) {
+    sched.Enqueue(Item(2, 256));
+  }
+  std::map<TenantId, int> served;
+  TxItem out;
+  while (sched.Dequeue(&out)) {
+    ++served[out.tenant];
+  }
+  EXPECT_EQ(served[1], 1);
+  EXPECT_EQ(served[2], 16);
+}
+
+TEST(DwrrSchedulerTest, LateJoinerGetsFairShareImmediately) {
+  DwrrScheduler sched(1024);
+  sched.SetWeight(1, 1);
+  sched.SetWeight(2, 1);
+  for (int i = 0; i < 100; ++i) {
+    sched.Enqueue(Item(1, 1024));
+  }
+  TxItem out;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(sched.Dequeue(&out));
+  }
+  for (int i = 0; i < 100; ++i) {
+    sched.Enqueue(Item(2, 1024));
+  }
+  std::map<TenantId, int> served;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(sched.Dequeue(&out));
+    ++served[out.tenant];
+  }
+  EXPECT_NEAR(served[1], 25, 2);
+  EXPECT_NEAR(served[2], 25, 2);
+}
+
+// Property sweep: random weights and arrivals still produce weight-
+// proportional service for continuously backlogged tenants.
+class DwrrPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DwrrPropertyTest, WeightProportionalUnderRandomArrivals) {
+  Rng rng(GetParam());
+  DwrrScheduler sched(1024);
+  const int tenants = 2 + static_cast<int>(rng.UniformInt(0, 3));
+  std::map<TenantId, uint32_t> weights;
+  uint32_t weight_sum = 0;
+  for (int t = 1; t <= tenants; ++t) {
+    const auto w = static_cast<uint32_t>(rng.UniformInt(1, 8));
+    weights[static_cast<TenantId>(t)] = w;
+    weight_sum += w;
+    sched.SetWeight(static_cast<TenantId>(t), w);
+  }
+  // Heavy backlog for everyone.
+  for (int i = 0; i < 4000; ++i) {
+    for (int t = 1; t <= tenants; ++t) {
+      sched.Enqueue(Item(static_cast<TenantId>(t), 1024));
+    }
+  }
+  const int to_serve = 2000;
+  std::map<TenantId, int> served;
+  TxItem out;
+  for (int i = 0; i < to_serve; ++i) {
+    ASSERT_TRUE(sched.Dequeue(&out));
+    ++served[out.tenant];
+  }
+  for (const auto& [tenant, weight] : weights) {
+    const double expected = static_cast<double>(to_serve) * weight / weight_sum;
+    EXPECT_NEAR(served[tenant], expected, expected * 0.05 + 8.0)
+        << "tenant " << tenant << " weight " << weight;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DwrrPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+TEST(RbrTableTest, InsertConsumeRoundTrip) {
+  RbrTable rbr;
+  Buffer buffer;
+  EXPECT_TRUE(rbr.Insert(10, &buffer, 1));
+  EXPECT_EQ(rbr.outstanding(), 1u);
+  EXPECT_EQ(rbr.Consume(10, 1), &buffer);
+  EXPECT_EQ(rbr.outstanding(), 0u);
+  EXPECT_EQ(rbr.TakeConsumedCount(1), 1u);
+  EXPECT_EQ(rbr.TakeConsumedCount(1), 0u);  // Drained.
+}
+
+TEST(RbrTableTest, DuplicateWrIdRejected) {
+  RbrTable rbr;
+  Buffer buffer;
+  EXPECT_TRUE(rbr.Insert(10, &buffer, 1));
+  EXPECT_FALSE(rbr.Insert(10, &buffer, 1));
+}
+
+TEST(RbrTableTest, TenantMismatchCounted) {
+  RbrTable rbr;
+  Buffer buffer;
+  rbr.Insert(10, &buffer, 1);
+  EXPECT_EQ(rbr.Consume(10, 2), nullptr);
+  EXPECT_EQ(rbr.mismatches(), 1u);
+  // The entry survives a mismatched consume.
+  EXPECT_EQ(rbr.Consume(10, 1), &buffer);
+}
+
+TEST(RbrTableTest, UnknownWrIdCounted) {
+  RbrTable rbr;
+  EXPECT_EQ(rbr.Consume(999, 1), nullptr);
+  EXPECT_EQ(rbr.mismatches(), 1u);
+}
+
+TEST(RbrTableTest, PerTenantConsumedCounters) {
+  RbrTable rbr;
+  Buffer b1;
+  Buffer b2;
+  Buffer b3;
+  rbr.Insert(1, &b1, 7);
+  rbr.Insert(2, &b2, 7);
+  rbr.Insert(3, &b3, 8);
+  rbr.Consume(1, 7);
+  rbr.Consume(2, 7);
+  rbr.Consume(3, 8);
+  EXPECT_EQ(rbr.TakeConsumedCount(7), 2u);
+  EXPECT_EQ(rbr.TakeConsumedCount(8), 1u);
+}
+
+}  // namespace
+}  // namespace nadino

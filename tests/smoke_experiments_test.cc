@@ -1,0 +1,131 @@
+// End-to-end smoke tests: every experiment harness runs, completes requests,
+// and produces sane numbers. These catch integration regressions quickly;
+// calibration_test.cc pins the actual paper bands.
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiments.h"
+
+namespace nadino {
+namespace {
+
+TEST(SmokeTest, DneEchoEngineEndpoints) {
+  DneEchoOptions options;
+  options.payload = 64;
+  options.duration = 200 * kMillisecond;
+  options.warmup = 20 * kMillisecond;
+  const EchoResult result = RunDneEcho(CostModel::Default(), options);
+  EXPECT_GT(result.completed, 1000u);
+  EXPECT_GT(result.mean_latency_us, 1.0);
+  EXPECT_LT(result.mean_latency_us, 100.0);
+}
+
+TEST(SmokeTest, DneEchoViaFunctions) {
+  DneEchoOptions options;
+  options.payload = 64;
+  options.via_functions = true;
+  options.duration = 200 * kMillisecond;
+  options.warmup = 20 * kMillisecond;
+  const EchoResult result = RunDneEcho(CostModel::Default(), options);
+  EXPECT_GT(result.completed, 500u);
+  EXPECT_GT(result.mean_latency_us, 1.0);
+}
+
+TEST(SmokeTest, NativeRdmaEchoCpuAndDpu) {
+  NativeEchoOptions options;
+  options.duration = 100 * kMillisecond;
+  options.warmup = 10 * kMillisecond;
+  const EchoResult cpu = RunNativeRdmaEcho(CostModel::Default(), options);
+  options.on_dpu_cores = true;
+  const EchoResult dpu = RunNativeRdmaEcho(CostModel::Default(), options);
+  EXPECT_GT(cpu.completed, 1000u);
+  EXPECT_GT(dpu.completed, 1000u);
+  // Wimpy DPU cores make the native-DPU variant slower than native-CPU.
+  EXPECT_GT(dpu.mean_latency_us, cpu.mean_latency_us);
+}
+
+TEST(SmokeTest, OneSidedEchoVariants) {
+  OneSidedEchoOptions options;
+  options.payload = 4096;
+  options.duration = 100 * kMillisecond;
+  options.warmup = 10 * kMillisecond;
+  for (const OneSidedVariant variant :
+       {OneSidedVariant::kOwrcBest, OneSidedVariant::kOwrcWorst, OneSidedVariant::kOwdl}) {
+    options.variant = variant;
+    const EchoResult result = RunOneSidedEcho(CostModel::Default(), options);
+    EXPECT_GT(result.completed, 500u) << static_cast<int>(variant);
+    EXPECT_GT(result.mean_latency_us, 4.0) << static_cast<int>(variant);
+  }
+}
+
+TEST(SmokeTest, ComchVariants) {
+  ComchBenchOptions options;
+  options.duration = 100 * kMillisecond;
+  options.warmup = 10 * kMillisecond;
+  options.num_functions = 2;
+  for (const ComchVariant variant :
+       {ComchVariant::kEvent, ComchVariant::kPolling, ComchVariant::kTcp}) {
+    options.variant = variant;
+    const ComchBenchResult result = RunComchBench(CostModel::Default(), options);
+    EXPECT_GT(result.descriptor_rps, 1000.0) << static_cast<int>(variant);
+    EXPECT_GT(result.mean_rtt_us, 0.5) << static_cast<int>(variant);
+  }
+}
+
+TEST(SmokeTest, IngressModes) {
+  IngressEchoOptions options;
+  options.clients = 4;
+  options.duration = 300 * kMillisecond;
+  options.warmup = 50 * kMillisecond;
+  for (const IngressMode mode :
+       {IngressMode::kNadino, IngressMode::kFIngress, IngressMode::kKIngress}) {
+    options.mode = mode;
+    const IngressEchoResult result = RunIngressEcho(CostModel::Default(), options);
+    EXPECT_GT(result.rps, 100.0) << static_cast<int>(mode);
+    EXPECT_GT(result.mean_latency_us, 10.0) << static_cast<int>(mode);
+  }
+}
+
+TEST(SmokeTest, MultiTenantDwrr) {
+  MultiTenantOptions options;
+  options.duration = 2 * kSecond;
+  options.tenants = {
+      {1, 6, 0, 2 * kSecond, 64, 1024},
+      {2, 1, 500 * kMillisecond, 2 * kSecond, 64, 1024},
+  };
+  const MultiTenantResult result = RunMultiTenant(CostModel::Default(), options);
+  EXPECT_GT(result.tenant_completed.at(1), 1000u);
+  EXPECT_GT(result.tenant_completed.at(2), 100u);
+  EXPECT_GT(result.aggregate_rps, 1000.0);
+}
+
+TEST(SmokeTest, BoutiqueNadinoDne) {
+  BoutiqueOptions options;
+  options.system = SystemUnderTest::kNadinoDne;
+  options.clients = 8;
+  options.duration = 500 * kMillisecond;
+  options.warmup = 100 * kMillisecond;
+  const BoutiqueResult result = RunBoutique(CostModel::Default(), options);
+  EXPECT_GT(result.rps, 100.0);
+  EXPECT_GT(result.mean_latency_ms, 0.1);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_GT(result.dpu_cores, 0.5);
+}
+
+TEST(SmokeTest, BoutiqueAllSystemsComplete) {
+  for (const SystemUnderTest system :
+       {SystemUnderTest::kNadinoCne, SystemUnderTest::kSpright, SystemUnderTest::kNightcore,
+        SystemUnderTest::kFuyaoF, SystemUnderTest::kFuyaoK, SystemUnderTest::kJunction}) {
+    BoutiqueOptions options;
+    options.system = system;
+    options.clients = 4;
+    options.duration = 400 * kMillisecond;
+    options.warmup = 100 * kMillisecond;
+    const BoutiqueResult result = RunBoutique(CostModel::Default(), options);
+    EXPECT_GT(result.rps, 10.0) << SystemName(system);
+    EXPECT_EQ(result.errors, 0u) << SystemName(system);
+  }
+}
+
+}  // namespace
+}  // namespace nadino

@@ -1,0 +1,111 @@
+// Tests for load generators and the TCP stack cost models.
+
+#include "src/runtime/workload.h"
+#include "src/transport/tcp_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiments.h"
+
+namespace nadino {
+namespace {
+
+TEST(TcpModelTest, KernelCostsMoreThanFstack) {
+  CostModel cost = CostModel::Default();
+  TcpStackModel kernel(TcpStackKind::kKernel, &cost);
+  TcpStackModel fstack(TcpStackKind::kFstack, &cost);
+  EXPECT_GT(kernel.RxCost(1024), fstack.RxCost(1024));
+  EXPECT_GT(kernel.TxCost(1024), fstack.TxCost(1024));
+  EXPECT_GT(kernel.IrqCost(), 0);
+  EXPECT_EQ(fstack.IrqCost(), 0);
+  EXPECT_TRUE(fstack.busy_polling());
+  EXPECT_FALSE(kernel.busy_polling());
+}
+
+TEST(TcpModelTest, CostsScaleWithBytes) {
+  CostModel cost = CostModel::Default();
+  TcpStackModel kernel(TcpStackKind::kKernel, &cost);
+  EXPECT_GT(kernel.RxCost(65536), kernel.RxCost(64) + 30000);
+}
+
+TEST(TenantEchoLoadTest, WindowBoundsOutstandingRequests) {
+  CostModel cost = CostModel::Default();
+  ClusterConfig config;
+  config.worker_nodes = 2;
+  config.with_ingress_node = false;
+  Cluster cluster(&cost, config);
+  cluster.CreateTenantPools(1, 512, 8192);
+  NadinoDataPlane dp(&cluster.sim(), &cost, &cluster.routing(), NadinoDataPlane::Options{});
+  dp.AddWorkerNode(cluster.worker(0));
+  dp.AddWorkerNode(cluster.worker(1));
+  dp.AttachTenant(1, 1);
+  dp.Start();
+  FunctionRuntime client(101, 1, "c", cluster.worker(0), cluster.worker(0)->AllocateCore(),
+                         cluster.worker(0)->tenants().PoolOfTenant(1));
+  FunctionRuntime server(201, 1, "s", cluster.worker(1), cluster.worker(1)->AllocateCore(),
+                         cluster.worker(1)->tenants().PoolOfTenant(1));
+  dp.RegisterFunction(&client);
+  dp.RegisterFunction(&server);
+  TenantEchoLoad::Options options;
+  options.window = 8;
+  options.payload_bytes = 256;
+  TenantEchoLoad load(&cluster.sim(), &dp, &client, &server, options);
+  load.SetActive(true);
+  cluster.sim().RunFor(200 * kMillisecond);
+  EXPECT_GT(load.completed(), 1000u);
+  EXPECT_GT(load.latencies().count(), 0u);
+  load.SetActive(false);
+  const uint64_t at_stop = load.completed();
+  cluster.sim().RunFor(50 * kMillisecond);
+  // In-flight drains, then no new issues.
+  EXPECT_LE(load.completed(), at_stop + static_cast<uint64_t>(options.window));
+}
+
+TEST(TenantEchoLoadTest, ScheduledActivationWindow) {
+  CostModel cost = CostModel::Default();
+  ClusterConfig config;
+  config.worker_nodes = 2;
+  config.with_ingress_node = false;
+  Cluster cluster(&cost, config);
+  cluster.CreateTenantPools(1, 512, 8192);
+  NadinoDataPlane dp(&cluster.sim(), &cost, &cluster.routing(), NadinoDataPlane::Options{});
+  dp.AddWorkerNode(cluster.worker(0));
+  dp.AddWorkerNode(cluster.worker(1));
+  dp.AttachTenant(1, 1);
+  dp.Start();
+  FunctionRuntime client(101, 1, "c", cluster.worker(0), cluster.worker(0)->AllocateCore(),
+                         cluster.worker(0)->tenants().PoolOfTenant(1));
+  FunctionRuntime server(201, 1, "s", cluster.worker(1), cluster.worker(1)->AllocateCore(),
+                         cluster.worker(1)->tenants().PoolOfTenant(1));
+  dp.RegisterFunction(&client);
+  dp.RegisterFunction(&server);
+  TenantEchoLoad load(&cluster.sim(), &dp, &client, &server, {});
+  load.ScheduleActive(100 * kMillisecond, 200 * kMillisecond);
+  cluster.sim().RunFor(50 * kMillisecond);
+  EXPECT_EQ(load.completed(), 0u);  // Not yet active.
+  cluster.sim().RunFor(100 * kMillisecond);
+  EXPECT_GT(load.completed(), 0u);  // Active window.
+  cluster.sim().RunFor(60 * kMillisecond);  // Past the 200 ms stop + drain.
+  const uint64_t after_stop = load.completed();
+  cluster.sim().RunFor(100 * kMillisecond);
+  EXPECT_EQ(load.completed(), after_stop);  // No new issues after the window.
+}
+
+TEST(PeriodicSamplerTest, RollsMetersOnSchedule) {
+  Simulator sim;
+  RateMeter meter;
+  PeriodicSampler sampler(&sim, 100 * kMillisecond);
+  sampler.AddRate(&meter);
+  int hooks = 0;
+  sampler.AddHook([&](SimTime) { ++hooks; });
+  sampler.Start();
+  meter.RecordCompletion(10);
+  sim.RunUntil(550 * kMillisecond);
+  EXPECT_EQ(meter.series().samples().size(), 5u);
+  EXPECT_EQ(hooks, 5);
+  EXPECT_DOUBLE_EQ(meter.series().samples()[0].value, 100.0);  // 10 per 0.1 s.
+  sampler.Stop();
+}
+
+}  // namespace
+}  // namespace nadino
