@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_knockouts.dir/ablation_knockouts.cc.o"
+  "CMakeFiles/ablation_knockouts.dir/ablation_knockouts.cc.o.d"
+  "ablation_knockouts"
+  "ablation_knockouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_knockouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

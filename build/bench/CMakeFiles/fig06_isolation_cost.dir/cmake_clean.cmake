@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_isolation_cost.dir/fig06_isolation_cost.cc.o"
+  "CMakeFiles/fig06_isolation_cost.dir/fig06_isolation_cost.cc.o.d"
+  "fig06_isolation_cost"
+  "fig06_isolation_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_isolation_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_comch.dir/fig09_comch.cc.o"
+  "CMakeFiles/fig09_comch.dir/fig09_comch.cc.o.d"
+  "fig09_comch"
+  "fig09_comch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_comch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_rdma_primitives.dir/fig12_rdma_primitives.cc.o"
+  "CMakeFiles/fig12_rdma_primitives.dir/fig12_rdma_primitives.cc.o.d"
+  "fig12_rdma_primitives"
+  "fig12_rdma_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_rdma_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

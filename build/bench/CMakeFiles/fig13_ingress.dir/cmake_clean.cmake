@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_ingress.dir/fig13_ingress.cc.o"
+  "CMakeFiles/fig13_ingress.dir/fig13_ingress.cc.o.d"
+  "fig13_ingress"
+  "fig13_ingress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ingress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_multitenancy.dir/fig15_multitenancy.cc.o"
+  "CMakeFiles/fig15_multitenancy.dir/fig15_multitenancy.cc.o.d"
+  "fig15_multitenancy"
+  "fig15_multitenancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_multitenancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_tenant_scalability.dir/fig17_tenant_scalability.cc.o"
+  "CMakeFiles/fig17_tenant_scalability.dir/fig17_tenant_scalability.cc.o.d"
+  "fig17_tenant_scalability"
+  "fig17_tenant_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_tenant_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

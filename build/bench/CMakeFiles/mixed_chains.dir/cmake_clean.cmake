@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_chains.dir/mixed_chains.cc.o"
+  "CMakeFiles/mixed_chains.dir/mixed_chains.cc.o.d"
+  "mixed_chains"
+  "mixed_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

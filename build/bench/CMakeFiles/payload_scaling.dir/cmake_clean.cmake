@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payload_scaling.dir/payload_scaling.cc.o"
+  "CMakeFiles/payload_scaling.dir/payload_scaling.cc.o.d"
+  "payload_scaling"
+  "payload_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payload_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

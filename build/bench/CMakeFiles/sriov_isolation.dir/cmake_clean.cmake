@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sriov_isolation.dir/sriov_isolation.cc.o"
+  "CMakeFiles/sriov_isolation.dir/sriov_isolation.cc.o.d"
+  "sriov_isolation"
+  "sriov_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sriov_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_boutique_latency.dir/table2_boutique_latency.cc.o"
+  "CMakeFiles/table2_boutique_latency.dir/table2_boutique_latency.cc.o.d"
+  "table2_boutique_latency"
+  "table2_boutique_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_boutique_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

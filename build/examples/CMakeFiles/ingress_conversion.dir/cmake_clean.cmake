@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ingress_conversion.dir/ingress_conversion.cc.o"
+  "CMakeFiles/ingress_conversion.dir/ingress_conversion.cc.o.d"
+  "ingress_conversion"
+  "ingress_conversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ingress_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

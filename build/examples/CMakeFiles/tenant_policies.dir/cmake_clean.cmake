@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tenant_policies.dir/tenant_policies.cc.o"
+  "CMakeFiles/tenant_policies.dir/tenant_policies.cc.o.d"
+  "tenant_policies"
+  "tenant_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tenant_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

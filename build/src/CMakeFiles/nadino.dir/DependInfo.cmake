@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/boutique.cc" "src/CMakeFiles/nadino.dir/apps/boutique.cc.o" "gcc" "src/CMakeFiles/nadino.dir/apps/boutique.cc.o.d"
+  "/root/repo/src/apps/pipeline.cc" "src/CMakeFiles/nadino.dir/apps/pipeline.cc.o" "gcc" "src/CMakeFiles/nadino.dir/apps/pipeline.cc.o.d"
+  "/root/repo/src/baselines/baseline_dataplane.cc" "src/CMakeFiles/nadino.dir/baselines/baseline_dataplane.cc.o" "gcc" "src/CMakeFiles/nadino.dir/baselines/baseline_dataplane.cc.o.d"
+  "/root/repo/src/baselines/capabilities.cc" "src/CMakeFiles/nadino.dir/baselines/capabilities.cc.o" "gcc" "src/CMakeFiles/nadino.dir/baselines/capabilities.cc.o.d"
+  "/root/repo/src/core/calibration.cc" "src/CMakeFiles/nadino.dir/core/calibration.cc.o" "gcc" "src/CMakeFiles/nadino.dir/core/calibration.cc.o.d"
+  "/root/repo/src/core/experiments.cc" "src/CMakeFiles/nadino.dir/core/experiments.cc.o" "gcc" "src/CMakeFiles/nadino.dir/core/experiments.cc.o.d"
+  "/root/repo/src/core/types.cc" "src/CMakeFiles/nadino.dir/core/types.cc.o" "gcc" "src/CMakeFiles/nadino.dir/core/types.cc.o.d"
+  "/root/repo/src/dne/nadino_dataplane.cc" "src/CMakeFiles/nadino.dir/dne/nadino_dataplane.cc.o" "gcc" "src/CMakeFiles/nadino.dir/dne/nadino_dataplane.cc.o.d"
+  "/root/repo/src/dne/network_engine.cc" "src/CMakeFiles/nadino.dir/dne/network_engine.cc.o" "gcc" "src/CMakeFiles/nadino.dir/dne/network_engine.cc.o.d"
+  "/root/repo/src/dne/rate_limiter.cc" "src/CMakeFiles/nadino.dir/dne/rate_limiter.cc.o" "gcc" "src/CMakeFiles/nadino.dir/dne/rate_limiter.cc.o.d"
+  "/root/repo/src/dne/rbr_table.cc" "src/CMakeFiles/nadino.dir/dne/rbr_table.cc.o" "gcc" "src/CMakeFiles/nadino.dir/dne/rbr_table.cc.o.d"
+  "/root/repo/src/dne/scheduler.cc" "src/CMakeFiles/nadino.dir/dne/scheduler.cc.o" "gcc" "src/CMakeFiles/nadino.dir/dne/scheduler.cc.o.d"
+  "/root/repo/src/dpu/comch.cc" "src/CMakeFiles/nadino.dir/dpu/comch.cc.o" "gcc" "src/CMakeFiles/nadino.dir/dpu/comch.cc.o.d"
+  "/root/repo/src/dpu/cross_mmap.cc" "src/CMakeFiles/nadino.dir/dpu/cross_mmap.cc.o" "gcc" "src/CMakeFiles/nadino.dir/dpu/cross_mmap.cc.o.d"
+  "/root/repo/src/dpu/dpu.cc" "src/CMakeFiles/nadino.dir/dpu/dpu.cc.o" "gcc" "src/CMakeFiles/nadino.dir/dpu/dpu.cc.o.d"
+  "/root/repo/src/ingress/gateway.cc" "src/CMakeFiles/nadino.dir/ingress/gateway.cc.o" "gcc" "src/CMakeFiles/nadino.dir/ingress/gateway.cc.o.d"
+  "/root/repo/src/mem/buffer.cc" "src/CMakeFiles/nadino.dir/mem/buffer.cc.o" "gcc" "src/CMakeFiles/nadino.dir/mem/buffer.cc.o.d"
+  "/root/repo/src/mem/buffer_pool.cc" "src/CMakeFiles/nadino.dir/mem/buffer_pool.cc.o" "gcc" "src/CMakeFiles/nadino.dir/mem/buffer_pool.cc.o.d"
+  "/root/repo/src/mem/copy_engine.cc" "src/CMakeFiles/nadino.dir/mem/copy_engine.cc.o" "gcc" "src/CMakeFiles/nadino.dir/mem/copy_engine.cc.o.d"
+  "/root/repo/src/mem/hugepage_arena.cc" "src/CMakeFiles/nadino.dir/mem/hugepage_arena.cc.o" "gcc" "src/CMakeFiles/nadino.dir/mem/hugepage_arena.cc.o.d"
+  "/root/repo/src/mem/pool_cache.cc" "src/CMakeFiles/nadino.dir/mem/pool_cache.cc.o" "gcc" "src/CMakeFiles/nadino.dir/mem/pool_cache.cc.o.d"
+  "/root/repo/src/mem/tenant_registry.cc" "src/CMakeFiles/nadino.dir/mem/tenant_registry.cc.o" "gcc" "src/CMakeFiles/nadino.dir/mem/tenant_registry.cc.o.d"
+  "/root/repo/src/mem/token.cc" "src/CMakeFiles/nadino.dir/mem/token.cc.o" "gcc" "src/CMakeFiles/nadino.dir/mem/token.cc.o.d"
+  "/root/repo/src/rdma/completion_queue.cc" "src/CMakeFiles/nadino.dir/rdma/completion_queue.cc.o" "gcc" "src/CMakeFiles/nadino.dir/rdma/completion_queue.cc.o.d"
+  "/root/repo/src/rdma/connection_manager.cc" "src/CMakeFiles/nadino.dir/rdma/connection_manager.cc.o" "gcc" "src/CMakeFiles/nadino.dir/rdma/connection_manager.cc.o.d"
+  "/root/repo/src/rdma/distributed_lock.cc" "src/CMakeFiles/nadino.dir/rdma/distributed_lock.cc.o" "gcc" "src/CMakeFiles/nadino.dir/rdma/distributed_lock.cc.o.d"
+  "/root/repo/src/rdma/fabric.cc" "src/CMakeFiles/nadino.dir/rdma/fabric.cc.o" "gcc" "src/CMakeFiles/nadino.dir/rdma/fabric.cc.o.d"
+  "/root/repo/src/rdma/memory_region.cc" "src/CMakeFiles/nadino.dir/rdma/memory_region.cc.o" "gcc" "src/CMakeFiles/nadino.dir/rdma/memory_region.cc.o.d"
+  "/root/repo/src/rdma/qp_cache.cc" "src/CMakeFiles/nadino.dir/rdma/qp_cache.cc.o" "gcc" "src/CMakeFiles/nadino.dir/rdma/qp_cache.cc.o.d"
+  "/root/repo/src/rdma/rdma_engine.cc" "src/CMakeFiles/nadino.dir/rdma/rdma_engine.cc.o" "gcc" "src/CMakeFiles/nadino.dir/rdma/rdma_engine.cc.o.d"
+  "/root/repo/src/rdma/shared_receive_queue.cc" "src/CMakeFiles/nadino.dir/rdma/shared_receive_queue.cc.o" "gcc" "src/CMakeFiles/nadino.dir/rdma/shared_receive_queue.cc.o.d"
+  "/root/repo/src/runtime/chain.cc" "src/CMakeFiles/nadino.dir/runtime/chain.cc.o" "gcc" "src/CMakeFiles/nadino.dir/runtime/chain.cc.o.d"
+  "/root/repo/src/runtime/coldstart.cc" "src/CMakeFiles/nadino.dir/runtime/coldstart.cc.o" "gcc" "src/CMakeFiles/nadino.dir/runtime/coldstart.cc.o.d"
+  "/root/repo/src/runtime/message_header.cc" "src/CMakeFiles/nadino.dir/runtime/message_header.cc.o" "gcc" "src/CMakeFiles/nadino.dir/runtime/message_header.cc.o.d"
+  "/root/repo/src/runtime/node.cc" "src/CMakeFiles/nadino.dir/runtime/node.cc.o" "gcc" "src/CMakeFiles/nadino.dir/runtime/node.cc.o.d"
+  "/root/repo/src/runtime/skmsg.cc" "src/CMakeFiles/nadino.dir/runtime/skmsg.cc.o" "gcc" "src/CMakeFiles/nadino.dir/runtime/skmsg.cc.o.d"
+  "/root/repo/src/runtime/workload.cc" "src/CMakeFiles/nadino.dir/runtime/workload.cc.o" "gcc" "src/CMakeFiles/nadino.dir/runtime/workload.cc.o.d"
+  "/root/repo/src/sim/link.cc" "src/CMakeFiles/nadino.dir/sim/link.cc.o" "gcc" "src/CMakeFiles/nadino.dir/sim/link.cc.o.d"
+  "/root/repo/src/sim/random.cc" "src/CMakeFiles/nadino.dir/sim/random.cc.o" "gcc" "src/CMakeFiles/nadino.dir/sim/random.cc.o.d"
+  "/root/repo/src/sim/resource.cc" "src/CMakeFiles/nadino.dir/sim/resource.cc.o" "gcc" "src/CMakeFiles/nadino.dir/sim/resource.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/nadino.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/nadino.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/nadino.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/nadino.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/nadino.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/nadino.dir/sim/trace.cc.o.d"
+  "/root/repo/src/transport/http.cc" "src/CMakeFiles/nadino.dir/transport/http.cc.o" "gcc" "src/CMakeFiles/nadino.dir/transport/http.cc.o.d"
+  "/root/repo/src/transport/tcp_model.cc" "src/CMakeFiles/nadino.dir/transport/tcp_model.cc.o" "gcc" "src/CMakeFiles/nadino.dir/transport/tcp_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

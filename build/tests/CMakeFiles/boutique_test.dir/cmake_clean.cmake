@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boutique_test.dir/boutique_test.cc.o"
+  "CMakeFiles/boutique_test.dir/boutique_test.cc.o.d"
+  "boutique_test"
+  "boutique_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boutique_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connection_manager_test.dir/connection_manager_test.cc.o"
+  "CMakeFiles/connection_manager_test.dir/connection_manager_test.cc.o.d"
+  "connection_manager_test"
+  "connection_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connection_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ingress_integration_test.dir/ingress_integration_test.cc.o"
+  "CMakeFiles/ingress_integration_test.dir/ingress_integration_test.cc.o.d"
+  "ingress_integration_test"
+  "ingress_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ingress_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

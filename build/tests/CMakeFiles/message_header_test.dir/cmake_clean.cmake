@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_header_test.dir/message_header_test.cc.o"
+  "CMakeFiles/message_header_test.dir/message_header_test.cc.o.d"
+  "message_header_test"
+  "message_header_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_header_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_engine_test.dir/rdma_engine_test.cc.o"
+  "CMakeFiles/rdma_engine_test.dir/rdma_engine_test.cc.o.d"
+  "rdma_engine_test"
+  "rdma_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_copy_test.dir/token_copy_test.cc.o"
+  "CMakeFiles/token_copy_test.dir/token_copy_test.cc.o.d"
+  "token_copy_test"
+  "token_copy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_copy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

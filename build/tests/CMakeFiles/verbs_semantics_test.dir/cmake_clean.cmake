@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verbs_semantics_test.dir/verbs_semantics_test.cc.o"
+  "CMakeFiles/verbs_semantics_test.dir/verbs_semantics_test.cc.o.d"
+  "verbs_semantics_test"
+  "verbs_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verbs_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
