@@ -33,7 +33,7 @@ KnockoutResult RunKnockout(bool on_path, bool deferred_conversion) {  // NOLINT
 
   NadinoDataPlane::Options dp_options;
   dp_options.on_path = on_path;
-  NadinoDataPlane dataplane(&sim, &cost, &cluster.routing(), dp_options);
+  NadinoDataPlane dataplane(cluster.env(), &cluster.routing(), dp_options);
   std::vector<NetworkEngine*> engines;
   for (int i = 0; i < cluster.worker_count(); ++i) {
     engines.push_back(dataplane.AddWorkerNode(cluster.worker(i)));
@@ -41,7 +41,7 @@ KnockoutResult RunKnockout(bool on_path, bool deferred_conversion) {  // NOLINT
   dataplane.AttachTenant(1, 1);
   dataplane.Start();
 
-  ChainExecutor executor(&sim, &dataplane);
+  ChainExecutor executor(cluster.env(), &dataplane);
   for (const ChainSpec& chain : spec.chains) {
     executor.RegisterChain(chain);
   }
@@ -58,7 +58,7 @@ KnockoutResult RunKnockout(bool on_path, bool deferred_conversion) {  // NOLINT
   gw_options.mode = deferred_conversion ? IngressMode::kFIngress : IngressMode::kNadino;
   gw_options.tenant = 1;
   gw_options.initial_workers = 1;
-  IngressGateway gateway(&sim, &cost, cluster.ingress(), &cluster.routing(), &dataplane,
+  IngressGateway gateway(cluster.env(), cluster.ingress(), &cluster.routing(), &dataplane,
                          &executor, gw_options);
   gateway.AddRoute("/home", kHomeQueryChain, kFrontend);
   if (deferred_conversion) {
@@ -75,7 +75,7 @@ KnockoutResult RunKnockout(bool on_path, bool deferred_conversion) {  // NOLINT
   client_options.num_clients = 60;
   client_options.path = "/home";
   client_options.payload_bytes = 256;
-  ClosedLoopClients clients(&sim, &cost, &gateway, client_options);
+  ClosedLoopClients clients(cluster.env(), &gateway, client_options);
   clients.Start();
   sim.RunFor(200 * kMillisecond);
   clients.mutable_latencies().Reset();

@@ -17,6 +17,24 @@ inline void Title(const std::string& name, const std::string& paper_ref) {
 
 inline void Note(const std::string& text) { std::printf("note: %s\n", text.c_str()); }
 
+// Writes a metrics snapshot (SnapshotJson() output, or any pre-serialized
+// JSON) to BENCH_<name>.json in the working directory so runs leave a
+// machine-readable artifact next to the human-readable table. Returns false
+// (with a note on stdout) when the file cannot be opened; bench binaries
+// treat that as non-fatal.
+inline bool WriteMetricsJson(const std::string& name, const std::string& json) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("note: could not write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("metrics snapshot written to %s\n", path.c_str());
+  return true;
+}
+
 }  // namespace nadino::bench
 
 #endif  // BENCH_BENCH_UTIL_H_

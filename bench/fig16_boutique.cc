@@ -29,6 +29,7 @@ int main() {
       {kProductQueryChain, "Product Query"},
   };
 
+  std::string dne_home_json;
   for (const auto& chain : chains) {
     std::printf("\n--- %s (60 clients) ---\n", chain.name);
     std::printf("%-14s %10s %12s %16s %10s\n", "system", "RPS", "mean lat", "dataplane CPU",
@@ -44,6 +45,9 @@ int main() {
       const BoutiqueResult result = RunBoutique(cost, options);
       if (system == SystemUnderTest::kNadinoDne) {
         dne_rps = result.rps;
+        if (chain.chain == kHomeQueryChain) {
+          dne_home_json = result.metrics_json;
+        }
       }
       std::printf("%-14s %10.0f %9.2f ms %13.2f co %7.2f co", SystemName(system).c_str(),
                   result.rps, result.mean_latency_ms, result.dataplane_cpu_cores,
@@ -59,5 +63,6 @@ int main() {
       "FUYAO-F 2.1-4.1x, SPRIGHT 2.4-4.1x, NightCore 5.1-20.9x; Junction >47% "
       "behind DNE. DNE burns ~0 host cores and two wimpy DPU cores per node "
       "pair; FUYAO pins poller+portal cores (the >400% CPU of Fig. 16 (4-6)).");
+  bench::WriteMetricsJson("fig16_dne_home", dne_home_json);
   return 0;
 }

@@ -38,7 +38,7 @@ MixResult RunMix(SystemUnderTest system) {
     NadinoDataPlane::Options options;
     options.engine_kind = system == SystemUnderTest::kNadinoDne ? NetworkEngine::Kind::kDne
                                                                 : NetworkEngine::Kind::kCne;
-    nadino_dp = std::make_unique<NadinoDataPlane>(&sim, &cost, &cluster.routing(), options);
+    nadino_dp = std::make_unique<NadinoDataPlane>(cluster.env(), &cluster.routing(), options);
     for (int i = 0; i < cluster.worker_count(); ++i) {
       engines.push_back(nadino_dp->AddWorkerNode(cluster.worker(i)));
     }
@@ -47,7 +47,7 @@ MixResult RunMix(SystemUnderTest system) {
     dp = nadino_dp.get();
   } else {
     baseline_dp = std::make_unique<BaselineDataPlane>(
-        &sim, &cost, &cluster.routing(),
+        cluster.env(), &cluster.routing(),
         system == SystemUnderTest::kSpright ? BaselineSystem::kSpright
                                             : BaselineSystem::kFuyao,
         1);
@@ -58,7 +58,7 @@ MixResult RunMix(SystemUnderTest system) {
     dp = baseline_dp.get();
   }
 
-  ChainExecutor executor(&sim, dp);
+  ChainExecutor executor(cluster.env(), dp);
   for (const ChainSpec& chain : spec.chains) {
     executor.RegisterChain(chain);
   }
@@ -75,7 +75,7 @@ MixResult RunMix(SystemUnderTest system) {
   gw_options.mode = is_nadino ? IngressMode::kNadino : IngressMode::kFIngress;
   gw_options.tenant = 1;
   gw_options.initial_workers = 1;
-  IngressGateway gateway(&sim, &cost, cluster.ingress(), &cluster.routing(), dp, &executor,
+  IngressGateway gateway(cluster.env(), cluster.ingress(), &cluster.routing(), dp, &executor,
                          gw_options);
   gateway.AddRoute("/home", kHomeQueryChain, kFrontend);
   gateway.AddRoute("/cart", kViewCartChain, kFrontend);
@@ -93,7 +93,7 @@ MixResult RunMix(SystemUnderTest system) {
     options.num_clients = 20;
     options.path = path;
     options.payload_bytes = 256;
-    fleets.push_back(std::make_unique<ClosedLoopClients>(&sim, &cost, &gateway, options));
+    fleets.push_back(std::make_unique<ClosedLoopClients>(cluster.env(), &gateway, options));
     fleets.back()->Start();
   }
   sim.RunFor(200 * kMillisecond);

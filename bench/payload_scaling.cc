@@ -33,7 +33,7 @@ Row RunPipeline(uint32_t frame_bytes, const char* system) {
   std::unique_ptr<BaselineDataPlane> baseline_dp;
   DataPlane* dp = nullptr;
   if (std::string(system) == "NADINO") {
-    nadino_dp = std::make_unique<NadinoDataPlane>(&sim, &cost, &cluster.routing(),
+    nadino_dp = std::make_unique<NadinoDataPlane>(cluster.env(), &cluster.routing(),
                                                   NadinoDataPlane::Options{});
     nadino_dp->AddWorkerNode(cluster.worker(0));
     nadino_dp->AddWorkerNode(cluster.worker(1));
@@ -44,7 +44,7 @@ Row RunPipeline(uint32_t frame_bytes, const char* system) {
     const BaselineSystem baseline = std::string(system) == "SPRIGHT"
                                         ? BaselineSystem::kSpright
                                         : BaselineSystem::kJunction;
-    baseline_dp = std::make_unique<BaselineDataPlane>(&sim, &cost, &cluster.routing(),
+    baseline_dp = std::make_unique<BaselineDataPlane>(cluster.env(), &cluster.routing(),
                                                       baseline, spec.tenant);
     baseline_dp->AddWorkerNode(cluster.worker(0));
     baseline_dp->AddWorkerNode(cluster.worker(1));
@@ -52,7 +52,7 @@ Row RunPipeline(uint32_t frame_bytes, const char* system) {
     dp = baseline_dp.get();
   }
 
-  ChainExecutor executor(&sim, dp);
+  ChainExecutor executor(cluster.env(), dp);
   executor.RegisterChain(spec.chain);
   std::vector<std::unique_ptr<FunctionRuntime>> fns;
   for (size_t i = 0; i < spec.stages.size(); ++i) {

@@ -29,7 +29,7 @@ int main() {
 
   // 3. The NADINO data plane: a DNE on each worker's DPU, RC connections
   //    pre-established between the nodes, receive buffers posted.
-  NadinoDataPlane dataplane(&cluster.sim(), &cost, &cluster.routing(),
+  NadinoDataPlane dataplane(cluster.env(), &cluster.routing(),
                             NadinoDataPlane::Options{});
   dataplane.AddWorkerNode(cluster.worker(0));
   dataplane.AddWorkerNode(cluster.worker(1));

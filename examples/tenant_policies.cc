@@ -21,7 +21,7 @@ int main() {
   cluster.CreateTenantPools(2, 1024, 8192);
   Simulator& sim = cluster.sim();
 
-  NadinoDataPlane dp(&sim, &cost, &cluster.routing(), {});
+  NadinoDataPlane dp(cluster.env(), &cluster.routing(), {});
   NetworkEngine* engine = dp.AddWorkerNode(cluster.worker(0));
   dp.AddWorkerNode(cluster.worker(1));
   dp.AttachTenant(1, 1);
@@ -49,7 +49,7 @@ int main() {
     TenantEchoLoad::Options options;
     options.payload_bytes = 1024;
     options.window = 48;
-    loads.push_back(std::make_unique<TenantEchoLoad>(&sim, &dp, fns[fns.size() - 2].get(),
+    loads.push_back(std::make_unique<TenantEchoLoad>(cluster.env(), &dp, fns[fns.size() - 2].get(),
                                                      fns.back().get(), options));
     loads.back()->SetActive(true);
   }

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Configure, build, and run the full test suite. One command for CI and for a
+# pre-commit sanity pass.
+#
+# Usage:
+#   scripts/check.sh                 # Release build, all tests
+#   scripts/check.sh address         # AddressSanitizer build (Debug)
+#   scripts/check.sh undefined       # UBSan build (Debug)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZER="${1:-}"
+BUILD_DIR=build
+CMAKE_ARGS=()
+if [[ -n "${SANITIZER}" ]]; then
+  case "${SANITIZER}" in
+    address|undefined) ;;
+    *)
+      echo "usage: $0 [address|undefined]" >&2
+      exit 2
+      ;;
+  esac
+  BUILD_DIR="build-${SANITIZER}"
+  CMAKE_ARGS+=("-DNADINO_SANITIZE=${SANITIZER}" "-DCMAKE_BUILD_TYPE=Debug")
+fi
+
+cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}"
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure

@@ -14,17 +14,15 @@ constexpr size_t kFuyaoSlotSize = 16 * 1024;
 constexpr TenantId kFuyaoRdmaTenantBase = 0xFD00;
 }  // namespace
 
-BaselineDataPlane::BaselineDataPlane(Simulator* sim, const CostModel* cost,
-                                     RoutingTable* routing, BaselineSystem system,
+BaselineDataPlane::BaselineDataPlane(Env& env, RoutingTable* routing, BaselineSystem system,
                                      TenantId tenant)
-    : sim_(sim),
-      cost_(cost),
+    : DataPlane(env),
       routing_(routing),
       system_(system),
       tenant_(tenant),
-      skmsg_(sim, cost),
-      relay_stack_(TcpStackKind::kKernel, cost),
-      junction_stack_(TcpStackKind::kFstack, cost) {}
+      skmsg_(env),
+      relay_stack_(TcpStackKind::kKernel, &env.cost()),
+      junction_stack_(TcpStackKind::kFstack, &env.cost()) {}
 
 std::string BaselineDataPlane::name() const {
   switch (system_) {
@@ -64,7 +62,7 @@ void BaselineDataPlane::AddWorkerNode(Node* node) {
                                    "fuyao_rdma_" + std::to_string(node->id()),
                                    TenantRegistry::PoolConfig{kFuyaoRdmaSlots, kFuyaoSlotSize});
     node->rnic().mr_table().Register(state.rdma_pool, kMrRemoteWrite);
-    state.connections = std::make_unique<ConnectionManager>(sim_, cost_, &node->rnic());
+    state.connections = std::make_unique<ConnectionManager>(env(), &node->rnic());
     // The receiver-side poller busy-spins on its core.
     state.engine_core->set_pinned(true);
   }
@@ -111,19 +109,19 @@ void BaselineDataPlane::RegisterFunction(FunctionRuntime* function) {
 bool BaselineDataPlane::Send(FunctionRuntime* src, Buffer* buffer) {
   const std::optional<MessageHeader> header = ReadMessage(*buffer);
   if (!header.has_value()) {
-    ++stats_.drops;
+    m_drops_->Increment();
     return false;
   }
-  ++stats_.sends;
+  m_sends_->Increment();
   const NodeId dst_node = routing_->NodeOf(header->dst);
   if (dst_node == kInvalidNode) {
-    ++stats_.drops;
+    m_drops_->Increment();
     return false;
   }
   if (dst_node == src->node()->id()) {
     const auto it = functions_.find(header->dst);
     if (it == functions_.end()) {
-      ++stats_.drops;
+      m_drops_->Increment();
       return false;
     }
     return SendIntraNode(src, it->second, buffer);
@@ -138,7 +136,7 @@ bool BaselineDataPlane::Send(FunctionRuntime* src, Buffer* buffer) {
     case BaselineSystem::kNightcore:
       // NightCore has no inter-node data plane (section 4.3: all functions
       // are placed on a single node).
-      ++stats_.drops;
+      m_drops_->Increment();
       return false;
   }
   return false;
@@ -146,34 +144,34 @@ bool BaselineDataPlane::Send(FunctionRuntime* src, Buffer* buffer) {
 
 bool BaselineDataPlane::SendIntraNode(FunctionRuntime* src, FunctionRuntime* dst,
                                       Buffer* buffer) {
-  ++stats_.intra_node;
+  m_intra_node_->Increment();
   BufferPool* pool = src->pool();
   if (system_ == BaselineSystem::kJunction) {
     // Junction: loopback through the per-function userspace TCP stack — a
     // serialize/deserialize copy even on-node.
     const uint64_t bytes = buffer->length;
     std::vector<std::byte> wire(buffer->payload().begin(), buffer->payload().end());
-    ++stats_.payload_copies;
+    m_payload_copies_->Increment();
     src->core()->Submit(junction_stack_.TxCost(bytes), [this, src, dst, pool, buffer,
                                                         wire = std::move(wire), bytes]() {
       pool->Put(buffer, src->owner_id());
-      dst->core()->Submit(junction_stack_.RxCost(bytes) + cost_->junction_rx_overhead,
+      dst->core()->Submit(junction_stack_.RxCost(bytes) + env().cost().junction_rx_overhead,
                           [this, dst, pool, wire]() {
         Buffer* in = pool->Get(dst->owner_id());
         if (in == nullptr) {
-          ++stats_.drops;
+          m_drops_->Increment();
           return;
         }
         std::memcpy(in->data.data(), wire.data(), wire.size());
         in->length = static_cast<uint32_t>(wire.size());
-        ++stats_.payload_copies;
+        m_payload_copies_->Increment();
         dst->Deliver(in);
       });
     });
     return true;
   }
   if (!pool->Transfer(buffer, src->owner_id(), dst->owner_id())) {
-    ++stats_.drops;
+    m_drops_->Increment();
     return false;
   }
   const BufferDescriptor desc = pool->MakeDescriptor(*buffer, dst->id());
@@ -183,7 +181,7 @@ bool BaselineDataPlane::SendIntraNode(FunctionRuntime* src, FunctionRuntime* dst
     skmsg_.Send(src->core(), state->engine_core, desc,
                 [this, state, dst, pool](const BufferDescriptor& d) {
                   state->engine_core->Submit(
-                      cost_->dne_loop_iteration + cost_->dne_tx_stage, [=, this]() {
+                      env().cost().dne_loop_iteration + env().cost().dne_tx_stage, [=, this]() {
                         skmsg_.Send(state->engine_core, dst->core(), d,
                                     [dst, pool](const BufferDescriptor& dd) {
                                       Buffer* b = pool->Resolve(dd);
@@ -208,16 +206,16 @@ bool BaselineDataPlane::SendIntraNode(FunctionRuntime* src, FunctionRuntime* dst
 
 bool BaselineDataPlane::SendInterTcp(FunctionRuntime* src, Buffer* buffer, FunctionId dst_fn,
                                      NodeId dst_node) {
-  ++stats_.inter_node;
+  m_inter_node_->Increment();
   NodeState* src_state = StateOf(src->node()->id());
   NodeState* dst_state = StateOf(dst_node);
   if (src_state == nullptr || dst_state == nullptr) {
-    ++stats_.drops;
+    m_drops_->Increment();
     return false;
   }
   BufferPool* src_pool = src->pool();
   if (!src_pool->Transfer(buffer, src->owner_id(), engine_owner(src->node()->id()))) {
-    ++stats_.drops;
+    m_drops_->Increment();
     return false;
   }
   const BufferDescriptor desc = src_pool->MakeDescriptor(*buffer, dst_fn);
@@ -226,13 +224,13 @@ bool BaselineDataPlane::SendInterTcp(FunctionRuntime* src, Buffer* buffer, Funct
       [this, src_state, dst_state, src_pool, dst_fn](const BufferDescriptor& d) {
         Buffer* out = src_pool->Resolve(d);
         if (out == nullptr) {
-          ++stats_.drops;
+          m_drops_->Increment();
           return;
         }
         const uint64_t bytes = out->length;
         // Socket copy #1 (user -> kernel) happens inside the TX cost.
         std::vector<std::byte> wire(out->payload().begin(), out->payload().end());
-        ++stats_.payload_copies;
+        m_payload_copies_->Increment();
         src_state->engine_core->Submit(
             relay_stack_.TxCost(bytes) + relay_stack_.IrqCost(),
             [this, src_state, dst_state, src_pool, out, dst_fn, bytes,
@@ -249,13 +247,13 @@ bool BaselineDataPlane::SendInterTcp(FunctionRuntime* src, Buffer* buffer, Funct
                           Buffer* in =
                               dst_pool->Get(engine_owner(dst_state->node->id()));
                           if (in == nullptr) {
-                            ++stats_.drops;
+                            m_drops_->Increment();
                             return;
                           }
                           // Socket copy #2 (kernel -> user).
                           std::memcpy(in->data.data(), wire.data(), wire.size());
                           in->length = static_cast<uint32_t>(wire.size());
-                          ++stats_.payload_copies;
+                          m_payload_copies_->Increment();
                           DeliverAtNode(dst_state, in, dst_fn);
                         });
                   });
@@ -267,16 +265,16 @@ bool BaselineDataPlane::SendInterTcp(FunctionRuntime* src, Buffer* buffer, Funct
 
 bool BaselineDataPlane::SendInterFuyao(FunctionRuntime* src, Buffer* buffer, FunctionId dst_fn,
                                        NodeId dst_node) {
-  ++stats_.inter_node;
+  m_inter_node_->Increment();
   NodeState* src_state = StateOf(src->node()->id());
   NodeState* dst_state = StateOf(dst_node);
   if (src_state == nullptr || dst_state == nullptr) {
-    ++stats_.drops;
+    m_drops_->Increment();
     return false;
   }
   BufferPool* src_pool = src->pool();
   if (!src_pool->Transfer(buffer, src->owner_id(), engine_owner(src->node()->id()))) {
-    ++stats_.drops;
+    m_drops_->Increment();
     return false;
   }
   const BufferDescriptor desc = src_pool->MakeDescriptor(*buffer, dst_fn);
@@ -285,15 +283,15 @@ bool BaselineDataPlane::SendInterFuyao(FunctionRuntime* src, Buffer* buffer, Fun
       [this, src_state, dst_state, src_pool](const BufferDescriptor& d) {
         Buffer* out = src_pool->Resolve(d);
         if (out == nullptr) {
-          ++stats_.drops;
+          m_drops_->Increment();
           return;
         }
-        src_state->engine_core->Submit(cost_->fuyao_relay_tx, [this, src_state, dst_state,
+        src_state->engine_core->Submit(env().cost().fuyao_relay_tx, [this, src_state, dst_state,
                                                                src_pool, out]() {
           const ConnectionManager::Acquired acquired =
               src_state->connections->Acquire(dst_state->node->id(), tenant_);
           if (acquired.qp == 0) {
-            ++stats_.drops;
+            m_drops_->Increment();
             src_pool->Put(out, engine_owner(src_state->node->id()));
             return;
           }
@@ -315,23 +313,23 @@ void BaselineDataPlane::FuyaoPollerDiscovery(NodeState* state, Buffer* rdma_buff
   // One-sided writes are invisible to the receiver CPU: the poller discovers
   // the payload on a later poll-loop pass (mean half-interval), then copies it
   // out of the dedicated RDMA pool into the tenant's shared-memory pool.
-  sim_->Schedule(cost_->owrc_poll_interval / 2, [this, state, rdma_buffer]() {
-    state->engine_core->Submit(cost_->owrc_poll_iteration + cost_->fuyao_rx_handling,
+  env().sim().Schedule(env().cost().owrc_poll_interval / 2, [this, state, rdma_buffer]() {
+    state->engine_core->Submit(env().cost().owrc_poll_iteration + env().cost().fuyao_rx_handling,
                                [this, state, rdma_buffer]() {
       BufferPool* tenant_pool = state->node->tenants().PoolOfTenant(tenant_);
       Buffer* in = tenant_pool->Get(engine_owner(state->node->id()));
       if (in == nullptr) {
-        ++stats_.drops;
+        m_drops_->Increment();
         rdma_buffer->length = 0;
         return;
       }
       const SimDuration copy_cost = copier_.Copy(*rdma_buffer, in, CopyLocality::kCacheCold);
-      ++stats_.payload_copies;
+      m_payload_copies_->Increment();
       rdma_buffer->length = 0;  // Release the RDMA slot.
       state->engine_core->Submit(copy_cost, [this, state, in]() {
         const std::optional<MessageHeader> header = ReadMessage(*in);
         if (!header.has_value()) {
-          ++stats_.drops;
+          m_drops_->Increment();
           state->node->tenants().PoolOfTenant(tenant_)->Put(
               in, engine_owner(state->node->id()));
           return;
@@ -344,18 +342,18 @@ void BaselineDataPlane::FuyaoPollerDiscovery(NodeState* state, Buffer* rdma_buff
 
 bool BaselineDataPlane::SendInterJunction(FunctionRuntime* src, Buffer* buffer,
                                           FunctionId dst_fn, NodeId dst_node) {
-  ++stats_.inter_node;
+  m_inter_node_->Increment();
   NodeState* dst_state = StateOf(dst_node);
   const auto dst_it = functions_.find(dst_fn);
   if (dst_state == nullptr || dst_it == functions_.end()) {
-    ++stats_.drops;
+    m_drops_->Increment();
     return false;
   }
   FunctionRuntime* dst = dst_it->second;
   BufferPool* src_pool = src->pool();
   const uint64_t bytes = buffer->length;
   std::vector<std::byte> wire(buffer->payload().begin(), buffer->payload().end());
-  ++stats_.payload_copies;
+  m_payload_copies_->Increment();
   const NodeId src_node = src->node()->id();
   src->core()->Submit(junction_stack_.TxCost(bytes), [this, src, src_pool, buffer, dst_state,
                                                       dst, bytes, src_node,
@@ -364,17 +362,17 @@ bool BaselineDataPlane::SendInterJunction(FunctionRuntime* src, Buffer* buffer,
     dst_state->node->rnic().network()->fabric().Send(
         src_node, dst_state->node->id(), bytes + kWireHeaderBytes,
         [this, dst_state, dst, bytes, wire]() {
-          dst->core()->Submit(junction_stack_.RxCost(bytes) + cost_->junction_rx_overhead,
+          dst->core()->Submit(junction_stack_.RxCost(bytes) + env().cost().junction_rx_overhead,
                               [this, dst_state, dst, wire]() {
             BufferPool* dst_pool = dst_state->node->tenants().PoolOfTenant(tenant_);
             Buffer* in = dst_pool->Get(dst->owner_id());
             if (in == nullptr) {
-              ++stats_.drops;
+              m_drops_->Increment();
               return;
             }
             std::memcpy(in->data.data(), wire.data(), wire.size());
             in->length = static_cast<uint32_t>(wire.size());
-            ++stats_.payload_copies;
+            m_payload_copies_->Increment();
             dst->Deliver(in);
           });
         });
@@ -386,13 +384,13 @@ void BaselineDataPlane::DeliverAtNode(NodeState* state, Buffer* buffer, Function
   const auto it = functions_.find(dst_fn);
   BufferPool* pool = state->node->tenants().PoolOfTenant(tenant_);
   if (it == functions_.end()) {
-    ++stats_.drops;
+    m_drops_->Increment();
     pool->Put(buffer, engine_owner(state->node->id()));
     return;
   }
   FunctionRuntime* dst = it->second;
   if (!pool->Transfer(buffer, engine_owner(state->node->id()), dst->owner_id())) {
-    ++stats_.drops;
+    m_drops_->Increment();
     return;
   }
   const BufferDescriptor desc = pool->MakeDescriptor(*buffer, dst_fn);

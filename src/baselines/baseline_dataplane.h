@@ -41,8 +41,7 @@ enum class BaselineSystem : uint8_t {
 
 class BaselineDataPlane : public DataPlane {
  public:
-  BaselineDataPlane(Simulator* sim, const CostModel* cost, RoutingTable* routing,
-                    BaselineSystem system, TenantId tenant);
+  BaselineDataPlane(Env& env, RoutingTable* routing, BaselineSystem system, TenantId tenant);
 
   // Adds a worker node: allocates the relay-engine core (SPRIGHT/NightCore/
   // FUYAO), the FUYAO RDMA pool + poller, or the Junction scheduler core.
@@ -87,8 +86,6 @@ class BaselineDataPlane : public DataPlane {
 
   OwnerId engine_owner(NodeId node) const { return OwnerId::Engine(3000 + node); }
 
-  Simulator* sim_;
-  const CostModel* cost_;
   RoutingTable* routing_;
   BaselineSystem system_;
   TenantId tenant_;

@@ -20,20 +20,20 @@ constexpr TenantId kEchoTenant = 1;
 // ---------------------------------------------------------------------------
 
 Cluster::Cluster(const CostModel* cost, const ClusterConfig& config)
-    : cost_(cost), network_(&sim_, cost) {
+    : env_(&sim_, cost, config.seed), network_(env_) {
   for (int i = 0; i < config.worker_nodes; ++i) {
     Node::Config node_config;
     node_config.host_cores = config.host_cores_per_node;
     node_config.with_dpu = config.workers_have_dpu;
     node_config.dpu_cores = config.dpu_cores;
-    workers_.push_back(std::make_unique<Node>(&sim_, cost, static_cast<NodeId>(i + 1),
-                                              &network_, node_config));
+    workers_.push_back(std::make_unique<Node>(env_, static_cast<NodeId>(i + 1), &network_,
+                                              node_config));
   }
   if (config.with_ingress_node) {
     Node::Config node_config;
     node_config.host_cores = config.ingress_cores;
     node_config.with_dpu = false;
-    ingress_ = std::make_unique<Node>(&sim_, cost, kIngressNodeId, &network_, node_config);
+    ingress_ = std::make_unique<Node>(env_, kIngressNodeId, &network_, node_config);
   }
 }
 
@@ -55,13 +55,13 @@ namespace {
 // transports deliver in order).
 class EchoMeter {
  public:
-  explicit EchoMeter(Simulator* sim) : sim_(sim) {}
+  explicit EchoMeter(Env& env) : env_(&env) {}
 
-  void RecordIssue() { issue_times_.push_back(sim_->now()); }
+  void RecordIssue() { issue_times_.push_back(env_->now()); }
 
   void RecordComplete() {
     if (!issue_times_.empty()) {
-      latencies_.Record(sim_->now() - issue_times_.front());
+      latencies_.Record(env_->now() - issue_times_.front());
       issue_times_.pop_front();
     }
     ++completed_;
@@ -70,21 +70,22 @@ class EchoMeter {
   void ResetForMeasurement() {
     latencies_.Reset();
     measure_start_completed_ = completed_;
-    measure_start_time_ = sim_->now();
+    measure_start_time_ = env_->now();
   }
 
   EchoResult Finish() {
     EchoResult result;
     result.completed = completed_ - measure_start_completed_;
-    const double seconds = ToSeconds(sim_->now() - measure_start_time_);
+    const double seconds = ToSeconds(env_->now() - measure_start_time_);
     result.rps = seconds > 0 ? static_cast<double>(result.completed) / seconds : 0.0;
     result.mean_latency_us = latencies_.MeanUs();
     result.p99_latency_us = ToUs(latencies_.Percentile(0.99));
+    result.metrics_text = env_->metrics().SnapshotText();
     return result;
   }
 
  private:
-  Simulator* sim_;
+  Env* env_;
   std::deque<SimTime> issue_times_;
   LatencyHistogram latencies_;
   uint64_t completed_ = 0;
@@ -111,7 +112,7 @@ EchoResult RunDneEcho(const CostModel& cost, const DneEchoOptions& options) {
   dp_options.engine_kind = options.kind;
   dp_options.on_path = options.on_path;
   dp_options.extra_engine_cost = options.extra_engine_cost;
-  NadinoDataPlane dataplane(&cluster.sim(), &cost, &cluster.routing(), dp_options);
+  NadinoDataPlane dataplane(cluster.env(), &cluster.routing(), dp_options);
   NetworkEngine* engine_a = dataplane.AddWorkerNode(cluster.worker(0));
   NetworkEngine* engine_b = dataplane.AddWorkerNode(cluster.worker(1));
   dataplane.AttachTenant(kEchoTenant, 1);
@@ -123,7 +124,7 @@ EchoResult RunDneEcho(const CostModel& cost, const DneEchoOptions& options) {
   cluster.routing().Place(server_fn, cluster.worker(1)->id());
 
   Simulator& sim = cluster.sim();
-  EchoMeter meter(&sim);
+  EchoMeter meter(cluster.env());
 
   if (options.via_functions) {
     // Fig. 6 setup: host functions behind Comch.
@@ -138,7 +139,7 @@ EchoResult RunDneEcho(const CostModel& cost, const DneEchoOptions& options) {
     TenantEchoLoad::Options load_options;
     load_options.payload_bytes = options.payload;
     load_options.window = options.concurrency;
-    TenantEchoLoad load(&sim, &dataplane, &client, &server, load_options);
+    TenantEchoLoad load(cluster.env(), &dataplane, &client, &server, load_options);
     load.SetActive(true);
     sim.RunFor(options.warmup);
     load.mutable_latencies().Reset();
@@ -150,6 +151,7 @@ EchoResult RunDneEcho(const CostModel& cost, const DneEchoOptions& options) {
     result.rps = static_cast<double>(result.completed) / ToSeconds(sim.now() - start);
     result.mean_latency_us = load.latencies().MeanUs();
     result.p99_latency_us = ToUs(load.latencies().Percentile(0.99));
+    result.metrics_text = cluster.metrics().SnapshotText();
     return result;
   }
 
@@ -205,9 +207,8 @@ namespace {
 // One side of the native echo: a core that posts and polls verbs directly.
 class NativeEchoSide {
  public:
-  NativeEchoSide(Simulator* sim, const CostModel* cost, Node* node, FifoResource* core,
-                 BufferPool* pool)
-      : sim_(sim), cost_(cost), node_(node), core_(core), pool_(pool) {
+  NativeEchoSide(Env& env, Node* node, FifoResource* core, BufferPool* pool)
+      : env_(&env), node_(node), core_(core), pool_(pool) {
     node_->rnic().mr_table().Register(pool_, kMrLocal);
   }
 
@@ -223,7 +224,7 @@ class NativeEchoSide {
   }
 
   void PostSend(QpNum qp, Buffer* buffer) {
-    core_->Submit(cost_->native_post, [this, qp, buffer]() {
+    core_->Submit(env_->cost().native_post, [this, qp, buffer]() {
       pool_->Transfer(buffer, OwnerId::External(node_->id()), OwnerId::Rnic(node_->id()));
       const uint64_t wr = next_wr_id_++;
       in_flight_[wr] = buffer;
@@ -246,7 +247,7 @@ class NativeEchoSide {
         return;
       }
       Buffer* buffer = cqe.buffer;
-      core_->Submit(cost_->native_poll, [this, buffer, on_recv]() {
+      core_->Submit(env_->cost().native_poll, [this, buffer, on_recv]() {
         pool_->Transfer(buffer, OwnerId::Rnic(node_->id()), OwnerId::External(node_->id()));
         PostRecvs(1);  // Keep the receive queue fed.
         on_recv(buffer);
@@ -259,8 +260,7 @@ class NativeEchoSide {
   OwnerId app_owner() const { return OwnerId::External(node_->id()); }
 
  private:
-  Simulator* sim_;
-  const CostModel* cost_;
+  Env* env_;
   Node* node_;
   FifoResource* core_;
   BufferPool* pool_;
@@ -283,9 +283,9 @@ EchoResult RunNativeRdmaEcho(const CostModel& cost, const NativeEchoOptions& opt
                                                    : cluster.worker(0)->AllocateCore();
   FifoResource* server_core = options.on_dpu_cores ? &cluster.worker(1)->dpu()->core(0)
                                                    : cluster.worker(1)->AllocateCore();
-  NativeEchoSide client(&sim, &cost, cluster.worker(0), client_core,
+  NativeEchoSide client(cluster.env(), cluster.worker(0), client_core,
                         cluster.worker(0)->tenants().PoolOfTenant(kEchoTenant));
-  NativeEchoSide server(&sim, &cost, cluster.worker(1), server_core,
+  NativeEchoSide server(cluster.env(), cluster.worker(1), server_core,
                         cluster.worker(1)->tenants().PoolOfTenant(kEchoTenant));
   client.PostRecvs(options.concurrency + 8);
   server.PostRecvs(options.concurrency + 8);
@@ -293,7 +293,7 @@ EchoResult RunNativeRdmaEcho(const CostModel& cost, const NativeEchoOptions& opt
   const auto [client_qp, server_qp] = RdmaEngine::CreateConnectedPair(
       cluster.worker(0)->rnic(), cluster.worker(1)->rnic(), kEchoTenant);
 
-  EchoMeter meter(&sim);
+  EchoMeter meter(cluster.env());
   std::function<void()> issue_one = [&]() {
     Buffer* buffer = client.pool()->Get(client.app_owner());
     if (buffer == nullptr) {
@@ -371,13 +371,13 @@ EchoResult RunOneSidedEcho(const CostModel& cost, const OneSidedEchoOptions& opt
       cluster.worker(0)->rnic(), cluster.worker(1)->rnic(), kEchoTenant);
   const QpNum qps[2] = {qp_a, qp_b};
 
-  DistributedLockService locks_a(&sim, &cost, &cluster.network(), parties[0].node->id(),
+  DistributedLockService locks_a(cluster.env(), &cluster.network(), parties[0].node->id(),
                                  parties[0].core);
-  DistributedLockService locks_b(&sim, &cost, &cluster.network(), parties[1].node->id(),
+  DistributedLockService locks_b(cluster.env(), &cluster.network(), parties[1].node->id(),
                                  parties[1].core);
   DistributedLockService* locks[2] = {&locks_a, &locks_b};
 
-  EchoMeter meter(&sim);
+  EchoMeter meter(cluster.env());
   CopyEngine copier;
   uint64_t next_wr = 1;
 
@@ -490,7 +490,7 @@ ComchBenchResult RunComchBench(const CostModel& cost, const ComchBenchOptions& o
   Simulator& sim = cluster.sim();
   Node* node = cluster.worker(0);
 
-  ComchServer server(&sim, &cost, &node->dpu()->core(0));
+  ComchServer server(cluster.env(), &node->dpu()->core(0));
   // The single-core DNE echoes descriptors straight back.
   server.SetReceiver([&server](FunctionId fn, const BufferDescriptor& desc) {
     server.SendToHost(fn, desc);
@@ -536,6 +536,7 @@ ComchBenchResult RunComchBench(const CostModel& cost, const ComchBenchOptions& o
   result.mean_rtt_us = latencies.MeanUs();
   result.descriptor_rps =
       static_cast<double>(completed - measured_from) / ToSeconds(sim.now() - measure_start);
+  result.metrics_text = cluster.metrics().SnapshotText();
   return result;
 }
 
@@ -552,7 +553,7 @@ IngressEchoResult RunIngressEcho(const CostModel& cost, const IngressEchoOptions
   Simulator& sim = cluster.sim();
 
   NadinoDataPlane::Options dp_options;
-  NadinoDataPlane dataplane(&sim, &cost, &cluster.routing(), dp_options);
+  NadinoDataPlane dataplane(cluster.env(), &cluster.routing(), dp_options);
   NetworkEngine* engine = nullptr;
   if (options.mode == IngressMode::kNadino) {
     engine = dataplane.AddWorkerNode(cluster.worker(0));
@@ -560,7 +561,7 @@ IngressEchoResult RunIngressEcho(const CostModel& cost, const IngressEchoOptions
     dataplane.Start();
   }
 
-  ChainExecutor executor(&sim, &dataplane);
+  ChainExecutor executor(cluster.env(), &dataplane);
   const ChainId echo_chain = 10;
   const FunctionId echo_fn = 21;
   ChainSpec chain;
@@ -587,7 +588,7 @@ IngressEchoResult RunIngressEcho(const CostModel& cost, const IngressEchoOptions
   gw_options.initial_workers = options.initial_workers;
   gw_options.max_workers = options.max_workers;
   gw_options.autoscale = options.autoscale;
-  IngressGateway gateway(&sim, &cost, cluster.ingress(), &cluster.routing(), &dataplane,
+  IngressGateway gateway(cluster.env(), cluster.ingress(), &cluster.routing(), &dataplane,
                          &executor, gw_options);
   gateway.AddRoute("/echo", echo_chain, echo_fn);
   if (options.mode == IngressMode::kNadino) {
@@ -600,7 +601,7 @@ IngressEchoResult RunIngressEcho(const CostModel& cost, const IngressEchoOptions
   client_options.num_clients = options.ramp_interval > 0 ? 1 : options.clients;
   client_options.path = "/echo";
   client_options.payload_bytes = options.payload;
-  ClosedLoopClients clients(&sim, &cost, &gateway, client_options);
+  ClosedLoopClients clients(cluster.env(), &gateway, client_options);
   clients.Start();
   if (options.ramp_interval > 0) {
     for (int i = 1; i < options.clients; ++i) {
@@ -609,7 +610,7 @@ IngressEchoResult RunIngressEcho(const CostModel& cost, const IngressEchoOptions
   }
 
   IngressEchoResult result;
-  PeriodicSampler sampler(&sim, options.sample_period);
+  PeriodicSampler sampler(cluster.env(), options.sample_period);
   sampler.AddRate(&clients.rate());
   sampler.AddHook([&](SimTime now) {
     result.cpu_series.Record(now, gateway.WorkerUtilizationCores());
@@ -635,6 +636,7 @@ IngressEchoResult RunIngressEcho(const CostModel& cost, const IngressEchoOptions
   result.scale_ups = gateway.stats().scale_ups;
   result.scale_downs = gateway.stats().scale_downs;
   result.final_workers = gateway.active_workers();
+  result.metrics_text = cluster.metrics().SnapshotText();
   return result;
 }
 
@@ -646,15 +648,17 @@ MultiTenantResult RunMultiTenant(const CostModel& cost, const MultiTenantOptions
   ClusterConfig config;
   config.worker_nodes = 2;
   config.with_ingress_node = false;
+  config.seed = options.seed;
   Cluster cluster(&cost, config);
   Simulator& sim = cluster.sim();
 
   NadinoDataPlane::Options dp_options;
   dp_options.use_dwrr = options.use_dwrr;
   dp_options.extra_engine_cost = options.extra_engine_cost;
-  NadinoDataPlane dataplane(&sim, &cost, &cluster.routing(), dp_options);
-  dataplane.AddWorkerNode(cluster.worker(0));
-  dataplane.AddWorkerNode(cluster.worker(1));
+  NadinoDataPlane dataplane(cluster.env(), &cluster.routing(), dp_options);
+  std::vector<NetworkEngine*> engines;
+  engines.push_back(dataplane.AddWorkerNode(cluster.worker(0)));
+  engines.push_back(dataplane.AddWorkerNode(cluster.worker(1)));
 
   std::vector<std::unique_ptr<FunctionRuntime>> functions;
   std::vector<std::unique_ptr<TenantEchoLoad>> loads;
@@ -679,8 +683,8 @@ MultiTenantResult RunMultiTenant(const CostModel& cost, const MultiTenantOptions
     TenantEchoLoad::Options load_options;
     load_options.payload_bytes = scenario.payload;
     load_options.window = scenario.window;
-    auto load = std::make_unique<TenantEchoLoad>(&sim, &dataplane, client.get(), server.get(),
-                                                 load_options);
+    auto load = std::make_unique<TenantEchoLoad>(cluster.env(), &dataplane, client.get(),
+                                                 server.get(), load_options);
     load->ScheduleActive(scenario.start, scenario.stop);
     functions.push_back(std::move(client));
     functions.push_back(std::move(server));
@@ -688,7 +692,7 @@ MultiTenantResult RunMultiTenant(const CostModel& cost, const MultiTenantOptions
   }
 
   MultiTenantResult result;
-  PeriodicSampler sampler(&sim, options.sample_period);
+  PeriodicSampler sampler(cluster.env(), options.sample_period);
   for (size_t i = 0; i < loads.size(); ++i) {
     sampler.AddRate(&loads[i]->rate());
   }
@@ -709,6 +713,23 @@ MultiTenantResult RunMultiTenant(const CostModel& cost, const MultiTenantOptions
     total += load->completed();
   }
   result.aggregate_rps = static_cast<double>(total) / ToSeconds(options.duration);
+  // Fairness accounting comes from the registry, not scheduler spelunking:
+  // engine_tenant_served{engine,node,tenant} callbacks sample each engine's
+  // TX scheduler, and dataplane_drops is the shared drop counter.
+  const MetricsRegistry& metrics = cluster.metrics();
+  for (const TenantScenario& scenario : options.tenants) {
+    uint64_t served = 0;
+    for (NetworkEngine* engine : engines) {
+      MetricLabels labels = MetricLabels::Node(engine->node()->id());
+      labels.engine = static_cast<int64_t>(engine->engine_id());
+      labels.tenant = static_cast<int64_t>(scenario.tenant);
+      served += metrics.ValueOf("engine_tenant_served", labels);
+    }
+    result.tenant_served[scenario.tenant] = served;
+  }
+  result.drops = metrics.ValueOf("dataplane_drops");
+  result.metrics_text = metrics.SnapshotText();
+  result.metrics_json = metrics.SnapshotJson();
   return result;
 }
 
@@ -745,6 +766,7 @@ BoutiqueResult RunBoutique(const CostModel& cost, const BoutiqueOptions& options
   config.worker_nodes = single_node ? 1 : 2;
   config.host_cores_per_node = single_node ? 14 : 16;
   config.with_ingress_node = true;
+  config.seed = options.seed;
   Cluster cluster(&cost, config);
   const BoutiqueSpec spec = BuildBoutiqueSpec(kEchoTenant);
   cluster.CreateTenantPools(spec.tenant);
@@ -760,7 +782,7 @@ BoutiqueResult RunBoutique(const CostModel& cost, const BoutiqueOptions& options
     dp_options.engine_kind = options.system == SystemUnderTest::kNadinoDne
                                  ? NetworkEngine::Kind::kDne
                                  : NetworkEngine::Kind::kCne;
-    nadino_dp = std::make_unique<NadinoDataPlane>(&sim, &cost, &cluster.routing(), dp_options);
+    nadino_dp = std::make_unique<NadinoDataPlane>(cluster.env(), &cluster.routing(), dp_options);
     for (int i = 0; i < cluster.worker_count(); ++i) {
       engines.push_back(nadino_dp->AddWorkerNode(cluster.worker(i)));
     }
@@ -786,7 +808,7 @@ BoutiqueResult RunBoutique(const CostModel& cost, const BoutiqueOptions& options
       default:
         break;
     }
-    baseline_dp = std::make_unique<BaselineDataPlane>(&sim, &cost, &cluster.routing(), system,
+    baseline_dp = std::make_unique<BaselineDataPlane>(cluster.env(), &cluster.routing(), system,
                                                       spec.tenant);
     for (int i = 0; i < cluster.worker_count(); ++i) {
       baseline_dp->AddWorkerNode(cluster.worker(i));
@@ -795,7 +817,7 @@ BoutiqueResult RunBoutique(const CostModel& cost, const BoutiqueOptions& options
     dataplane = baseline_dp.get();
   }
 
-  ChainExecutor executor(&sim, dataplane);
+  ChainExecutor executor(cluster.env(), dataplane);
   for (const ChainSpec& chain : spec.chains) {
     executor.RegisterChain(chain);
   }
@@ -833,7 +855,7 @@ BoutiqueResult RunBoutique(const CostModel& cost, const BoutiqueOptions& options
     // terminates with the kernel stack.
     gw_options.worker_stack = TcpStackKind::kKernel;
   }
-  IngressGateway gateway(&sim, &cost, cluster.ingress(), &cluster.routing(), dataplane,
+  IngressGateway gateway(cluster.env(), cluster.ingress(), &cluster.routing(), dataplane,
                          &executor, gw_options);
   gateway.AddRoute("/home", kHomeQueryChain, kFrontend);
   gateway.AddRoute("/cart", kViewCartChain, kFrontend);
@@ -869,7 +891,7 @@ BoutiqueResult RunBoutique(const CostModel& cost, const BoutiqueOptions& options
   client_options.num_clients = options.clients;
   client_options.path = path;
   client_options.payload_bytes = chain_spec->entry_request_payload;
-  ClosedLoopClients clients(&sim, &cost, &gateway, client_options);
+  ClosedLoopClients clients(cluster.env(), &gateway, client_options);
   clients.Start();
 
   sim.RunFor(options.warmup);
@@ -904,6 +926,8 @@ BoutiqueResult RunBoutique(const CostModel& cost, const BoutiqueOptions& options
         baseline_dp->EngineUtilizationCores() + gateway.PortalUtilizationCores();
     result.dpu_cores = 0.0;
   }
+  result.metrics_text = cluster.metrics().SnapshotText();
+  result.metrics_json = cluster.metrics().SnapshotJson();
   return result;
 }
 

@@ -14,6 +14,7 @@
 #include "src/apps/boutique.h"
 #include "src/baselines/baseline_dataplane.h"
 #include "src/core/calibration.h"
+#include "src/core/env.h"
 #include "src/dne/nadino_dataplane.h"
 #include "src/dpu/comch.h"
 #include "src/ingress/gateway.h"
@@ -39,16 +40,24 @@ struct ClusterConfig {
   int dpu_cores = 8;
   bool with_ingress_node = true;
   int ingress_cores = 12;
+  // Seeds the cluster Env's PRNG; equal seeds reproduce runs bit-for-bit,
+  // including the metrics snapshot (tests/determinism_test.cc).
+  uint64_t seed = kDefaultSeed;
 };
 
 class Cluster {
  public:
   Cluster(const CostModel* cost, const ClusterConfig& config);
 
+  // The unified context every component is constructed against. The cluster
+  // owns it: one experiment, one metric namespace, one random stream.
+  Env& env() { return env_; }
+  MetricsRegistry& metrics() { return env_.metrics(); }
+
   Simulator& sim() { return sim_; }
   RdmaNetwork& network() { return network_; }
   RoutingTable& routing() { return routing_; }
-  const CostModel& cost() const { return *cost_; }
+  const CostModel& cost() const { return env_.cost(); }
   int worker_count() const { return static_cast<int>(workers_.size()); }
   Node* worker(int i) { return workers_.at(static_cast<size_t>(i)).get(); }
   Node* ingress() { return ingress_.get(); }
@@ -57,8 +66,8 @@ class Cluster {
   void CreateTenantPools(TenantId tenant, size_t buffers = 8192, size_t buffer_size = 16384);
 
  private:
-  const CostModel* cost_;
   Simulator sim_;
+  Env env_;  // After sim_: constructed against it.
   RdmaNetwork network_;
   RoutingTable routing_;
   std::vector<std::unique_ptr<Node>> workers_;
@@ -74,6 +83,8 @@ struct EchoResult {
   double p99_latency_us = 0.0;
   double rps = 0.0;
   uint64_t completed = 0;
+  // Full registry dump at the end of the run (deterministic; sorted keys).
+  std::string metrics_text;
 };
 
 // DNE/CNE echo across two worker nodes.
@@ -129,6 +140,7 @@ struct ComchBenchOptions {
 struct ComchBenchResult {
   double mean_rtt_us = 0.0;
   double descriptor_rps = 0.0;
+  std::string metrics_text;
 };
 ComchBenchResult RunComchBench(const CostModel& cost, const ComchBenchOptions& options);
 
@@ -158,6 +170,7 @@ struct IngressEchoResult {
   uint64_t scale_ups = 0;
   uint64_t scale_downs = 0;
   int final_workers = 0;
+  std::string metrics_text;
 };
 IngressEchoResult RunIngressEcho(const CostModel& cost, const IngressEchoOptions& options);
 
@@ -180,11 +193,19 @@ struct MultiTenantOptions {
   SimDuration sample_period = kSecond;
   // Throttle reproducing "DNE configured to sustain ~110K RPS on one core".
   SimDuration extra_engine_cost = 1200;
+  uint64_t seed = kDefaultSeed;
 };
 struct MultiTenantResult {
   std::map<TenantId, TimeSeries> tenant_rps;
   std::map<TenantId, uint64_t> tenant_completed;
+  // Per-tenant messages the TX schedulers served, read back from the
+  // registry's engine_tenant_served instruments (summed over engines).
+  std::map<TenantId, uint64_t> tenant_served;
+  // dataplane_drops from the registry.
+  uint64_t drops = 0;
   double aggregate_rps = 0.0;
+  std::string metrics_text;
+  std::string metrics_json;
 };
 MultiTenantResult RunMultiTenant(const CostModel& cost, const MultiTenantOptions& options);
 
@@ -210,6 +231,7 @@ struct BoutiqueOptions {
   int clients = 20;
   SimDuration duration = 2 * kSecond;
   SimDuration warmup = 300 * kMillisecond;
+  uint64_t seed = kDefaultSeed;
 };
 struct BoutiqueResult {
   double rps = 0.0;
@@ -221,6 +243,8 @@ struct BoutiqueResult {
   double dataplane_cpu_cores = 0.0;
   double dpu_cores = 0.0;
   uint64_t errors = 0;
+  std::string metrics_text;
+  std::string metrics_json;
 };
 BoutiqueResult RunBoutique(const CostModel& cost, const BoutiqueOptions& options);
 

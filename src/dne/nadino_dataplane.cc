@@ -4,9 +4,8 @@
 
 namespace nadino {
 
-NadinoDataPlane::NadinoDataPlane(Simulator* sim, const CostModel* cost, RoutingTable* routing,
-                                 const Options& options)
-    : sim_(sim), cost_(cost), routing_(routing), options_(options), skmsg_(sim, cost) {}
+NadinoDataPlane::NadinoDataPlane(Env& env, RoutingTable* routing, const Options& options)
+    : DataPlane(env), routing_(routing), options_(options), skmsg_(env) {}
 
 NetworkEngine* NadinoDataPlane::AddWorkerNode(Node* node) {
   NetworkEngine::Config config;
@@ -18,7 +17,7 @@ NetworkEngine* NadinoDataPlane::AddWorkerNode(Node* node) {
   config.extra_per_op = options_.extra_engine_cost;
   config.comch_variant = options_.comch_variant;
   config.initial_recv_buffers = options_.initial_recv_buffers;
-  auto engine = std::make_unique<NetworkEngine>(sim_, cost_, node, routing_, config);
+  auto engine = std::make_unique<NetworkEngine>(env(), node, routing_, config);
   NetworkEngine* raw = engine.get();
   engines_[node->id()] = std::move(engine);
   return raw;
@@ -80,19 +79,19 @@ void NadinoDataPlane::RegisterFunction(FunctionRuntime* function) {
 bool NadinoDataPlane::Send(FunctionRuntime* src, Buffer* buffer) {
   const std::optional<MessageHeader> header = ReadMessage(*buffer);
   if (!header.has_value()) {
-    ++stats_.drops;
+    m_drops_->Increment();
     return false;
   }
-  ++stats_.sends;
+  m_sends_->Increment();
   const NodeId dst_node = routing_->NodeOf(header->dst);
   if (dst_node == kInvalidNode) {
-    ++stats_.drops;
+    m_drops_->Increment();
     return false;
   }
   if (dst_node == src->node()->id()) {
     const auto it = functions_.find(header->dst);
     if (it == functions_.end()) {
-      ++stats_.drops;
+      m_drops_->Increment();
       return false;
     }
     return SendIntraNode(src, it->second, buffer);
@@ -106,11 +105,11 @@ bool NadinoDataPlane::SendIntraNode(FunctionRuntime* src, FunctionRuntime* dst,
   // Token passing (section 3.5.1): exclusive ownership moves producer ->
   // consumer; the sem_post cost rides on the producer's core.
   if (!pool->Transfer(buffer, src->owner_id(), dst->owner_id())) {
-    ++stats_.drops;
+    m_drops_->Increment();
     return false;
   }
-  ++stats_.intra_node;
-  src->core()->Consume(cost_->token_post_cost);
+  m_intra_node_->Increment();
+  src->core()->Consume(env().cost().token_post_cost);
   const BufferDescriptor desc = pool->MakeDescriptor(*buffer, dst->id());
   skmsg_.Send(src->core(), dst->core(), desc, [dst, pool](const BufferDescriptor& d) {
     Buffer* b = pool->Resolve(d);
@@ -124,15 +123,15 @@ bool NadinoDataPlane::SendIntraNode(FunctionRuntime* src, FunctionRuntime* dst,
 bool NadinoDataPlane::SendInterNode(FunctionRuntime* src, Buffer* buffer, FunctionId dst) {
   NetworkEngine* engine = EngineAt(src->node()->id());
   if (engine == nullptr) {
-    ++stats_.drops;
+    m_drops_->Increment();
     return false;
   }
   BufferPool* pool = src->pool();
   if (!pool->Transfer(buffer, src->owner_id(), engine->owner_id())) {
-    ++stats_.drops;
+    m_drops_->Increment();
     return false;
   }
-  ++stats_.inter_node;
+  m_inter_node_->Increment();
   engine->SendFromFunction(src, pool->MakeDescriptor(*buffer, dst));
   return true;
 }

@@ -29,8 +29,7 @@ class NadinoDataPlane : public DataPlane {
     uint32_t dwrr_quantum_bytes = 2048;
   };
 
-  NadinoDataPlane(Simulator* sim, const CostModel* cost, RoutingTable* routing,
-                  const Options& options);
+  NadinoDataPlane(Env& env, RoutingTable* routing, const Options& options);
 
   // Creates this worker node's network engine. Call before registering the
   // node's functions.
@@ -54,8 +53,6 @@ class NadinoDataPlane : public DataPlane {
   bool SendIntraNode(FunctionRuntime* src, FunctionRuntime* dst, Buffer* buffer);
   bool SendInterNode(FunctionRuntime* src, Buffer* buffer, FunctionId dst);
 
-  Simulator* sim_;
-  const CostModel* cost_;
   RoutingTable* routing_;
   Options options_;
   SkMsgChannel skmsg_;

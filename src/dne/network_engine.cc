@@ -7,14 +7,12 @@
 
 namespace nadino {
 
-NetworkEngine::NetworkEngine(Simulator* sim, const CostModel* cost, Node* node,
-                             RoutingTable* routing, const Config& config)
-    : sim_(sim),
-      cost_(cost),
+NetworkEngine::NetworkEngine(Env& env, Node* node, RoutingTable* routing, const Config& config)
+    : env_(&env),
       node_(node),
       routing_(routing),
       config_(config),
-      connections_(sim, cost, &node->rnic()),
+      connections_(env, &node->rnic()),
       mmap_table_(&exporter_) {
   if (config_.kind == Kind::kDne) {
     assert(node_->dpu() != nullptr && "DNE requires a DPU on the node");
@@ -23,7 +21,7 @@ NetworkEngine::NetworkEngine(Simulator* sim, const CostModel* cost, Node* node,
     // Engine-managed polling: the run-to-completion loop sweeps the Comch
     // endpoints itself, so per-message channel handling is charged inside the
     // scheduled TX/RX stages (and thus governed by the DWRR policy).
-    comch_ = std::make_unique<ComchServer>(sim, cost, worker_core_,
+    comch_ = std::make_unique<ComchServer>(env, worker_core_,
                                            /*engine_managed_polling=*/true);
     comch_->SetReceiver([this](FunctionId /*src*/, const BufferDescriptor& desc) {
       IngestTx(desc, ComchDpuCost());
@@ -31,7 +29,7 @@ NetworkEngine::NetworkEngine(Simulator* sim, const CostModel* cost, Node* node,
   } else {
     worker_core_ = node_->AllocateCore();
     core_thread_core_ = worker_core_;  // The CNE is a single busy CPU core.
-    skmsg_ = std::make_unique<SkMsgChannel>(sim, cost);
+    skmsg_ = std::make_unique<SkMsgChannel>(env);
   }
   // Run-to-completion busy-poll loop: the core reads as 100% utilized.
   worker_core_->set_pinned(true);
@@ -42,6 +40,26 @@ NetworkEngine::NetworkEngine(Simulator* sim, const CostModel* cost, Node* node,
   } else {
     scheduler_ = std::make_unique<FcfsScheduler>();
   }
+  MetricLabels labels = MetricLabels::Node(node_->id());
+  labels.engine = static_cast<int64_t>(config_.engine_id);
+  MetricsRegistry& reg = env_->metrics();
+  m_tx_messages_ = &reg.Counter("engine_tx_messages", labels);
+  m_rx_messages_ = &reg.Counter("engine_rx_messages", labels);
+  m_send_completions_ = &reg.Counter("engine_send_completions", labels);
+  m_unroutable_ = &reg.Counter("engine_unroutable", labels);
+  m_replenish_failures_ = &reg.Counter("engine_replenish_failures", labels);
+  m_rbr_hits_ = &reg.Counter("engine_rbr_hits", labels);
+}
+
+NetworkEngine::Stats NetworkEngine::stats() const {
+  Stats s;
+  s.tx_messages = m_tx_messages_->value();
+  s.rx_messages = m_rx_messages_->value();
+  s.send_completions = m_send_completions_->value();
+  s.unroutable = m_unroutable_->value();
+  s.replenish_failures = m_replenish_failures_->value();
+  s.rbr_hits = m_rbr_hits_->value();
+  return s;
 }
 
 bool NetworkEngine::AttachTenant(TenantId tenant, uint32_t weight) {
@@ -66,6 +84,13 @@ bool NetworkEngine::AttachTenant(TenantId tenant, uint32_t weight) {
   }
   tenant_pools_[tenant] = pool;
   scheduler_->SetWeight(tenant, weight);
+  // Fairness accounting (Figs. 15/17): per-tenant served counts come from the
+  // registry, sampled off the scheduler at snapshot time.
+  MetricLabels labels = MetricLabels::Node(node_->id());
+  labels.engine = static_cast<int64_t>(config_.engine_id);
+  labels.tenant = static_cast<int64_t>(tenant);
+  env_->metrics().RegisterCallback("engine_tenant_served", labels,
+                                   [this, tenant] { return scheduler_->Served(tenant); });
   PostRecvBuffers(tenant, static_cast<uint64_t>(config_.initial_recv_buffers));
   return true;
 }
@@ -107,7 +132,7 @@ void NetworkEngine::Start() {
   }
   started_ = true;
   node_->rnic().cq().SetHandler([this](const Completion& cqe) { OnCompletion(cqe); });
-  sim_->Schedule(config_.replenish_period, [this]() { ReplenishTick(); });
+  sim().Schedule(config_.replenish_period, [this]() { ReplenishTick(); });
 }
 
 void NetworkEngine::SendFromFunction(FunctionRuntime* src, const BufferDescriptor& desc) {
@@ -143,7 +168,7 @@ void NetworkEngine::IngestTx(const BufferDescriptor& desc, SimDuration ingest_co
   BufferPool* pool = node_->tenants().PoolById(desc.pool);
   Buffer* buffer = pool == nullptr ? nullptr : pool->Resolve(desc);
   if (buffer == nullptr || !(buffer->owner == owner_id())) {
-    ++stats_.unroutable;
+    m_unroutable_->Increment();
     return;
   }
   TxItem item;
@@ -154,9 +179,9 @@ void NetworkEngine::IngestTx(const BufferDescriptor& desc, SimDuration ingest_co
   // Tenant shaping policy (token bucket): messages over the tenant's rate are
   // held back at admission; fairness scheduling applies below the caps.
   const SimDuration shaping_delay =
-      rate_limiter_.AdmissionDelay(item.tenant, item.bytes, sim_->now());
+      rate_limiter_.AdmissionDelay(item.tenant, item.bytes, sim().now());
   if (shaping_delay > 0) {
-    sim_->Schedule(shaping_delay, [this, item = std::move(item)]() mutable {
+    sim().Schedule(shaping_delay, [this, item = std::move(item)]() mutable {
       scheduler_->Enqueue(std::move(item));
       PumpTx();
     });
@@ -175,8 +200,8 @@ void NetworkEngine::PumpTx() {
     return;
   }
   tx_scheduled_ = true;
-  const SimDuration cost = cost_->dne_loop_iteration + cost_->dne_sched_op +
-                           cost_->dne_tx_stage + config_.extra_per_op + item.ingest_cost;
+  const SimDuration cost = env_->cost().dne_loop_iteration + env_->cost().dne_sched_op +
+                           env_->cost().dne_tx_stage + config_.extra_per_op + item.ingest_cost;
   worker_core_->Submit(cost, [this, item]() {
     ExecuteTx(item);
     tx_scheduled_ = false;
@@ -188,12 +213,12 @@ void NetworkEngine::ExecuteTx(const TxItem& item) {
   BufferPool* pool = node_->tenants().PoolById(item.desc.pool);
   Buffer* buffer = pool == nullptr ? nullptr : pool->Resolve(item.desc);
   if (buffer == nullptr) {
-    ++stats_.unroutable;
+    m_unroutable_->Increment();
     return;
   }
   const NodeId dst_node = routing_->NodeOf(item.desc.dst_function);
   if (dst_node == kInvalidNode) {
-    ++stats_.unroutable;
+    m_unroutable_->Increment();
     pool->Put(buffer, owner_id());
     return;
   }
@@ -205,7 +230,7 @@ void NetworkEngine::ExecuteTx(const TxItem& item) {
   }
   const ConnectionManager::Acquired acquired = connections_.Acquire(dst_node, item.tenant);
   if (acquired.qp == 0) {
-    ++stats_.unroutable;
+    m_unroutable_->Increment();
     pool->Put(buffer, owner_id());
     return;
   }
@@ -230,13 +255,13 @@ void NetworkEngine::ExecuteTx(const TxItem& item) {
 
 void NetworkEngine::PostToRnic(const TxItem& item, Buffer* buffer, BufferPool* pool, QpNum qp) {
   if (!pool->Transfer(buffer, owner_id(), OwnerId::Rnic(node_->id()))) {
-    ++stats_.unroutable;
+    m_unroutable_->Increment();
     return;
   }
   const uint64_t wr_id = next_wr_id_++;
   in_flight_[wr_id] = InFlightSend{buffer, pool, qp};
   node_->rnic().PostSend(qp, *buffer, wr_id, item.desc.dst_function);
-  ++stats_.tx_messages;
+  m_tx_messages_->Increment();
   if (tracer_ != nullptr) {
     tracer_->Record(TraceCategory::kEngine, config_.engine_id, "tx_post",
                     item.desc.dst_function, buffer->length);
@@ -246,12 +271,12 @@ void NetworkEngine::PostToRnic(const TxItem& item, Buffer* buffer, BufferPool* p
 void NetworkEngine::OnCompletion(const Completion& cqe) {
   if (cqe.opcode == RdmaOpcode::kRecv) {
     const SimDuration cost =
-        cost_->dne_loop_iteration + cost_->dne_rx_stage + config_.extra_per_op;
+        env_->cost().dne_loop_iteration + env_->cost().dne_rx_stage + config_.extra_per_op;
     worker_core_->Submit(cost, [this, cqe]() { HandleRecvCompletion(cqe); });
     return;
   }
   if (cqe.opcode == RdmaOpcode::kSend) {
-    worker_core_->Submit(cost_->dne_loop_iteration, [this, cqe]() {
+    worker_core_->Submit(env_->cost().dne_loop_iteration, [this, cqe]() {
       const auto it = in_flight_.find(cqe.wr_id);
       if (it == in_flight_.end()) {
         return;
@@ -260,7 +285,7 @@ void NetworkEngine::OnCompletion(const Completion& cqe) {
       it->second.pool->Put(it->second.buffer, OwnerId::Rnic(node_->id()));
       connections_.NoteIdle(it->second.qp);
       in_flight_.erase(it);
-      ++stats_.send_completions;
+      m_send_completions_->Increment();
     });
   }
 }
@@ -268,18 +293,18 @@ void NetworkEngine::OnCompletion(const Completion& cqe) {
 void NetworkEngine::HandleRecvCompletion(const Completion& cqe) {
   Buffer* registered = rbr_.Consume(cqe.wr_id, cqe.tenant);
   if (registered == nullptr || registered != cqe.buffer) {
-    ++stats_.unroutable;
+    m_unroutable_->Increment();
     return;
   }
-  ++stats_.rbr_hits;
-  ++stats_.rx_messages;
+  m_rbr_hits_->Increment();
+  m_rx_messages_->Increment();
   if (tracer_ != nullptr) {
     tracer_->Record(TraceCategory::kEngine, config_.engine_id, "rx_deliver", cqe.imm,
                     cqe.byte_len);
   }
   const auto pool_it = tenant_pools_.find(cqe.tenant);
   if (pool_it == tenant_pools_.end()) {
-    ++stats_.unroutable;
+    m_unroutable_->Increment();
     return;
   }
   BufferPool* pool = pool_it->second;
@@ -299,7 +324,7 @@ void NetworkEngine::HandleRecvCompletion(const Completion& cqe) {
 void NetworkEngine::DeliverLocal(FunctionId fn, Buffer* buffer, BufferPool* pool) {
   const auto it = endpoints_.find(fn);
   if (it == endpoints_.end()) {
-    ++stats_.unroutable;
+    m_unroutable_->Increment();
     pool->Put(buffer, owner_id());
     return;
   }
@@ -341,7 +366,7 @@ void NetworkEngine::ReplenishTick() {
     }
   }
   core_thread_core_->Consume(work);
-  sim_->Schedule(config_.replenish_period, [this]() { ReplenishTick(); });
+  sim().Schedule(config_.replenish_period, [this]() { ReplenishTick(); });
 }
 
 uint64_t NetworkEngine::PostRecvBuffers(TenantId tenant, uint64_t count) {
@@ -349,13 +374,13 @@ uint64_t NetworkEngine::PostRecvBuffers(TenantId tenant, uint64_t count) {
   for (uint64_t i = 0; i < count; ++i) {
     Buffer* buffer = pool->Get(owner_id());
     if (buffer == nullptr) {
-      ++stats_.replenish_failures;
+      m_replenish_failures_->Increment();
       return i;
     }
     const uint64_t wr_id = next_wr_id_++;
     if (!node_->rnic().PostRecvBuffer(pool, buffer, owner_id(), wr_id)) {
       pool->Put(buffer, owner_id());
-      ++stats_.replenish_failures;
+      m_replenish_failures_->Increment();
       return i;
     }
     rbr_.Insert(wr_id, buffer, tenant);

@@ -24,7 +24,7 @@
 #include <map>
 #include <memory>
 
-#include "src/core/calibration.h"
+#include "src/core/env.h"
 #include "src/core/types.h"
 #include "src/dne/rate_limiter.h"
 #include "src/dne/rbr_table.h"
@@ -76,8 +76,7 @@ class NetworkEngine {
   // buffer ownership engine->function and invokes FunctionRuntime::Deliver.
   using DeliverFn = std::function<void(Buffer*)>;
 
-  NetworkEngine(Simulator* sim, const CostModel* cost, Node* node, RoutingTable* routing,
-                const Config& config);
+  NetworkEngine(Env& env, Node* node, RoutingTable* routing, const Config& config);
 
   NetworkEngine(const NetworkEngine&) = delete;
   NetworkEngine& operator=(const NetworkEngine&) = delete;
@@ -89,7 +88,8 @@ class NetworkEngine {
   FifoResource* worker_core() { return worker_core_; }
   ComchServer* comch() { return comch_.get(); }
   ConnectionManager& connections() { return connections_; }
-  const Stats& stats() const { return stats_; }
+  // Thin shim over the MetricsRegistry counters; see metrics.h.
+  Stats stats() const;
   TxScheduler& scheduler() { return *scheduler_; }
   RbrTable& rbr() { return rbr_; }
 
@@ -176,8 +176,9 @@ class NetworkEngine {
   // Returns the number actually posted (pool exhaustion backpressures).
   uint64_t PostRecvBuffers(TenantId tenant, uint64_t count);
 
-  Simulator* sim_;
-  const CostModel* cost_;
+  Simulator& sim() const { return env_->sim(); }
+
+  Env* env_;
   Node* node_;
   RoutingTable* routing_;
   Config config_;
@@ -199,7 +200,13 @@ class NetworkEngine {
   uint64_t next_wr_id_ = 1;
   bool tx_scheduled_ = false;
   bool started_ = false;
-  Stats stats_;
+  // Registry-backed counters (labels: {engine, node}). See Stats.
+  CounterMetric* m_tx_messages_;
+  CounterMetric* m_rx_messages_;
+  CounterMetric* m_send_completions_;
+  CounterMetric* m_unroutable_;
+  CounterMetric* m_replenish_failures_;
+  CounterMetric* m_rbr_hits_;
 };
 
 }  // namespace nadino

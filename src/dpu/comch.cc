@@ -4,23 +4,21 @@
 
 namespace nadino {
 
-ComchServer::ComchServer(Simulator* sim, const CostModel* cost, FifoResource* dpu_core,
-                         bool engine_managed_polling)
-    : sim_(sim), cost_(cost), dpu_core_(dpu_core),
-      engine_managed_polling_(engine_managed_polling) {}
+ComchServer::ComchServer(Env& env, FifoResource* dpu_core, bool engine_managed_polling)
+    : env_(&env), dpu_core_(dpu_core), engine_managed_polling_(engine_managed_polling) {}
 
 ComchServer::Costs ComchServer::CostsFor(ComchVariant variant) const {
   switch (variant) {
     case ComchVariant::kEvent:
-      return {cost_->comch_e_host_send, cost_->comch_e_host_recv, cost_->comch_e_channel,
-              cost_->comch_e_dpu_side};
+      return {env_->cost().comch_e_host_send, env_->cost().comch_e_host_recv, env_->cost().comch_e_channel,
+              env_->cost().comch_e_dpu_side};
     case ComchVariant::kPolling:
-      return {cost_->comch_p_host_side, cost_->comch_p_host_side, cost_->comch_p_channel,
-              cost_->comch_p_dpu_side +
-                  cost_->comch_p_progress_sweep_per_endpoint * polling_endpoints_};
+      return {env_->cost().comch_p_host_side, env_->cost().comch_p_host_side, env_->cost().comch_p_channel,
+              env_->cost().comch_p_dpu_side +
+                  env_->cost().comch_p_progress_sweep_per_endpoint * polling_endpoints_};
     case ComchVariant::kTcp:
-      return {cost_->comch_tcp_host_side, cost_->comch_tcp_host_side, cost_->comch_tcp_channel,
-              cost_->comch_tcp_dpu_side};
+      return {env_->cost().comch_tcp_host_side, env_->cost().comch_tcp_host_side, env_->cost().comch_tcp_channel,
+              env_->cost().comch_tcp_dpu_side};
   }
   return {};
 }
@@ -59,7 +57,7 @@ void ComchServer::SendToDpu(FunctionId fn, const BufferDescriptor& desc) {
   ++to_dpu_;
   const Costs costs = CostsFor(it->second.variant);
   it->second.host_core->Submit(costs.host_send, [this, fn, desc, costs]() {
-    sim_->Schedule(costs.channel, [this, fn, desc, costs]() {
+    sim().Schedule(costs.channel, [this, fn, desc, costs]() {
       if (engine_managed_polling_) {
         // The owning engine discovers the descriptor on its next loop pass
         // and charges the handling cost within its scheduled stage.
@@ -88,7 +86,7 @@ void ComchServer::SendToHost(FunctionId fn, const BufferDescriptor& desc) {
   // Re-resolve the endpoint at each stage: it may be Disconnect()ed while the
   // message is in flight, in which case the descriptor is dropped.
   auto after_dpu_side = [this, fn, desc, costs]() {
-    sim_->Schedule(costs.channel, [this, fn, desc, costs]() {
+    sim().Schedule(costs.channel, [this, fn, desc, costs]() {
       const auto ep_it = endpoints_.find(fn);
       if (ep_it == endpoints_.end()) {
         ++dropped_;

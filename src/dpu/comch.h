@@ -22,7 +22,7 @@
 #include <functional>
 #include <map>
 
-#include "src/core/calibration.h"
+#include "src/core/env.h"
 #include "src/core/types.h"
 #include "src/mem/buffer.h"
 #include "src/sim/resource.h"
@@ -50,8 +50,7 @@ class ComchServer {
   // inside its run-to-completion event loop (section 3.5.4) and accounts for
   // the per-message channel handling as part of its scheduled TX/RX stages.
   // This keeps per-tenant DWRR in control of *all* per-message engine work.
-  ComchServer(Simulator* sim, const CostModel* cost, FifoResource* dpu_core,
-              bool engine_managed_polling = false);
+  ComchServer(Env& env, FifoResource* dpu_core, bool engine_managed_polling = false);
 
   // DPU-side per-message handling cost (host time) for this server's
   // configuration — what an engine-managed owner must charge per message.
@@ -104,8 +103,9 @@ class ComchServer {
 
   Costs CostsFor(ComchVariant variant) const;
 
-  Simulator* sim_;
-  const CostModel* cost_;
+  Simulator& sim() const { return env_->sim(); }
+
+  Env* env_;
   FifoResource* dpu_core_;
   bool engine_managed_polling_;
   ServerReceiver receiver_;

@@ -5,19 +5,19 @@
 
 namespace nadino {
 
-Dpu::Dpu(Simulator* sim, const CostModel* cost, NodeId node, int num_cores)
-    : cost_(cost), node_(node), dma_engine_(sim, "soc_dma:" + std::to_string(node)) {
+Dpu::Dpu(Env& env, NodeId node, int num_cores)
+    : env_(&env), node_(node), dma_engine_(&env.sim(), "soc_dma:" + std::to_string(node)) {
   cores_.reserve(static_cast<size_t>(num_cores));
   for (int i = 0; i < num_cores; ++i) {
     cores_.push_back(std::make_unique<FifoResource>(
-        sim, "dpu_core:" + std::to_string(node) + ":" + std::to_string(i),
-        cost->dpu_speed_factor));
+        &env.sim(), "dpu_core:" + std::to_string(node) + ":" + std::to_string(i),
+        env.cost().dpu_speed_factor));
   }
 }
 
 SimDuration Dpu::SocDmaCost(uint64_t bytes) const {
-  const double bytes_per_ns = cost_->soc_dma_gbps / 8.0;
-  return cost_->soc_dma_base +
+  const double bytes_per_ns = env_->cost().soc_dma_gbps / 8.0;
+  return env_->cost().soc_dma_base +
          static_cast<SimDuration>(static_cast<double>(bytes) / bytes_per_ns + 0.5);
 }
 

@@ -15,7 +15,7 @@
 #include <memory>
 #include <vector>
 
-#include "src/core/calibration.h"
+#include "src/core/env.h"
 #include "src/core/types.h"
 #include "src/sim/resource.h"
 #include "src/sim/simulator.h"
@@ -24,7 +24,7 @@ namespace nadino {
 
 class Dpu {
  public:
-  Dpu(Simulator* sim, const CostModel* cost, NodeId node, int num_cores = 8);
+  Dpu(Env& env, NodeId node, int num_cores = 8);
 
   Dpu(const Dpu&) = delete;
   Dpu& operator=(const Dpu&) = delete;
@@ -50,7 +50,7 @@ class Dpu {
   uint64_t soc_dma_bytes() const { return soc_dma_bytes_; }
 
  private:
-  const CostModel* cost_;
+  Env* env_;
   NodeId node_;
   std::vector<std::unique_ptr<FifoResource>> cores_;
   FifoResource dma_engine_;

@@ -19,11 +19,10 @@ constexpr FunctionId kPortalFnBase = 0xF8000;
 
 }  // namespace
 
-IngressGateway::IngressGateway(Simulator* sim, const CostModel* cost, Node* ingress_node,
-                               RoutingTable* routing, DataPlane* dataplane,
-                               ChainExecutor* executor, const Options& options)
-    : sim_(sim),
-      cost_(cost),
+IngressGateway::IngressGateway(Env& env, Node* ingress_node, RoutingTable* routing,
+                               DataPlane* dataplane, ChainExecutor* executor,
+                               const Options& options)
+    : env_(&env),
       node_(ingress_node),
       routing_(routing),
       dataplane_(dataplane),
@@ -31,15 +30,33 @@ IngressGateway::IngressGateway(Simulator* sim, const CostModel* cost, Node* ingr
       options_(options),
       ingress_stack_(options.mode == IngressMode::kKIngress ? TcpStackKind::kKernel
                                                             : TcpStackKind::kFstack,
-                     cost),
-      worker_stack_(options.worker_stack, cost) {
+                     &env.cost()),
+      worker_stack_(options.worker_stack, &env.cost()) {
+  MetricLabels labels = MetricLabels::Node(node_->id());
+  labels.engine = static_cast<int64_t>(options_.engine_id);
+  MetricsRegistry& reg = env_->metrics();
+  m_requests_ = &reg.Counter("gateway_requests", labels);
+  m_responses_ = &reg.Counter("gateway_responses", labels);
+  m_http_errors_ = &reg.Counter("gateway_http_errors", labels);
+  m_scale_ups_ = &reg.Counter("gateway_scale_ups", labels);
+  m_scale_downs_ = &reg.Counter("gateway_scale_downs", labels);
   master_core_ = node_->AllocateCore();
   for (int i = 0; i < options_.initial_workers; ++i) {
     StartWorker(i);
   }
   if (options_.autoscale) {
-    sim_->Schedule(cost_->ingress_autoscale_period, [this]() { AutoscaleTick(); });
+    sim().Schedule(env_->cost().ingress_autoscale_period, [this]() { AutoscaleTick(); });
   }
+}
+
+IngressGateway::Stats IngressGateway::stats() const {
+  Stats s;
+  s.requests = m_requests_->value();
+  s.responses = m_responses_->value();
+  s.http_errors = m_http_errors_->value();
+  s.scale_ups = m_scale_ups_->value();
+  s.scale_downs = m_scale_downs_->value();
+  return s;
 }
 
 void IngressGateway::StartWorker(int index) {
@@ -57,7 +74,7 @@ void IngressGateway::StartWorker(int index) {
   worker->active = true;
   routing_->Place(worker->self_fn, node_->id());
   fn_to_worker_[worker->self_fn] = index;
-  worker->connections = std::make_unique<ConnectionManager>(sim_, cost_, &node_->rnic());
+  worker->connections = std::make_unique<ConnectionManager>(*env_, &node_->rnic());
   workers_.push_back(std::move(worker));
 }
 
@@ -75,7 +92,7 @@ void IngressGateway::AddRoute(const std::string& path, ChainId chain,
   size_t consumed = 0;
   if (HttpCodec::ParseRequest(wire, &parsed, &consumed) != HttpParseResult::kOk ||
       parsed.target != path) {
-    ++stats_.http_errors;
+    m_http_errors_->Increment();
     return;
   }
   routes_[path] = Route{chain, entry_function};
@@ -159,10 +176,10 @@ IngressGateway::Worker* IngressGateway::PickWorker(uint32_t client_id) {
 
 void IngressGateway::SubmitRequest(uint32_t client_id, const std::string& path,
                                    uint32_t payload_bytes, std::function<void()> done) {
-  if (sim_->now() < paused_until_) {
+  if (sim().now() < paused_until_) {
     // Worker processes are restarting (horizontal scaling event): the brief
     // service interruption of Fig. 14.
-    sim_->Schedule(paused_until_ - sim_->now(),
+    sim().Schedule(paused_until_ - sim().now(),
                    [this, client_id, path, payload_bytes, done = std::move(done)]() mutable {
                      SubmitRequest(client_id, path, payload_bytes, std::move(done));
                    });
@@ -171,11 +188,11 @@ void IngressGateway::SubmitRequest(uint32_t client_id, const std::string& path,
   const auto route_it = routes_.find(path);
   Worker* worker = PickWorker(client_id);
   if (route_it == routes_.end() || worker == nullptr) {
-    ++stats_.http_errors;
-    sim_->Schedule(0, std::move(done));
+    m_http_errors_->Increment();
+    sim().Schedule(0, std::move(done));
     return;
   }
-  ++stats_.requests;
+  m_requests_->Increment();
   if (tracer_ != nullptr) {
     tracer_->Record(TraceCategory::kIngress, static_cast<uint32_t>(worker->index),
                     "http_request", client_id, payload_bytes);
@@ -186,8 +203,8 @@ void IngressGateway::SubmitRequest(uint32_t client_id, const std::string& path,
   // Terminate (or receive, for proxy modes) the client's HTTP/TCP request.
   const uint64_t wire_bytes = payload_bytes + kHttpRequestOverhead;
   const SimDuration rx_cost = ingress_stack_.RxCost(wire_bytes) +
-                              LivelockIrq(*cost_, ingress_stack_, *worker->core) +
-                              cost_->http_parse;
+                              LivelockIrq(env_->cost(), ingress_stack_, *worker->core) +
+                              env_->cost().http_parse;
   worker->core->Submit(rx_cost, [this, worker, route, payload_bytes, request_id]() {
     if (options_.mode == IngressMode::kNadino) {
       NadinoHandleRequest(worker, route, payload_bytes, request_id);
@@ -203,7 +220,7 @@ void IngressGateway::NadinoHandleRequest(Worker* worker, const Route& route,
                                          uint32_t payload_bytes, uint64_t request_id) {
   Buffer* buffer = pool_->Get(owner_id());
   if (buffer == nullptr) {
-    ++stats_.http_errors;
+    m_http_errors_->Increment();
     FinishResponse(worker, request_id, 0);
     return;
   }
@@ -215,7 +232,7 @@ void IngressGateway::NadinoHandleRequest(Worker* worker, const Route& route,
   header.request_id = request_id;
   if (!WriteMessage(buffer, header)) {
     pool_->Put(buffer, owner_id());
-    ++stats_.http_errors;
+    m_http_errors_->Increment();
     FinishResponse(worker, request_id, 0);
     return;
   }
@@ -224,7 +241,7 @@ void IngressGateway::NadinoHandleRequest(Worker* worker, const Route& route,
       worker->connections->Acquire(dst_node, options_.tenant);
   if (acquired.qp == 0) {
     pool_->Put(buffer, owner_id());
-    ++stats_.http_errors;
+    m_http_errors_->Increment();
     FinishResponse(worker, request_id, 0);
     return;
   }
@@ -270,14 +287,14 @@ void IngressGateway::OnRnicCompletion(const Completion& cqe) {
   Worker* worker = workers_[static_cast<size_t>(worker_it->second)].get();
   // The worker's busy-poll loop picks the completion up and runs the
   // RDMA->HTTP conversion.
-  worker->core->Submit(cost_->dne_loop_iteration + cost_->dne_rx_stage,
+  worker->core->Submit(env_->cost().dne_loop_iteration + env_->cost().dne_rx_stage,
                        [this, worker, buffer]() { NadinoHandleResponse(worker, buffer); });
 }
 
 void IngressGateway::NadinoHandleResponse(Worker* worker, Buffer* buffer) {
   const std::optional<MessageHeader> header = ReadMessage(*buffer);
   if (!header.has_value()) {
-    ++stats_.http_errors;
+    m_http_errors_->Increment();
     pool_->Put(buffer, owner_id());
     return;
   }
@@ -310,13 +327,13 @@ void IngressGateway::ProxyHandleRequest(Worker* worker, const Route& route,
   const FunctionId portal_fn = kPortalFnBase + dst_node;
   const auto portal_it = portal_nodes_.find(portal_fn);
   if (portal_it == portal_nodes_.end()) {
-    ++stats_.http_errors;
+    m_http_errors_->Increment();
     FinishResponse(worker, request_id, 0);
     return;
   }
   // NGINX proxy pass: upstream management + re-serialize toward the worker.
   const uint64_t wire_bytes = payload_bytes + kHttpRequestOverhead;
-  const SimDuration proxy_cost = cost_->http_proxy_request + ingress_stack_.TxCost(wire_bytes);
+  const SimDuration proxy_cost = env_->cost().http_proxy_request + ingress_stack_.TxCost(wire_bytes);
   worker->core->Submit(proxy_cost, [this, route, payload_bytes, request_id, dst_node,
                                     portal_fn, wire_bytes]() {
     node_->rnic().network()->fabric().Send(
@@ -336,13 +353,13 @@ void IngressGateway::ProxyHandleRequest(Worker* worker, const Route& route,
           }
           const uint64_t wire = payload_bytes + kHttpRequestOverhead;
           const SimDuration term_cost = worker_stack_.RxCost(wire) +
-                                        LivelockIrq(*cost_, worker_stack_, *portal->core()) +
-                                        cost_->http_parse;
+                                        LivelockIrq(env_->cost(), worker_stack_, *portal->core()) +
+                                        env_->cost().http_parse;
           portal->core()->Submit(term_cost, [this, portal, route, payload_bytes,
                                              request_id]() {
             Buffer* buffer = portal->pool()->Get(portal->owner_id());
             if (buffer == nullptr) {
-              ++stats_.http_errors;
+              m_http_errors_->Increment();
               return;
             }
             MessageHeader header;
@@ -353,7 +370,7 @@ void IngressGateway::ProxyHandleRequest(Worker* worker, const Route& route,
             header.request_id = request_id;
             if (!WriteMessage(buffer, header) || !dataplane_->Send(portal, buffer)) {
               portal->pool()->Put(buffer, portal->owner_id());
-              ++stats_.http_errors;
+              m_http_errors_->Increment();
             }
           });
         });
@@ -364,7 +381,7 @@ void IngressGateway::PortalDeliver(FunctionRuntime* portal, Buffer* buffer) {
   const std::optional<MessageHeader> header = ReadMessage(*buffer);
   if (!header.has_value()) {
     portal->pool()->Put(buffer, portal->owner_id());
-    ++stats_.http_errors;
+    m_http_errors_->Increment();
     return;
   }
   const uint64_t request_id = header->request_id;
@@ -372,7 +389,7 @@ void IngressGateway::PortalDeliver(FunctionRuntime* portal, Buffer* buffer) {
   portal->pool()->Put(buffer, portal->owner_id());
   const auto pending_it = pending_.find(request_id);
   if (pending_it == pending_.end()) {
-    ++stats_.http_errors;
+    m_http_errors_->Increment();
     return;
   }
   Worker* worker = workers_[static_cast<size_t>(pending_it->second.worker)].get();
@@ -386,8 +403,8 @@ void IngressGateway::PortalDeliver(FunctionRuntime* portal, Buffer* buffer) {
         portal_node, node_->id(), wire_bytes, [this, worker, request_id, body_bytes]() {
           const uint64_t wire = body_bytes + kHttpResponseOverhead;
           const SimDuration rx_cost = ingress_stack_.RxCost(wire) +
-                                      LivelockIrq(*cost_, ingress_stack_, *worker->core) +
-                                      cost_->http_proxy_response;
+                                      LivelockIrq(env_->cost(), ingress_stack_, *worker->core) +
+                                      env_->cost().http_proxy_response;
           worker->core->Submit(rx_cost, [this, worker, request_id, body_bytes]() {
             FinishResponse(worker, request_id, body_bytes);
           });
@@ -409,12 +426,12 @@ void IngressGateway::FinishResponse(Worker* worker, uint64_t request_id,
   const SimDuration tx_cost = ingress_stack_.TxCost(wire_bytes) + ingress_stack_.IrqCost();
   worker->core->Submit(tx_cost, [this, worker, body_bytes,
                                  done = std::move(pending.done)]() mutable {
-    ++stats_.responses;
+    m_responses_->Increment();
     if (tracer_ != nullptr) {
       tracer_->Record(TraceCategory::kIngress, static_cast<uint32_t>(worker->index),
                       "http_response", 0, body_bytes);
     }
-    sim_->Schedule(cost_->client_wire_one_way, std::move(done));
+    sim().Schedule(env_->cost().client_wire_one_way, std::move(done));
   });
 }
 
@@ -464,12 +481,12 @@ void IngressGateway::ResetUtilizationWindows() {
 
 void IngressGateway::AutoscaleTick() {
   const double util = AverageUsefulUtilization();
-  if (util > cost_->ingress_scale_up_util && active_workers() < options_.max_workers) {
+  if (util > env_->cost().ingress_scale_up_util && active_workers() < options_.max_workers) {
     StartWorker(active_workers());
     // Worker-process restart briefly interrupts service (Fig. 14 dips).
-    paused_until_ = sim_->now() + cost_->ingress_worker_restart;
-    ++stats_.scale_ups;
-  } else if (util < cost_->ingress_scale_down_util && active_workers() > 1) {
+    paused_until_ = sim().now() + env_->cost().ingress_worker_restart;
+    m_scale_ups_->Increment();
+  } else if (util < env_->cost().ingress_scale_down_util && active_workers() > 1) {
     // Drain the highest-index active worker.
     for (auto it = workers_.rbegin(); it != workers_.rend(); ++it) {
       if ((*it)->active) {
@@ -477,10 +494,10 @@ void IngressGateway::AutoscaleTick() {
         break;
       }
     }
-    ++stats_.scale_downs;
+    m_scale_downs_->Increment();
   }
   ResetUtilizationWindows();
-  sim_->Schedule(cost_->ingress_autoscale_period, [this]() { AutoscaleTick(); });
+  sim().Schedule(env_->cost().ingress_autoscale_period, [this]() { AutoscaleTick(); });
 }
 
 }  // namespace nadino

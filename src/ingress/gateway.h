@@ -25,7 +25,7 @@
 #include <string>
 #include <vector>
 
-#include "src/core/calibration.h"
+#include "src/core/env.h"
 #include "src/dne/network_engine.h"
 #include "src/dne/rbr_table.h"
 #include "src/mem/buffer_pool.h"
@@ -65,9 +65,8 @@ class IngressGateway {
     uint64_t scale_downs = 0;
   };
 
-  IngressGateway(Simulator* sim, const CostModel* cost, Node* ingress_node,
-                 RoutingTable* routing, DataPlane* dataplane, ChainExecutor* executor,
-                 const Options& options);
+  IngressGateway(Env& env, Node* ingress_node, RoutingTable* routing, DataPlane* dataplane,
+                 ChainExecutor* executor, const Options& options);
 
   IngressGateway(const IngressGateway&) = delete;
   IngressGateway& operator=(const IngressGateway&) = delete;
@@ -98,7 +97,8 @@ class IngressGateway {
   double AverageUsefulUtilization() const;
   void ResetUtilizationWindows();
 
-  const Stats& stats() const { return stats_; }
+  // Thin shim over the MetricsRegistry counters; see metrics.h.
+  Stats stats() const;
   OwnerId owner_id() const { return OwnerId::Engine(options_.engine_id); }
 
   // Optional structured tracing of the request/response lifecycle.
@@ -143,8 +143,9 @@ class IngressGateway {
 
   void AutoscaleTick();
 
-  Simulator* sim_;
-  const CostModel* cost_;
+  Simulator& sim() const { return env_->sim(); }
+
+  Env* env_;
   Node* node_;
   RoutingTable* routing_;
   DataPlane* dataplane_;
@@ -166,7 +167,13 @@ class IngressGateway {
   Tracer* tracer_ = nullptr;
   uint64_t next_wr_id_ = 1;
   uint64_t next_request_id_ = 1;
-  Stats stats_;
+  // Registry-backed counters (labels: {engine, node}) covering the request
+  // lifecycle. See Stats.
+  CounterMetric* m_requests_;
+  CounterMetric* m_responses_;
+  CounterMetric* m_http_errors_;
+  CounterMetric* m_scale_ups_;
+  CounterMetric* m_scale_downs_;
 };
 
 }  // namespace nadino

@@ -2,6 +2,33 @@
 
 namespace nadino {
 
+void TenantRegistry::BindMetrics(MetricsRegistry* registry, int64_t node) {
+  metrics_ = registry;
+  node_label_ = node;
+  for (const auto& pool : pools_) {
+    PublishPoolMetrics(*pool);
+  }
+}
+
+void TenantRegistry::PublishPoolMetrics(const BufferPool& pool) {
+  if (metrics_ == nullptr) {
+    return;
+  }
+  MetricLabels labels;
+  labels.tenant = static_cast<int64_t>(pool.tenant());
+  labels.node = node_label_;
+  const BufferPool* p = &pool;
+  metrics_->RegisterCallback("pool_gets", labels, [p] { return p->stats().gets; });
+  metrics_->RegisterCallback("pool_puts", labels, [p] { return p->stats().puts; });
+  metrics_->RegisterCallback("pool_get_failures", labels,
+                             [p] { return p->stats().get_failures; });
+  metrics_->RegisterCallback("pool_ownership_violations", labels,
+                             [p] { return p->stats().ownership_violations; });
+  metrics_->RegisterCallback("pool_transfers", labels, [p] { return p->stats().transfers; });
+  metrics_->RegisterCallback("pool_free_buffers", labels,
+                             [p] { return static_cast<uint64_t>(p->free_count()); });
+}
+
 BufferPool* TenantRegistry::CreatePool(TenantId tenant, const std::string& file_prefix,
                                        const PoolConfig& config) {
   if (prefix_to_tenant_.count(file_prefix) > 0 || tenant_to_pool_.count(tenant) > 0) {
@@ -12,6 +39,7 @@ BufferPool* TenantRegistry::CreatePool(TenantId tenant, const std::string& file_
                                                 config.buffer_size, &arena_));
   prefix_to_tenant_[file_prefix] = tenant;
   tenant_to_pool_[tenant] = pool_id;
+  PublishPoolMetrics(*pools_.back());
   return pools_.back().get();
 }
 

@@ -20,6 +20,7 @@
 #include "src/core/types.h"
 #include "src/mem/buffer_pool.h"
 #include "src/mem/hugepage_arena.h"
+#include "src/sim/metrics.h"
 
 namespace nadino {
 
@@ -33,6 +34,13 @@ class TenantRegistry {
   TenantRegistry() = default;
   TenantRegistry(const TenantRegistry&) = delete;
   TenantRegistry& operator=(const TenantRegistry&) = delete;
+
+  // Publishes per-pool callback metrics (labels: {tenant, node}) into
+  // `registry`. Pools created before or after the bind are both covered;
+  // pools keep their local counters, the registry samples them at snapshot
+  // time. Pass MetricLabels::kUnset as `node` when the registry is not
+  // node-scoped (standalone tests).
+  void BindMetrics(MetricsRegistry* registry, int64_t node);
 
   // The shared-memory agent path: creates the tenant's unified pool and binds
   // it to `file_prefix`. Returns nullptr if the prefix or tenant is already
@@ -64,6 +72,10 @@ class TenantRegistry {
   std::vector<PoolId> AllPools() const;
 
  private:
+  void PublishPoolMetrics(const BufferPool& pool);
+
+  MetricsRegistry* metrics_ = nullptr;  // Unowned; null until BindMetrics.
+  int64_t node_label_ = MetricLabels::kUnset;
   HugepageArena arena_;
   std::vector<std::unique_ptr<BufferPool>> pools_;
   std::map<std::string, TenantId> prefix_to_tenant_;

@@ -9,7 +9,7 @@ void TokenSemaphore::Post() {
   if (!waiters_.empty()) {
     Callback cb = std::move(waiters_.front());
     waiters_.pop_front();
-    sim_->Schedule(post_cost_, std::move(cb));
+    sim().Schedule(post_cost_, std::move(cb));
     return;
   }
   ++tokens_;
@@ -19,7 +19,7 @@ void TokenSemaphore::Wait(Callback cb) {
   if (tokens_ > 0) {
     --tokens_;
     // Token already available: no futex sleep, run this instant.
-    sim_->Schedule(0, std::move(cb));
+    sim().Schedule(0, std::move(cb));
     return;
   }
   waiters_.push_back(std::move(cb));

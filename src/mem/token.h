@@ -14,6 +14,7 @@
 #include <deque>
 #include <functional>
 
+#include "src/core/env.h"
 #include "src/sim/simulator.h"
 
 namespace nadino {
@@ -24,7 +25,8 @@ class TokenSemaphore {
 
   // `post_cost` models the sem_post syscall + futex wake, charged as delivery
   // latency between Post() and the waiter running.
-  TokenSemaphore(Simulator* sim, SimDuration post_cost = 400) : sim_(sim), post_cost_(post_cost) {}
+  explicit TokenSemaphore(Env& env, SimDuration post_cost = 400)
+      : env_(&env), post_cost_(post_cost) {}
 
   TokenSemaphore(const TokenSemaphore&) = delete;
   TokenSemaphore& operator=(const TokenSemaphore&) = delete;
@@ -41,7 +43,9 @@ class TokenSemaphore {
   uint64_t posts() const { return posts_; }
 
  private:
-  Simulator* sim_;
+  Simulator& sim() const { return env_->sim(); }
+
+  Env* env_;
   SimDuration post_cost_;
   int64_t tokens_ = 0;
   uint64_t posts_ = 0;

@@ -4,13 +4,30 @@
 
 namespace nadino {
 
-ConnectionManager::ConnectionManager(Simulator* sim, const CostModel* cost, RdmaEngine* local,
-                                     int max_active_per_peer, uint32_t congestion_threshold)
-    : sim_(sim),
-      cost_(cost),
+ConnectionManager::ConnectionManager(Env& env, RdmaEngine* local, int max_active_per_peer,
+                                     uint32_t congestion_threshold)
+    : env_(&env),
       local_(local),
       max_active_per_peer_(max_active_per_peer),
-      congestion_threshold_(congestion_threshold) {}
+      congestion_threshold_(congestion_threshold) {
+  const MetricLabels labels = MetricLabels::Node(local->node());
+  MetricsRegistry& reg = env_->metrics();
+  m_connects_ = &reg.Counter("connmgr_connects", labels);
+  m_activations_ = &reg.Counter("connmgr_activations", labels);
+  m_deactivations_ = &reg.Counter("connmgr_deactivations", labels);
+  m_acquires_ = &reg.Counter("connmgr_acquires", labels);
+  m_repairs_ = &reg.Counter("connmgr_repairs", labels);
+}
+
+ConnectionManager::Stats ConnectionManager::stats() const {
+  Stats s;
+  s.connects = m_connects_->value();
+  s.activations = m_activations_->value();
+  s.deactivations = m_deactivations_->value();
+  s.acquires = m_acquires_->value();
+  s.repairs = m_repairs_->value();
+  return s;
+}
 
 void ConnectionManager::Prewarm(RdmaEngine* peer, TenantId tenant, int count) {
   const PeerKey key{peer->node(), tenant};
@@ -20,13 +37,13 @@ void ConnectionManager::Prewarm(RdmaEngine* peer, TenantId tenant, int count) {
     (void)remote_qp;
     // Connection setup happens on the virtual clock but off the data path;
     // handshakes to the same peer pipeline rather than serialize.
-    sim_->Schedule(cost_->rc_connect_cost, [] {});
+    sim().Schedule(env_->cost().rc_connect_cost, [] {});
     const bool active = static_cast<int>(pool.size()) < max_active_per_peer_;
     pool.push_back(Pooled{local_qp, active});
     qp_index_[local_qp] = key;
-    ++stats_.connects;
+    m_connects_->Increment();
     if (active) {
-      ++stats_.activations;
+      m_activations_->Increment();
     } else {
       local_->qp_cache().Evict(local_qp);
     }
@@ -34,7 +51,7 @@ void ConnectionManager::Prewarm(RdmaEngine* peer, TenantId tenant, int count) {
 }
 
 ConnectionManager::Acquired ConnectionManager::Acquire(NodeId peer, TenantId tenant) {
-  ++stats_.acquires;
+  m_acquires_->Increment();
   const auto it = pools_.find(PeerKey{peer, tenant});
   if (it == pools_.end() || it->second.empty()) {
     return {};
@@ -66,15 +83,15 @@ ConnectionManager::Acquired ConnectionManager::Acquire(NodeId peer, TenantId ten
   if ((best == nullptr || best_outstanding > congestion_threshold_) && inactive != nullptr &&
       active_count < max_active_per_peer_) {
     inactive->active = true;
-    ++stats_.activations;
-    return {inactive->qp, cost_->qp_activate_cost};
+    m_activations_->Increment();
+    return {inactive->qp, env_->cost().qp_activate_cost};
   }
   if (best == nullptr) {
     // Nothing active yet (e.g. everything was deactivated): activate one.
     if (inactive != nullptr) {
       inactive->active = true;
-      ++stats_.activations;
-      return {inactive->qp, cost_->qp_activate_cost};
+      m_activations_->Increment();
+      return {inactive->qp, env_->cost().qp_activate_cost};
     }
     return {};
   }
@@ -98,7 +115,7 @@ void ConnectionManager::NoteIdle(QpNum qp) {
     if (p.qp == qp && p.active && local_->Outstanding(qp) == 0) {
       p.active = false;
       local_->qp_cache().Evict(qp);
-      ++stats_.deactivations;
+      m_deactivations_->Increment();
       return;
     }
   }
@@ -109,10 +126,10 @@ void ConnectionManager::Repair(QpNum qp, RdmaEngine* peer) {
   if (idx == qp_index_.end()) {
     return;
   }
-  ++stats_.repairs;
+  m_repairs_->Increment();
   // The handshake runs off the data path; the QP re-enters service when it
   // completes (real recovery would also resync the peer's QP state).
-  sim_->Schedule(cost_->rc_connect_cost, [this, qp, peer]() {
+  sim().Schedule(env_->cost().rc_connect_cost, [this, qp, peer]() {
     local_->ResetQp(qp);
     if (peer != nullptr) {
       peer->ResetQp(qp);  // No-op unless the peer tracks the same number.

@@ -15,7 +15,7 @@
 #include <map>
 #include <vector>
 
-#include "src/core/calibration.h"
+#include "src/core/env.h"
 #include "src/core/types.h"
 #include "src/rdma/rdma_engine.h"
 #include "src/sim/simulator.h"
@@ -39,8 +39,8 @@ class ConnectionManager {
     SimDuration control_cost = 0;
   };
 
-  ConnectionManager(Simulator* sim, const CostModel* cost, RdmaEngine* local,
-                    int max_active_per_peer = 8, uint32_t congestion_threshold = 16);
+  ConnectionManager(Env& env, RdmaEngine* local, int max_active_per_peer = 8,
+                    uint32_t congestion_threshold = 16);
 
   ConnectionManager(const ConnectionManager&) = delete;
   ConnectionManager& operator=(const ConnectionManager&) = delete;
@@ -70,7 +70,8 @@ class ConnectionManager {
 
   int ActiveCount(NodeId peer, TenantId tenant) const;
   int PooledCount(NodeId peer, TenantId tenant) const;
-  const Stats& stats() const { return stats_; }
+  // Thin shim over the MetricsRegistry counters; see metrics.h.
+  Stats stats() const;
 
  private:
   struct Pooled {
@@ -80,14 +81,20 @@ class ConnectionManager {
 
   using PeerKey = std::pair<NodeId, TenantId>;
 
-  Simulator* sim_;
-  const CostModel* cost_;
+  Simulator& sim() const { return env_->sim(); }
+
+  Env* env_;
   RdmaEngine* local_;
   int max_active_per_peer_;
   uint32_t congestion_threshold_;
   std::map<PeerKey, std::vector<Pooled>> pools_;
   std::map<QpNum, PeerKey> qp_index_;
-  Stats stats_;
+  // Registry-backed counters (labels: node of the local engine).
+  CounterMetric* m_connects_;
+  CounterMetric* m_activations_;
+  CounterMetric* m_deactivations_;
+  CounterMetric* m_acquires_;
+  CounterMetric* m_repairs_;
 };
 
 }  // namespace nadino

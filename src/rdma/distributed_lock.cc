@@ -8,16 +8,19 @@ namespace {
 constexpr uint64_t kLockMessageBytes = 32;
 }  // namespace
 
-DistributedLockService::DistributedLockService(Simulator* sim, const CostModel* cost,
-                                               RdmaNetwork* network, NodeId home,
+DistributedLockService::DistributedLockService(Env& env, RdmaNetwork* network, NodeId home,
                                                FifoResource* manager_core)
-    : sim_(sim), cost_(cost), network_(network), home_(home), manager_core_(manager_core) {}
+    : env_(&env), network_(network), home_(home), manager_core_(manager_core) {
+  const MetricLabels labels = MetricLabels::Node(home);
+  m_acquires_ = &env_->metrics().Counter("dlock_acquires", labels);
+  m_contended_ = &env_->metrics().Counter("dlock_contended_acquires", labels);
+}
 
 void DistributedLockService::Acquire(NodeId requester, uint64_t lock_id, Granted granted) {
-  ++acquires_;
+  m_acquires_->Increment();
   if (requester == home_) {
     // Local acquires still pay manager processing but skip the fabric.
-    manager_core_->Submit(cost_->dlock_manager_op,
+    manager_core_->Submit(env_->cost().dlock_manager_op,
                           [this, requester, lock_id, granted = std::move(granted)]() mutable {
                             ManagerAcquire(requester, lock_id, std::move(granted));
                           });
@@ -26,7 +29,7 @@ void DistributedLockService::Acquire(NodeId requester, uint64_t lock_id, Granted
   network_->fabric().Send(requester, home_, kLockMessageBytes,
                           [this, requester, lock_id, granted = std::move(granted)]() mutable {
                             manager_core_->Submit(
-                                cost_->dlock_manager_op,
+                                env_->cost().dlock_manager_op,
                                 [this, requester, lock_id, granted = std::move(granted)]() mutable {
                                   ManagerAcquire(requester, lock_id, std::move(granted));
                                 });
@@ -36,7 +39,7 @@ void DistributedLockService::Acquire(NodeId requester, uint64_t lock_id, Granted
 void DistributedLockService::ManagerAcquire(NodeId requester, uint64_t lock_id, Granted granted) {
   LockState& state = locks_[lock_id];
   if (state.held) {
-    ++contended_;
+    m_contended_->Increment();
     state.waiters.emplace_back(requester, std::move(granted));
     return;
   }
@@ -46,12 +49,12 @@ void DistributedLockService::ManagerAcquire(NodeId requester, uint64_t lock_id, 
 
 void DistributedLockService::Release(NodeId requester, uint64_t lock_id) {
   if (requester == home_) {
-    manager_core_->Submit(cost_->dlock_manager_op,
+    manager_core_->Submit(env_->cost().dlock_manager_op,
                           [this, lock_id]() { ManagerRelease(lock_id); });
     return;
   }
   network_->fabric().Send(requester, home_, kLockMessageBytes, [this, lock_id]() {
-    manager_core_->Submit(cost_->dlock_manager_op, [this, lock_id]() { ManagerRelease(lock_id); });
+    manager_core_->Submit(env_->cost().dlock_manager_op, [this, lock_id]() { ManagerRelease(lock_id); });
   });
 }
 
@@ -68,7 +71,7 @@ void DistributedLockService::ManagerRelease(uint64_t lock_id) {
 
 void DistributedLockService::Grant(NodeId requester, Granted granted) {
   if (requester == home_) {
-    sim_->Schedule(0, std::move(granted));
+    sim().Schedule(0, std::move(granted));
     return;
   }
   network_->fabric().Send(home_, requester, kLockMessageBytes, std::move(granted));

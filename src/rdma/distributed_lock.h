@@ -14,7 +14,7 @@
 #include <functional>
 #include <map>
 
-#include "src/core/calibration.h"
+#include "src/core/env.h"
 #include "src/core/types.h"
 #include "src/rdma/rdma_engine.h"
 #include "src/sim/resource.h"
@@ -28,8 +28,8 @@ class DistributedLockService {
 
   // `manager_core` is the CPU/DPU core that executes manager logic (lock
   // table updates); message transport rides the shared RDMA fabric.
-  DistributedLockService(Simulator* sim, const CostModel* cost, RdmaNetwork* network,
-                         NodeId home, FifoResource* manager_core);
+  DistributedLockService(Env& env, RdmaNetwork* network, NodeId home,
+                         FifoResource* manager_core);
 
   DistributedLockService(const DistributedLockService&) = delete;
   DistributedLockService& operator=(const DistributedLockService&) = delete;
@@ -41,8 +41,8 @@ class DistributedLockService {
   // Releases `lock_id`; the next waiter (if any) is granted.
   void Release(NodeId requester, uint64_t lock_id);
 
-  uint64_t acquires() const { return acquires_; }
-  uint64_t contended_acquires() const { return contended_; }
+  uint64_t acquires() const { return m_acquires_->value(); }
+  uint64_t contended_acquires() const { return m_contended_->value(); }
 
  private:
   struct LockState {
@@ -54,14 +54,16 @@ class DistributedLockService {
   void ManagerRelease(uint64_t lock_id);
   void Grant(NodeId requester, Granted granted);
 
-  Simulator* sim_;
-  const CostModel* cost_;
+  Simulator& sim() const { return env_->sim(); }
+
+  Env* env_;
   RdmaNetwork* network_;
   NodeId home_;
   FifoResource* manager_core_;
   std::map<uint64_t, LockState> locks_;
-  uint64_t acquires_ = 0;
-  uint64_t contended_ = 0;
+  // Registry-backed counters (labels: the manager's home node).
+  CounterMetric* m_acquires_;
+  CounterMetric* m_contended_;
 };
 
 }  // namespace nadino

@@ -6,17 +6,18 @@
 
 namespace nadino {
 
-Fabric::Fabric(Simulator* sim, const CostModel* cost) : sim_(sim), cost_(cost) {}
+Fabric::Fabric(Env& env) : env_(&env) {}
 
 void Fabric::AttachNode(NodeId node) {
   if (ports_.count(node) > 0) {
     return;
   }
+  const CostModel& cost = env_->cost();
   Port port;
-  port.up = std::make_unique<Link>(sim_, "up:" + std::to_string(node), cost_->fabric_gbps,
-                                   cost_->link_propagation);
-  port.down = std::make_unique<Link>(sim_, "down:" + std::to_string(node), cost_->fabric_gbps,
-                                     cost_->link_propagation);
+  port.up = std::make_unique<Link>(&env_->sim(), "up:" + std::to_string(node), cost.fabric_gbps,
+                                   cost.link_propagation);
+  port.down = std::make_unique<Link>(&env_->sim(), "down:" + std::to_string(node),
+                                     cost.fabric_gbps, cost.link_propagation);
   ports_.emplace(node, std::move(port));
 }
 
@@ -26,15 +27,15 @@ void Fabric::Send(NodeId src, NodeId dst, uint64_t payload_bytes, Delivery deliv
   Link* up = ports_.at(src).up.get();
   Link* down = ports_.at(dst).down.get();
   up->Transfer(wire_bytes, [this, down, wire_bytes, delivered = std::move(delivered)]() mutable {
-    sim_->Schedule(cost_->switch_latency, [this, down, wire_bytes,
-                                           delivered = std::move(delivered)]() mutable {
-      down->Transfer(wire_bytes, [this, delivered = std::move(delivered)]() {
-        ++messages_delivered_;
-        if (delivered) {
-          delivered();
-        }
-      });
-    });
+    env_->sim().Schedule(env_->cost().switch_latency,
+                         [this, down, wire_bytes, delivered = std::move(delivered)]() mutable {
+                           down->Transfer(wire_bytes, [this, delivered = std::move(delivered)]() {
+                             ++messages_delivered_;
+                             if (delivered) {
+                               delivered();
+                             }
+                           });
+                         });
   });
 }
 

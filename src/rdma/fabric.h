@@ -13,10 +13,9 @@
 #include <memory>
 #include <vector>
 
-#include "src/core/calibration.h"
+#include "src/core/env.h"
 #include "src/core/types.h"
 #include "src/sim/link.h"
-#include "src/sim/simulator.h"
 
 namespace nadino {
 
@@ -27,7 +26,7 @@ class Fabric {
  public:
   using Delivery = std::function<void()>;
 
-  Fabric(Simulator* sim, const CostModel* cost);
+  explicit Fabric(Env& env);
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
@@ -52,8 +51,7 @@ class Fabric {
     std::unique_ptr<Link> down;  // switch -> node
   };
 
-  Simulator* sim_;
-  const CostModel* cost_;
+  Env* env_;
   std::map<NodeId, Port> ports_;
   uint64_t messages_delivered_ = 0;
 };

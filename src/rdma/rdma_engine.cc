@@ -18,15 +18,45 @@ RdmaEngine* RdmaNetwork::EngineAt(NodeId node) const {
   return it == engines_.end() ? nullptr : it->second;
 }
 
-RdmaEngine::RdmaEngine(Simulator* sim, const CostModel* cost, NodeId node, RdmaNetwork* network)
-    : sim_(sim),
-      cost_(cost),
+RdmaEngine::RdmaEngine(Env& env, NodeId node, RdmaNetwork* network)
+    : env_(&env),
       node_(node),
       network_(network),
-      tx_pipe_(sim, "rnic_tx:" + std::to_string(node)),
-      rx_pipe_(sim, "rnic_rx:" + std::to_string(node)),
-      qp_cache_(cost->rnic_qp_cache_entries) {
+      tx_pipe_(&env.sim(), "rnic_tx:" + std::to_string(node)),
+      rx_pipe_(&env.sim(), "rnic_rx:" + std::to_string(node)),
+      qp_cache_(env.cost().rnic_qp_cache_entries) {
   network_->Attach(this);
+  MetricsRegistry& m = env_->metrics();
+  const MetricLabels labels = MetricLabels::Node(node_);
+  m_sends_ = &m.Counter("rnic_sends", labels);
+  m_writes_ = &m.Counter("rnic_writes", labels);
+  m_reads_ = &m.Counter("rnic_reads", labels);
+  m_recv_completions_ = &m.Counter("rnic_recv_completions", labels);
+  m_rnr_events_ = &m.Counter("rnic_rnr_events", labels);
+  m_rnr_failures_ = &m.Counter("rnic_rnr_failures", labels);
+  m_bytes_tx_ = &m.Counter("rnic_bytes_tx", labels);
+  m_bytes_rx_ = &m.Counter("rnic_bytes_rx", labels);
+  m_oblivious_overwrites_ = &m.Counter("rnic_oblivious_overwrites", labels);
+  // RNIC ICM-cache behaviour surfaces through the registry too (sections
+  // 2.1/3.3): sampled at snapshot time from the cache's own counters.
+  m.RegisterCallback("rnic_qp_cache_hits", labels, [this]() { return qp_cache_.hits(); });
+  m.RegisterCallback("rnic_qp_cache_misses", labels, [this]() { return qp_cache_.misses(); });
+  m.RegisterCallback("rnic_qp_cache_resident", labels,
+                     [this]() { return static_cast<uint64_t>(qp_cache_.resident()); });
+}
+
+RdmaEngine::Stats RdmaEngine::stats() const {
+  Stats s;
+  s.sends = m_sends_->value();
+  s.writes = m_writes_->value();
+  s.reads = m_reads_->value();
+  s.recv_completions = m_recv_completions_->value();
+  s.rnr_events = m_rnr_events_->value();
+  s.rnr_failures = m_rnr_failures_->value();
+  s.bytes_tx = m_bytes_tx_->value();
+  s.bytes_rx = m_bytes_rx_->value();
+  s.oblivious_overwrites = m_oblivious_overwrites_->value();
+  return s;
 }
 
 QpNum RdmaEngine::CreateQp(TenantId tenant) {
@@ -119,7 +149,7 @@ uint64_t RdmaEngine::TenantBytesTx(TenantId tenant) const {
 }
 
 SimDuration RdmaEngine::QpTouchCost(QpNum qp) {
-  return qp_cache_.Touch(qp) ? 0 : cost_->rnic_qp_cache_miss;
+  return qp_cache_.Touch(qp) ? 0 : env_->cost().rnic_qp_cache_miss;
 }
 
 void RdmaEngine::Transmit(Packet pkt, SimDuration extra_cost) {
@@ -128,12 +158,23 @@ void RdmaEngine::Transmit(Packet pkt, SimDuration extra_cost) {
   if (pkt.kind == Packet::Kind::kAck) {
     service += 100;  // ACK generation is nearly free in the NIC pipeline.
   } else {
-    service += cost_->rnic_wr_tx +
-               static_cast<SimDuration>(static_cast<double>(bytes) * cost_->rnic_per_byte_ns);
+    service += env_->cost().rnic_wr_tx +
+               static_cast<SimDuration>(static_cast<double>(bytes) * env_->cost().rnic_per_byte_ns);
   }
-  stats_.bytes_tx += bytes;
+  m_bytes_tx_->Add(bytes);
   if (pkt.tenant != kInvalidTenant && pkt.kind != Packet::Kind::kAck) {
-    tenant_bytes_tx_[pkt.tenant] += bytes + kWireHeaderBytes;
+    const auto [it, inserted] = tenant_bytes_tx_.try_emplace(pkt.tenant, 0);
+    if (inserted) {
+      // First traffic for this tenant: expose its fairness accounting
+      // (Figs. 15/17 read per-tenant egress from the registry).
+      MetricLabels labels = MetricLabels::Node(node_);
+      labels.tenant = static_cast<int64_t>(pkt.tenant);
+      env_->metrics().RegisterCallback("rnic_tenant_bytes_tx", labels,
+                                       [this, tenant = pkt.tenant]() {
+                                         return TenantBytesTx(tenant);
+                                       });
+    }
+    it->second += bytes + kWireHeaderBytes;
   }
   tx_pipe_.Submit(service, [this, pkt = std::move(pkt)]() mutable {
     const NodeId dst = pkt.dst;
@@ -154,7 +195,7 @@ bool RdmaEngine::PostSend(QpNum qp, const Buffer& src, uint64_t wr_id, uint32_t 
     return false;
   }
   ++q->outstanding;
-  ++stats_.sends;
+  m_sends_->Increment();
   Packet pkt;
   pkt.kind = Packet::Kind::kSend;
   pkt.src = node_;
@@ -178,7 +219,7 @@ bool RdmaEngine::PostWrite(QpNum qp, const Buffer& src, PoolId remote_pool, uint
     return false;
   }
   ++q->outstanding;
-  ++stats_.writes;
+  m_writes_->Increment();
   Packet pkt;
   pkt.kind = Packet::Kind::kWrite;
   pkt.src = node_;
@@ -202,7 +243,7 @@ bool RdmaEngine::PostRead(QpNum qp, Buffer* dst, PoolId remote_pool, uint32_t re
     return false;
   }
   ++q->outstanding;
-  ++stats_.reads;
+  m_reads_->Increment();
   Packet pkt;
   pkt.kind = Packet::Kind::kReadReq;
   pkt.src = node_;
@@ -228,17 +269,17 @@ void RdmaEngine::DeliverFromWire(Packet pkt) {
       service = 100;
       break;
     case Packet::Kind::kReadReq:
-      service = cost_->rnic_wr_rx;
+      service = env_->cost().rnic_wr_rx;
       break;
     default:
-      service = cost_->rnic_wr_rx + static_cast<SimDuration>(
+      service = env_->cost().rnic_wr_rx + static_cast<SimDuration>(
                                         static_cast<double>(pkt.payload.size()) *
-                                        cost_->rnic_per_byte_ns);
+                                        env_->cost().rnic_per_byte_ns);
       break;
   }
   service += QpTouchCost(pkt.dst_qp);
   rx_pipe_.Submit(service, [this, pkt = std::move(pkt)]() mutable {
-    stats_.bytes_rx += pkt.payload.size();
+    m_bytes_rx_->Add(pkt.payload.size());
     switch (pkt.kind) {
       case Packet::Kind::kSend:
         HandleSend(std::move(pkt));
@@ -265,13 +306,13 @@ void RdmaEngine::HandleSend(Packet pkt) {
   Buffer* buffer = recv.buffer;
   if (buffer == nullptr) {
     // Receiver not ready: back off and retry delivery, as RC RNR NAK does.
-    ++stats_.rnr_events;
+    m_rnr_events_->Increment();
     if (++pkt.rnr_attempts > kMaxRnrRetries) {
-      ++stats_.rnr_failures;
+      m_rnr_failures_->Increment();
       SendAck(pkt, RdmaOpcode::kSend, WrStatus::kRnrRetryExceeded, 0);
       return;
     }
-    sim_->Schedule(cost_->rnic_rnr_backoff,
+    sim().Schedule(env_->cost().rnic_rnr_backoff,
                    [this, pkt = std::move(pkt)]() mutable { HandleSend(std::move(pkt)); });
     return;
   }
@@ -279,7 +320,7 @@ void RdmaEngine::HandleSend(Packet pkt) {
       static_cast<uint32_t>(std::min(pkt.payload.size(), buffer->data.size()));
   std::memcpy(buffer->data.data(), pkt.payload.data(), len);  // The DMA write.
   buffer->length = len;
-  ++stats_.recv_completions;
+  m_recv_completions_->Increment();
   SendAck(pkt, RdmaOpcode::kSend, WrStatus::kSuccess, len);
   Completion cqe;
   cqe.wr_id = recv.wr_id;  // The *receiver's* posted WR id, per verbs semantics.
@@ -306,7 +347,7 @@ void RdmaEngine::HandleWrite(Packet pkt) {
     // The receiver-oblivious hazard (section 2.1): the writer cannot know a
     // local function currently owns this buffer. The write proceeds anyway —
     // exactly the data race one-sided RDMA permits.
-    ++stats_.oblivious_overwrites;
+    m_oblivious_overwrites_->Increment();
   }
   const auto len =
       static_cast<uint32_t>(std::min(pkt.payload.size(), buffer->data.size()));

@@ -17,7 +17,7 @@
 #include <memory>
 #include <vector>
 
-#include "src/core/calibration.h"
+#include "src/core/env.h"
 #include "src/core/types.h"
 #include "src/mem/buffer_pool.h"
 #include "src/rdma/completion_queue.h"
@@ -36,7 +36,7 @@ class RdmaEngine;
 // Owns the fabric and the engine registry; routes packets between engines.
 class RdmaNetwork {
  public:
-  RdmaNetwork(Simulator* sim, const CostModel* cost) : fabric_(sim, cost) {}
+  explicit RdmaNetwork(Env& env) : fabric_(env) {}
 
   void Attach(RdmaEngine* engine);
   RdmaEngine* EngineAt(NodeId node) const;
@@ -63,7 +63,7 @@ class RdmaEngine {
     uint64_t oblivious_overwrites = 0;
   };
 
-  RdmaEngine(Simulator* sim, const CostModel* cost, NodeId node, RdmaNetwork* network);
+  RdmaEngine(Env& env, NodeId node, RdmaNetwork* network);
 
   RdmaEngine(const RdmaEngine&) = delete;
   RdmaEngine& operator=(const RdmaEngine&) = delete;
@@ -73,8 +73,10 @@ class RdmaEngine {
   CompletionQueue& cq() { return cq_; }
   MrTable& mr_table() { return mr_table_; }
   QpCache& qp_cache() { return qp_cache_; }
-  const Stats& stats() const { return stats_; }
-  const CostModel& cost() const { return *cost_; }
+  // Thin shim over the MetricsRegistry counters (see metrics.h); kept so
+  // existing `stats().sends`-style call sites compile unchanged.
+  Stats stats() const;
+  const CostModel& cost() const { return env_->cost(); }
 
   // --- Control path ---------------------------------------------------------
 
@@ -192,8 +194,9 @@ class RdmaEngine {
 
   SimDuration QpTouchCost(QpNum qp);
 
-  Simulator* sim_;
-  const CostModel* cost_;
+  Simulator& sim() const { return env_->sim(); }
+
+  Env* env_;
   NodeId node_;
   RdmaNetwork* network_;
   FifoResource tx_pipe_;
@@ -207,7 +210,16 @@ class RdmaEngine {
   std::map<TenantId, uint64_t> tenant_bytes_tx_;
   std::map<uint64_t, Buffer*> pending_reads_;  // wr_id -> destination buffer.
   std::map<PoolId, WriteArrivalHook> write_hooks_;
-  Stats stats_;
+  // Registry-backed counters (labels: node). See Stats for field meanings.
+  CounterMetric* m_sends_;
+  CounterMetric* m_writes_;
+  CounterMetric* m_reads_;
+  CounterMetric* m_recv_completions_;
+  CounterMetric* m_rnr_events_;
+  CounterMetric* m_rnr_failures_;
+  CounterMetric* m_bytes_tx_;
+  CounterMetric* m_bytes_rx_;
+  CounterMetric* m_oblivious_overwrites_;
 };
 
 }  // namespace nadino

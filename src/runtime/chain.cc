@@ -21,8 +21,8 @@ size_t ExchangesFrom(const ChainSpec& spec, FunctionId fn) {
 
 size_t ChainSpec::ExpectedExchanges() const { return ExchangesFrom(*this, entry); }
 
-ChainExecutor::ChainExecutor(Simulator* sim, DataPlane* dataplane)
-    : sim_(sim), dataplane_(dataplane) {}
+ChainExecutor::ChainExecutor(Env& env, DataPlane* dataplane)
+    : env_(&env), dataplane_(dataplane) {}
 
 void ChainExecutor::RegisterChain(const ChainSpec& spec) { chains_[spec.id] = spec; }
 

@@ -17,6 +17,7 @@
 #include <map>
 #include <vector>
 
+#include "src/core/env.h"
 #include "src/core/types.h"
 #include "src/mem/buffer.h"
 #include "src/runtime/dataplane.h"
@@ -60,7 +61,7 @@ class ChainExecutor {
   // `on_complete(chain, request_id)` fires when a response reaches a non-chain
   // endpoint is NOT routed here — endpoints own their handlers; this callback
   // reports per-hop errors instead.
-  ChainExecutor(Simulator* sim, DataPlane* dataplane);
+  ChainExecutor(Env& env, DataPlane* dataplane);
 
   void RegisterChain(const ChainSpec& spec);
 
@@ -114,7 +115,9 @@ class ChainExecutor {
 
   void Fail(FunctionRuntime& fn, Buffer* buffer);
 
-  Simulator* sim_;
+  Simulator& sim() const { return env_->sim(); }
+
+  Env* env_;
   DataPlane* dataplane_;
   std::map<ChainId, ChainSpec> chains_;
   std::map<uint64_t, PendingCall> pending_;

@@ -2,8 +2,8 @@
 
 namespace nadino {
 
-ColdStartManager::ColdStartManager(Simulator* sim, const Options& options)
-    : sim_(sim), options_(options) {}
+ColdStartManager::ColdStartManager(Env& env, const Options& options)
+    : env_(&env), options_(options) {}
 
 void ColdStartManager::Manage(FunctionRuntime* function) {
   Instance& instance = instances_[function->id()];
@@ -15,7 +15,7 @@ void ColdStartManager::Manage(FunctionRuntime* function) {
   });
   if (!sweeping_ && options_.sweep_period > 0) {
     sweeping_ = true;
-    sim_->Schedule(options_.sweep_period, [this]() { SweepTick(); });
+    sim().Schedule(options_.sweep_period, [this]() { SweepTick(); });
   }
 }
 
@@ -25,7 +25,7 @@ void ColdStartManager::Prewarm(FunctionId function) {
     return;
   }
   it->second.state = InstanceState::kWarm;
-  it->second.last_active = sim_->now();
+  it->second.last_active = sim().now();
 }
 
 ColdStartManager::InstanceState ColdStartManager::StateOf(FunctionId function) const {
@@ -34,7 +34,7 @@ ColdStartManager::InstanceState ColdStartManager::StateOf(FunctionId function) c
 }
 
 void ColdStartManager::OnMessage(Instance& instance, FunctionRuntime& fn, Buffer* buffer) {
-  instance.last_active = sim_->now();
+  instance.last_active = sim().now();
   switch (instance.state) {
     case InstanceState::kWarm:
       ++stats_.warm_hits;
@@ -50,7 +50,7 @@ void ColdStartManager::OnMessage(Instance& instance, FunctionRuntime& fn, Buffer
       ++stats_.cold_starts;
       instance.state = InstanceState::kStarting;
       instance.queued.push_back(buffer);
-      sim_->Schedule(StartDelay(), [this, id = fn.id()]() { FinishStart(id); });
+      sim().Schedule(StartDelay(), [this, id = fn.id()]() { FinishStart(id); });
       return;
   }
 }
@@ -58,7 +58,7 @@ void ColdStartManager::OnMessage(Instance& instance, FunctionRuntime& fn, Buffer
 void ColdStartManager::FinishStart(FunctionId function) {
   Instance& instance = instances_.at(function);
   instance.state = InstanceState::kWarm;
-  instance.last_active = sim_->now();
+  instance.last_active = sim().now();
   // Drain everything that piled up behind the boot.
   std::deque<Buffer*> queued;
   queued.swap(instance.queued);
@@ -72,12 +72,12 @@ void ColdStartManager::FinishStart(FunctionId function) {
 void ColdStartManager::SweepTick() {
   for (auto& [id, instance] : instances_) {
     if (instance.state == InstanceState::kWarm &&
-        sim_->now() - instance.last_active >= options_.keep_warm_timeout) {
+        sim().now() - instance.last_active >= options_.keep_warm_timeout) {
       instance.state = InstanceState::kCold;
       ++stats_.retirements;
     }
   }
-  sim_->Schedule(options_.sweep_period, [this]() { SweepTick(); });
+  sim().Schedule(options_.sweep_period, [this]() { SweepTick(); });
 }
 
 }  // namespace nadino

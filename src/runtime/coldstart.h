@@ -14,6 +14,7 @@
 #include <deque>
 #include <map>
 
+#include "src/core/env.h"
 #include "src/runtime/function.h"
 #include "src/sim/simulator.h"
 
@@ -42,7 +43,7 @@ class ColdStartManager {
     uint64_t retirements = 0;  // Warm -> cold transitions by the sweeper.
   };
 
-  ColdStartManager(Simulator* sim, const Options& options);
+  ColdStartManager(Env& env, const Options& options);
 
   ColdStartManager(const ColdStartManager&) = delete;
   ColdStartManager& operator=(const ColdStartManager&) = delete;
@@ -75,7 +76,9 @@ class ColdStartManager {
                                          : options_.cold_start_delay;
   }
 
-  Simulator* sim_;
+  Simulator& sim() const { return env_->sim(); }
+
+  Env* env_;
   Options options_;
   std::map<FunctionId, Instance> instances_;
   bool sweeping_ = false;

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/core/env.h"
 #include "src/mem/buffer.h"
 #include "src/runtime/function.h"
 
@@ -29,6 +30,14 @@ class DataPlane {
     uint64_t payload_copies = 0;
   };
 
+  explicit DataPlane(Env& env)
+      : env_(&env),
+        m_sends_(&env.metrics().Counter("dataplane_sends")),
+        m_intra_node_(&env.metrics().Counter("dataplane_intra_node")),
+        m_inter_node_(&env.metrics().Counter("dataplane_inter_node")),
+        m_drops_(&env.metrics().Counter("dataplane_drops")),
+        m_payload_copies_(&env.metrics().Counter("dataplane_payload_copies")) {}
+
   virtual ~DataPlane() = default;
 
   // Registers a function and wires up its delivery path (Comch endpoint,
@@ -42,10 +51,28 @@ class DataPlane {
 
   virtual std::string name() const = 0;
 
-  const Stats& stats() const { return stats_; }
+  // Thin shim over the MetricsRegistry counters (see metrics.h); kept so
+  // existing `stats().sends`-style call sites compile unchanged.
+  Stats stats() const {
+    Stats s;
+    s.sends = m_sends_->value();
+    s.intra_node = m_intra_node_->value();
+    s.inter_node = m_inter_node_->value();
+    s.drops = m_drops_->value();
+    s.payload_copies = m_payload_copies_->value();
+    return s;
+  }
 
  protected:
-  Stats stats_;
+  Env& env() const { return *env_; }
+
+  Env* env_;
+  // Registry-backed counters (one data plane per experiment Env).
+  CounterMetric* m_sends_;
+  CounterMetric* m_intra_node_;
+  CounterMetric* m_inter_node_;
+  CounterMetric* m_drops_;
+  CounterMetric* m_payload_copies_;
 };
 
 }  // namespace nadino

@@ -4,18 +4,18 @@
 
 namespace nadino {
 
-Node::Node(Simulator* sim, const CostModel* cost, NodeId id, RdmaNetwork* network,
-           const Config& config)
-    : sim_(sim), cost_(cost), id_(id) {
+Node::Node(Env& env, NodeId id, RdmaNetwork* network, const Config& config)
+    : env_(&env), id_(id) {
   cores_.reserve(static_cast<size_t>(config.host_cores));
   for (int i = 0; i < config.host_cores; ++i) {
     cores_.push_back(std::make_unique<FifoResource>(
-        sim, "cpu:" + std::to_string(id) + ":" + std::to_string(i)));
+        &env.sim(), "cpu:" + std::to_string(id) + ":" + std::to_string(i)));
   }
   if (config.with_dpu) {
-    dpu_ = std::make_unique<Dpu>(sim, cost, id, config.dpu_cores);
+    dpu_ = std::make_unique<Dpu>(env, id, config.dpu_cores);
   }
-  rnic_ = std::make_unique<RdmaEngine>(sim, cost, id, network);
+  rnic_ = std::make_unique<RdmaEngine>(env, id, network);
+  tenants_.BindMetrics(&env.metrics(), static_cast<int64_t>(id));
 }
 
 FifoResource* Node::AllocateCore() {

@@ -8,7 +8,7 @@
 #include <memory>
 #include <vector>
 
-#include "src/core/calibration.h"
+#include "src/core/env.h"
 #include "src/core/types.h"
 #include "src/dpu/dpu.h"
 #include "src/mem/tenant_registry.h"
@@ -26,8 +26,7 @@ class Node {
     int dpu_cores = 8;
   };
 
-  Node(Simulator* sim, const CostModel* cost, NodeId id, RdmaNetwork* network,
-       const Config& config);
+  Node(Env& env, NodeId id, RdmaNetwork* network, const Config& config);
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -49,12 +48,12 @@ class Node {
   Dpu* dpu() { return dpu_.get(); }
   RdmaEngine& rnic() { return *rnic_; }
   TenantRegistry& tenants() { return tenants_; }
-  Simulator* sim() { return sim_; }
-  const CostModel& cost() const { return *cost_; }
+  Env& env() { return *env_; }
+  Simulator* sim() { return &env_->sim(); }
+  const CostModel& cost() const { return env_->cost(); }
 
  private:
-  Simulator* sim_;
-  const CostModel* cost_;
+  Env* env_;
   NodeId id_;
   std::vector<std::unique_ptr<FifoResource>> cores_;
   int next_core_ = 0;

@@ -8,8 +8,8 @@ void SkMsgChannel::Send(FifoResource* src_core, FifoResource* dst_core,
                         const BufferDescriptor& desc, Receiver receiver, bool engine_endpoint) {
   ++messages_;
   const SimDuration deliver_cost =
-      cost_->skmsg_deliver + (engine_endpoint ? cost_->skmsg_engine_irq : 0);
-  src_core->Submit(cost_->skmsg_send,
+      env_->cost().skmsg_deliver + (engine_endpoint ? env_->cost().skmsg_engine_irq : 0);
+  src_core->Submit(env_->cost().skmsg_send,
                    [dst_core, deliver_cost, desc, receiver = std::move(receiver)]() {
                      dst_core->Submit(deliver_cost, [desc, receiver = std::move(receiver)]() {
                        if (receiver) {

@@ -12,7 +12,7 @@
 
 #include <functional>
 
-#include "src/core/calibration.h"
+#include "src/core/env.h"
 #include "src/mem/buffer.h"
 #include "src/sim/resource.h"
 #include "src/sim/simulator.h"
@@ -23,7 +23,7 @@ class SkMsgChannel {
  public:
   using Receiver = std::function<void(const BufferDescriptor&)>;
 
-  SkMsgChannel(Simulator* sim, const CostModel* cost) : sim_(sim), cost_(cost) {}
+  explicit SkMsgChannel(Env& env) : env_(&env) {}
 
   // Sends `desc` from `src_core` to the receiver running on `dst_core`.
   // `engine_endpoint` adds the shared-engine interrupt cost (CNE ingestion).
@@ -33,8 +33,9 @@ class SkMsgChannel {
   uint64_t messages() const { return messages_; }
 
  private:
-  Simulator* sim_;
-  const CostModel* cost_;
+  Simulator& sim() const { return env_->sim(); }
+
+  Env* env_;
   uint64_t messages_ = 0;
 };
 

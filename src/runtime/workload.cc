@@ -2,9 +2,8 @@
 
 namespace nadino {
 
-ClosedLoopClients::ClosedLoopClients(Simulator* sim, const CostModel* cost,
-                                     IngressGateway* gateway, const Options& options)
-    : sim_(sim), cost_(cost), gateway_(gateway), options_(options) {}
+ClosedLoopClients::ClosedLoopClients(Env& env, IngressGateway* gateway, const Options& options)
+    : env_(&env), gateway_(gateway), options_(options) {}
 
 void ClosedLoopClients::Start() {
   for (int i = 0; i < options_.num_clients; ++i) {
@@ -14,7 +13,7 @@ void ClosedLoopClients::Start() {
 
 void ClosedLoopClients::AddClient() {
   const uint32_t client_id = static_cast<uint32_t>(next_client_++);
-  sim_->Schedule(options_.start_stagger * client_id % (1 * kMillisecond),
+  sim().Schedule(options_.start_stagger * client_id % (1 * kMillisecond),
                  [this, client_id]() { IssueRequest(client_id); });
 }
 
@@ -22,19 +21,19 @@ void ClosedLoopClients::IssueRequest(uint32_t client_id) {
   if (stopped_) {
     return;
   }
-  const SimTime issued_at = sim_->now();
+  const SimTime issued_at = sim().now();
   // Client-side wire: the request crosses the client<->ingress Ethernet.
-  sim_->Schedule(cost_->client_wire_one_way, [this, client_id, issued_at]() {
+  sim().Schedule(env_->cost().client_wire_one_way, [this, client_id, issued_at]() {
     gateway_->SubmitRequest(client_id, options_.path, options_.payload_bytes,
                             [this, client_id, issued_at]() {
-                              latencies_.Record(sim_->now() - issued_at);
+                              latencies_.Record(sim().now() - issued_at);
                               rate_.RecordCompletion();
                               ++completed_;
                               if (stopped_) {
                                 return;
                               }
                               if (options_.think_time > 0) {
-                                sim_->Schedule(options_.think_time, [this, client_id]() {
+                                sim().Schedule(options_.think_time, [this, client_id]() {
                                   IssueRequest(client_id);
                                 });
                               } else {
@@ -44,9 +43,9 @@ void ClosedLoopClients::IssueRequest(uint32_t client_id) {
   });
 }
 
-TenantEchoLoad::TenantEchoLoad(Simulator* sim, DataPlane* dataplane, FunctionRuntime* client,
+TenantEchoLoad::TenantEchoLoad(Env& env, DataPlane* dataplane, FunctionRuntime* client,
                                FunctionRuntime* server, const Options& options)
-    : sim_(sim), dataplane_(dataplane), client_(client), server_(server), options_(options) {
+    : env_(&env), dataplane_(dataplane), client_(client), server_(server), options_(options) {
   client_->SetHandler(
       [this](FunctionRuntime& /*fn*/, Buffer* buffer) { OnClientMessage(buffer); });
   server_->SetHandler(
@@ -54,8 +53,8 @@ TenantEchoLoad::TenantEchoLoad(Simulator* sim, DataPlane* dataplane, FunctionRun
 }
 
 void TenantEchoLoad::ScheduleActive(SimTime from, SimTime to) {
-  sim_->ScheduleAt(from, [this]() { SetActive(true); });
-  sim_->ScheduleAt(to, [this]() { SetActive(false); });
+  sim().ScheduleAt(from, [this]() { SetActive(true); });
+  sim().ScheduleAt(to, [this]() { SetActive(false); });
 }
 
 void TenantEchoLoad::SetActive(bool active) {
@@ -88,7 +87,7 @@ bool TenantEchoLoad::IssueOne() {
     client_->pool()->Put(buffer, client_->owner_id());
     return false;
   }
-  issue_times_[header.request_id] = sim_->now();
+  issue_times_[header.request_id] = sim().now();
   ++outstanding_;
   return true;
 }
@@ -98,7 +97,7 @@ void TenantEchoLoad::OnClientMessage(Buffer* buffer) {
   if (header.has_value()) {
     const auto it = issue_times_.find(header->request_id);
     if (it != issue_times_.end()) {
-      latencies_.Record(sim_->now() - it->second);
+      latencies_.Record(sim().now() - it->second);
       issue_times_.erase(it);
     }
   }
@@ -134,12 +133,12 @@ void PeriodicSampler::Tick() {
   if (stopped_) {
     return;
   }
-  sim_->Schedule(period_, [this]() {
+  sim().Schedule(period_, [this]() {
     for (RateMeter* meter : meters_) {
-      meter->Roll(sim_->now());
+      meter->Roll(sim().now());
     }
     for (const SampleHook& hook : hooks_) {
-      hook(sim_->now());
+      hook(sim().now());
     }
     Tick();
   });

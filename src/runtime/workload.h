@@ -11,7 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "src/core/calibration.h"
+#include "src/core/env.h"
 #include "src/ingress/gateway.h"
 #include "src/runtime/dataplane.h"
 #include "src/runtime/function.h"
@@ -33,8 +33,7 @@ class ClosedLoopClients {
     SimDuration start_stagger = 10 * kMicrosecond;
   };
 
-  ClosedLoopClients(Simulator* sim, const CostModel* cost, IngressGateway* gateway,
-                    const Options& options);
+  ClosedLoopClients(Env& env, IngressGateway* gateway, const Options& options);
 
   void Start();
 
@@ -53,8 +52,9 @@ class ClosedLoopClients {
  private:
   void IssueRequest(uint32_t client_id);
 
-  Simulator* sim_;
-  const CostModel* cost_;
+  Simulator& sim() const { return env_->sim(); }
+
+  Env* env_;
   IngressGateway* gateway_;
   Options options_;
   bool stopped_ = false;
@@ -75,7 +75,7 @@ class TenantEchoLoad {
     int window = 64;  // Outstanding requests while active.
   };
 
-  TenantEchoLoad(Simulator* sim, DataPlane* dataplane, FunctionRuntime* client,
+  TenantEchoLoad(Env& env, DataPlane* dataplane, FunctionRuntime* client,
                  FunctionRuntime* server, const Options& options);
 
   // Activates at `from` and deactivates at `to` (virtual time).
@@ -97,7 +97,9 @@ class TenantEchoLoad {
   void OnClientMessage(Buffer* buffer);
   void OnServerMessage(FunctionRuntime& server, Buffer* buffer);
 
-  Simulator* sim_;
+  Simulator& sim() const { return env_->sim(); }
+
+  Env* env_;
   DataPlane* dataplane_;
   FunctionRuntime* client_;
   FunctionRuntime* server_;
@@ -117,7 +119,7 @@ class PeriodicSampler {
  public:
   using SampleHook = std::function<void(SimTime)>;
 
-  PeriodicSampler(Simulator* sim, SimDuration period) : sim_(sim), period_(period) {}
+  PeriodicSampler(Env& env, SimDuration period) : env_(&env), period_(period) {}
 
   void AddRate(RateMeter* meter) { meters_.push_back(meter); }
   void AddHook(SampleHook hook) { hooks_.push_back(std::move(hook)); }
@@ -128,7 +130,9 @@ class PeriodicSampler {
  private:
   void Tick();
 
-  Simulator* sim_;
+  Simulator& sim() const { return env_->sim(); }
+
+  Env* env_;
   SimDuration period_;
   bool stopped_ = false;
   std::vector<RateMeter*> meters_;

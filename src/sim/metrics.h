@@ -1,0 +1,161 @@
+// Deterministic metrics registry: named counters, gauges, and fixed-bucket
+// histograms with optional (tenant, node, engine) labels.
+//
+// Every component hangs its observability off the registry owned by the Env
+// (src/core/env.h) instead of a private Stats struct, so one snapshot shows
+// the whole pipeline — the shape production DPU dataplanes (NDN-DPDK,
+// Palladium) expose. Registration is by stable string key; snapshots render
+// entries in sorted key order with integer/fixed-precision formatting, so two
+// runs with equal seeds produce byte-identical dumps (asserted by
+// tests/determinism_test.cc).
+
+#ifndef SRC_SIM_METRICS_H_
+#define SRC_SIM_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nadino {
+
+// Label set for one metric instance. Unset dimensions are omitted from the
+// rendered key. Only the three dimensions the experiments slice by are
+// modelled; add a field here (and to Render()) before inventing ad-hoc name
+// suffixes like "_tenant3".
+struct MetricLabels {
+  static constexpr int64_t kUnset = -1;
+
+  int64_t tenant = kUnset;
+  int64_t node = kUnset;
+  int64_t engine = kUnset;
+
+  // "{engine=1000,node=1,tenant=2}" (alphabetical, fixed order), or "" when
+  // every dimension is unset.
+  std::string Render() const;
+
+  static MetricLabels Tenant(int64_t tenant) { return MetricLabels{tenant, kUnset, kUnset}; }
+  static MetricLabels Node(int64_t node) { return MetricLabels{kUnset, node, kUnset}; }
+  static MetricLabels Engine(int64_t engine) { return MetricLabels{kUnset, kUnset, engine}; }
+};
+
+// Monotonically increasing 64-bit event counter.
+class CounterMetric {
+ public:
+  void Add(uint64_t n = 1) { value_ += n; }
+  void Increment() { ++value_; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// A value that can go up and down (queue depths, utilization, residency).
+class GaugeMetric {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double d) { value_ += d; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Fixed-bucket histogram over int64 samples (latencies in nanoseconds, byte
+// sizes...). Buckets are cumulative-upper-bound style: sample x lands in the
+// first bucket with x <= bound; samples above the last bound land in the
+// implicit +inf bucket. Bounds are fixed at registration, so the dump is a
+// stable vector of integers — deterministic by construction.
+class HistogramMetric {
+ public:
+  explicit HistogramMetric(std::vector<int64_t> bounds);
+
+  void Record(int64_t value);
+
+  uint64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return count_ == 0 ? 0 : max_; }
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+  // bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+
+  // Linear-interpolated value at quantile q in [0, 1] from the bucket counts.
+  int64_t Percentile(double q) const;
+
+ private:
+  std::vector<int64_t> bounds_;   // Strictly increasing.
+  std::vector<uint64_t> counts_;  // bounds_.size() + 1.
+  uint64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+// Default histogram bounds for simulated durations, in nanoseconds: 1 us to
+// 1 s, roughly 1-2-5 per decade.
+const std::vector<int64_t>& DefaultDurationBoundsNs();
+
+class MetricsRegistry {
+ public:
+  // Callback metrics are sampled at snapshot time — the bridge for leaf
+  // classes (BufferPool, QpCache, TxScheduler) that keep local counters and
+  // have no Env of their own.
+  using Callback = std::function<uint64_t()>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Each getter registers on first use and returns the existing instrument on
+  // subsequent calls with the same (name, labels) key. Re-using a key with a
+  // different instrument type is a programming error (asserted).
+  CounterMetric& Counter(const std::string& name, const MetricLabels& labels = {});
+  GaugeMetric& Gauge(const std::string& name, const MetricLabels& labels = {});
+  HistogramMetric& Histogram(const std::string& name, const MetricLabels& labels = {},
+                             const std::vector<int64_t>& bounds = DefaultDurationBoundsNs());
+
+  // Registers (or replaces) a callback sampled at snapshot time; rendered
+  // like a counter.
+  void RegisterCallback(const std::string& name, const MetricLabels& labels, Callback fn);
+
+  // Current integer value of a counter or callback instrument; 0 when the key
+  // is absent (or names a gauge/histogram). Lets experiment harnesses read
+  // per-tenant counters back out instead of spelunking component accessors.
+  uint64_t ValueOf(const std::string& name, const MetricLabels& labels = {}) const;
+
+  // One "name{labels} ..." line per instrument, sorted by key. Counters and
+  // callbacks render their integer value; gauges render with six decimals;
+  // histograms render count/sum/min/max plus the bucket vector.
+  std::string SnapshotText() const;
+
+  // The same snapshot as a sorted JSON array of
+  // {"name","labels":{...},"type","..."} objects.
+  std::string SnapshotJson() const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram, kCallback };
+
+  struct Entry {
+    Kind kind = Kind::kCounter;
+    std::string name;
+    MetricLabels labels;
+    std::unique_ptr<CounterMetric> counter;
+    std::unique_ptr<GaugeMetric> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+    Callback callback;
+  };
+
+  Entry& GetOrCreate(const std::string& name, const MetricLabels& labels, Kind kind);
+
+  // Key = name + rendered labels; std::map keeps snapshots sorted.
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace nadino
+
+#endif  // SRC_SIM_METRICS_H_

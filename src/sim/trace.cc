@@ -87,6 +87,14 @@ std::string Tracer::ToText(size_t max_lines) const {
   return out;
 }
 
-void Tracer::Clear() { recorded_ = 0; }
+void Tracer::Clear() {
+  // Reset the slots as well as the cursor: stale labels would otherwise pin
+  // their string storage for the tracer's lifetime, and a later capacity-aware
+  // reader walking the raw ring would see events from before the Clear().
+  for (TraceEvent& slot : ring_) {
+    slot = TraceEvent{};
+  }
+  recorded_ = 0;
+}
 
 }  // namespace nadino

@@ -20,8 +20,7 @@ class BaselineTest : public ::testing::TestWithParam<BaselineSystem> {
     config.with_ingress_node = false;
     cluster_ = std::make_unique<Cluster>(&cost_, config);
     cluster_->CreateTenantPools(1, 512, 8192);
-    dataplane_ = std::make_unique<BaselineDataPlane>(&cluster_->sim(), &cost_,
-                                                     &cluster_->routing(), system, 1);
+    dataplane_ = std::make_unique<BaselineDataPlane>(cluster_->env(), &cluster_->routing(), system, 1);
     for (int i = 0; i < nodes; ++i) {
       dataplane_->AddWorkerNode(cluster_->worker(i));
     }
@@ -110,7 +109,7 @@ TEST(BaselineCopyTest, SprightCrossNodePaysTwoSocketCopies) {
   config.with_ingress_node = false;
   Cluster cluster(&cost, config);
   cluster.CreateTenantPools(1, 128, 8192);
-  BaselineDataPlane dp(&cluster.sim(), &cost, &cluster.routing(), BaselineSystem::kSpright, 1);
+  BaselineDataPlane dp(cluster.env(), &cluster.routing(), BaselineSystem::kSpright, 1);
   dp.AddWorkerNode(cluster.worker(0));
   dp.AddWorkerNode(cluster.worker(1));
   dp.Start();
@@ -151,7 +150,7 @@ TEST(BaselineCopyTest, FuyaoCrossNodePaysReceiverSideCopy) {
   config.with_ingress_node = false;
   Cluster cluster(&cost, config);
   cluster.CreateTenantPools(1, 128, 8192);
-  BaselineDataPlane dp(&cluster.sim(), &cost, &cluster.routing(), BaselineSystem::kFuyao, 1);
+  BaselineDataPlane dp(cluster.env(), &cluster.routing(), BaselineSystem::kFuyao, 1);
   dp.AddWorkerNode(cluster.worker(0));
   dp.AddWorkerNode(cluster.worker(1));
   dp.Start();
@@ -193,7 +192,7 @@ TEST(BaselineCopyTest, JunctionDedicatesPinnedSchedulerCorePerNode) {
   config.with_ingress_node = false;
   Cluster cluster(&cost, config);
   cluster.CreateTenantPools(1, 128, 8192);
-  BaselineDataPlane dp(&cluster.sim(), &cost, &cluster.routing(), BaselineSystem::kJunction, 1);
+  BaselineDataPlane dp(cluster.env(), &cluster.routing(), BaselineSystem::kJunction, 1);
   dp.AddWorkerNode(cluster.worker(0));
   dp.AddWorkerNode(cluster.worker(1));
   dp.Start();
@@ -209,7 +208,7 @@ TEST(BaselineCopyTest, NightcoreInterNodeSendFailsGracefully) {
   config.with_ingress_node = false;
   Cluster cluster(&cost, config);
   cluster.CreateTenantPools(1, 128, 8192);
-  BaselineDataPlane dp(&cluster.sim(), &cost, &cluster.routing(), BaselineSystem::kNightcore,
+  BaselineDataPlane dp(cluster.env(), &cluster.routing(), BaselineSystem::kNightcore,
                        1);
   dp.AddWorkerNode(cluster.worker(0));
   dp.AddWorkerNode(cluster.worker(1));

@@ -83,12 +83,12 @@ TEST(BoutiqueRunTest, HomeQueryChainCompletesWithIntegrity) {
   Cluster cluster(&cost, config);
   const BoutiqueSpec spec = BuildBoutiqueSpec(1);
   cluster.CreateTenantPools(1, 1024, 8192);
-  NadinoDataPlane dp(&cluster.sim(), &cost, &cluster.routing(), NadinoDataPlane::Options{});
+  NadinoDataPlane dp(cluster.env(), &cluster.routing(), NadinoDataPlane::Options{});
   dp.AddWorkerNode(cluster.worker(0));
   dp.AddWorkerNode(cluster.worker(1));
   dp.AttachTenant(1, 1);
   dp.Start();
-  ChainExecutor executor(&cluster.sim(), &dp);
+  ChainExecutor executor(cluster.env(), &dp);
   for (const ChainSpec& chain : spec.chains) {
     executor.RegisterChain(chain);
   }

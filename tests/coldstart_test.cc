@@ -48,7 +48,7 @@ class ColdStartTest : public ::testing::Test {
 };
 
 TEST_F(ColdStartTest, FirstInvocationPaysColdStart) {
-  ColdStartManager manager(&cluster_->sim(), {});
+  ColdStartManager manager(cluster_->env(), {});
   manager.Manage(fn_.get());
   EXPECT_EQ(manager.StateOf(7), ColdStartManager::InstanceState::kCold);
   fn_->Deliver(MakeMessage());
@@ -60,7 +60,7 @@ TEST_F(ColdStartTest, FirstInvocationPaysColdStart) {
 }
 
 TEST_F(ColdStartTest, WarmInvocationsRunImmediately) {
-  ColdStartManager manager(&cluster_->sim(), {});
+  ColdStartManager manager(cluster_->env(), {});
   manager.Manage(fn_.get());
   manager.Prewarm(7);
   fn_->Deliver(MakeMessage());
@@ -74,7 +74,7 @@ TEST_F(ColdStartTest, WarmInvocationsRunImmediately) {
 TEST_F(ColdStartTest, SnapshotRestoreIsMuchFaster) {
   ColdStartManager::Options options;
   options.use_snapshot_restore = true;
-  ColdStartManager manager(&cluster_->sim(), options);
+  ColdStartManager manager(cluster_->env(), options);
   manager.Manage(fn_.get());
   fn_->Deliver(MakeMessage());
   cluster_->sim().RunFor(kSecond);
@@ -84,7 +84,7 @@ TEST_F(ColdStartTest, SnapshotRestoreIsMuchFaster) {
 }
 
 TEST_F(ColdStartTest, MessagesQueueBehindStartAndFlushInOrder) {
-  ColdStartManager manager(&cluster_->sim(), {});
+  ColdStartManager manager(cluster_->env(), {});
   manager.Manage(fn_.get());
   fn_->Deliver(MakeMessage());
   cluster_->sim().RunFor(100 * kMillisecond);  // Mid-boot.
@@ -102,7 +102,7 @@ TEST_F(ColdStartTest, KeepWarmWindowExpiresAndInstanceRetires) {
   ColdStartManager::Options options;
   options.keep_warm_timeout = 2 * kSecond;
   options.sweep_period = 500 * kMillisecond;
-  ColdStartManager manager(&cluster_->sim(), options);
+  ColdStartManager manager(cluster_->env(), options);
   manager.Manage(fn_.get());
   manager.Prewarm(7);
   fn_->Deliver(MakeMessage());
@@ -121,7 +121,7 @@ TEST_F(ColdStartTest, KeepWarmWindowExpiresAndInstanceRetires) {
 TEST_F(ColdStartTest, SteadyTrafficKeepsInstanceWarm) {
   ColdStartManager::Options options;
   options.keep_warm_timeout = 2 * kSecond;
-  ColdStartManager manager(&cluster_->sim(), options);
+  ColdStartManager manager(cluster_->env(), options);
   manager.Manage(fn_.get());
   manager.Prewarm(7);
   // A call every second — always within the keep-warm window.

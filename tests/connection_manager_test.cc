@@ -13,20 +13,21 @@ namespace {
 class ConnectionManagerTest : public ::testing::Test {
  protected:
   ConnectionManagerTest()
-      : network_(&sim_, &cost_),
-        a_(&sim_, &cost_, 1, &network_),
-        b_(&sim_, &cost_, 2, &network_) {}
+      : network_(env_),
+        a_(env_, 1, &network_),
+        b_(env_, 2, &network_) {}
 
   static constexpr TenantId kTenant = 3;
   CostModel cost_ = CostModel::Default();
   Simulator sim_;
+  Env env_{&sim_, &cost_};
   RdmaNetwork network_;
   RdmaEngine a_;
   RdmaEngine b_;
 };
 
 TEST_F(ConnectionManagerTest, PrewarmCreatesBoundedActiveSet) {
-  ConnectionManager manager(&sim_, &cost_, &a_, /*max_active=*/2);
+  ConnectionManager manager(env_, &a_, /*max_active=*/2);
   manager.Prewarm(&b_, kTenant, 5);
   EXPECT_EQ(manager.PooledCount(2, kTenant), 5);
   EXPECT_EQ(manager.ActiveCount(2, kTenant), 2);
@@ -34,7 +35,7 @@ TEST_F(ConnectionManagerTest, PrewarmCreatesBoundedActiveSet) {
 }
 
 TEST_F(ConnectionManagerTest, AcquireReturnsActiveConnection) {
-  ConnectionManager manager(&sim_, &cost_, &a_, 2);
+  ConnectionManager manager(env_, &a_, 2);
   manager.Prewarm(&b_, kTenant, 3);
   const auto acquired = manager.Acquire(2, kTenant);
   EXPECT_NE(acquired.qp, 0u);
@@ -42,12 +43,12 @@ TEST_F(ConnectionManagerTest, AcquireReturnsActiveConnection) {
 }
 
 TEST_F(ConnectionManagerTest, AcquireUnknownPeerFails) {
-  ConnectionManager manager(&sim_, &cost_, &a_, 2);
+  ConnectionManager manager(env_, &a_, 2);
   EXPECT_EQ(manager.Acquire(99, kTenant).qp, 0u);
 }
 
 TEST_F(ConnectionManagerTest, PicksLeastCongestedConnection) {
-  ConnectionManager manager(&sim_, &cost_, &a_, 4);
+  ConnectionManager manager(env_, &a_, 4);
   manager.Prewarm(&b_, kTenant, 2);
   const auto first = manager.Acquire(2, kTenant);
   // Load the first QP with outstanding work; the next acquire should pick the
@@ -63,7 +64,7 @@ TEST_F(ConnectionManagerTest, PicksLeastCongestedConnection) {
 }
 
 TEST_F(ConnectionManagerTest, ActivatesShadowQpUnderCongestion) {
-  ConnectionManager manager(&sim_, &cost_, &a_, /*max_active=*/2,
+  ConnectionManager manager(env_, &a_, /*max_active=*/2,
                             /*congestion_threshold=*/1);
   manager.Prewarm(&b_, kTenant, 3);  // 2 active + 1 shadow... max_active=2.
   EXPECT_EQ(manager.ActiveCount(2, kTenant), 2);
@@ -84,7 +85,7 @@ TEST_F(ConnectionManagerTest, ActivatesShadowQpUnderCongestion) {
 }
 
 TEST_F(ConnectionManagerTest, NoteIdleDeactivatesOnlyAboveBound) {
-  ConnectionManager manager(&sim_, &cost_, &a_, 2);
+  ConnectionManager manager(env_, &a_, 2);
   manager.Prewarm(&b_, kTenant, 2);
   const auto acquired = manager.Acquire(2, kTenant);
   manager.NoteIdle(acquired.qp);
@@ -93,7 +94,7 @@ TEST_F(ConnectionManagerTest, NoteIdleDeactivatesOnlyAboveBound) {
 }
 
 TEST_F(ConnectionManagerTest, SeparatePoolsPerTenant) {
-  ConnectionManager manager(&sim_, &cost_, &a_, 2);
+  ConnectionManager manager(env_, &a_, 2);
   manager.Prewarm(&b_, 3, 2);
   manager.Prewarm(&b_, 4, 1);
   EXPECT_EQ(manager.PooledCount(2, 3), 2);
@@ -102,7 +103,7 @@ TEST_F(ConnectionManagerTest, SeparatePoolsPerTenant) {
 }
 
 TEST_F(ConnectionManagerTest, ErroredQpExcludedUntilRepaired) {
-  ConnectionManager manager(&sim_, &cost_, &a_, 2);
+  ConnectionManager manager(env_, &a_, 2);
   manager.Prewarm(&b_, kTenant, 2);
   const auto first = manager.Acquire(2, kTenant);
   ASSERT_NE(first.qp, 0u);
@@ -140,14 +141,15 @@ TEST_F(ConnectionManagerTest, ErroredQpExcludedUntilRepaired) {
 class DistributedLockTest : public ::testing::Test {
  protected:
   DistributedLockTest()
-      : network_(&sim_, &cost_),
-        a_(&sim_, &cost_, 1, &network_),
-        b_(&sim_, &cost_, 2, &network_),
+      : network_(env_),
+        a_(env_, 1, &network_),
+        b_(env_, 2, &network_),
         manager_core_(&sim_, "mgr"),
-        locks_(&sim_, &cost_, &network_, /*home=*/2, &manager_core_) {}
+        locks_(env_, &network_, /*home=*/2, &manager_core_) {}
 
   CostModel cost_ = CostModel::Default();
   Simulator sim_;
+  Env env_{&sim_, &cost_};
   RdmaNetwork network_;
   RdmaEngine a_;
   RdmaEngine b_;

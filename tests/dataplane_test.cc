@@ -21,8 +21,7 @@ class DataPlaneTest : public ::testing::Test {
     config.with_ingress_node = false;
     cluster_ = std::make_unique<Cluster>(&cost_, config);
     cluster_->CreateTenantPools(1, 512, 8192);
-    dataplane_ = std::make_unique<NadinoDataPlane>(&cluster_->sim(), &cost_,
-                                                   &cluster_->routing(),
+    dataplane_ = std::make_unique<NadinoDataPlane>(cluster_->env(), &cluster_->routing(),
                                                    NadinoDataPlane::Options{});
     dataplane_->AddWorkerNode(cluster_->worker(0));
     dataplane_->AddWorkerNode(cluster_->worker(1));
@@ -180,7 +179,7 @@ TEST_F(DataPlaneTest, ChainExecutorRunsLinearChainAcrossNodes) {
   auto f3 = MakeFunction(13, 0);
   auto client = MakeFunction(10, 0);
 
-  ChainExecutor executor(&cluster_->sim(), dataplane_.get());
+  ChainExecutor executor(cluster_->env(), dataplane_.get());
   ChainSpec chain;
   chain.id = 1;
   chain.tenant = 1;
@@ -236,7 +235,7 @@ TEST_F(DataPlaneTest, ChainFanOutIssuesSequentialCalls) {
   auto leaf_c = MakeFunction(14, 0);
   auto client = MakeFunction(10, 0);
 
-  ChainExecutor executor(&cluster_->sim(), dataplane_.get());
+  ChainExecutor executor(cluster_->env(), dataplane_.get());
   ChainSpec chain;
   chain.id = 2;
   chain.tenant = 1;
@@ -285,7 +284,7 @@ TEST_F(DataPlaneTest, NoBufferLeaksAfterManyChainInvocations) {
   auto f1 = MakeFunction(11, 0);
   auto f2 = MakeFunction(12, 1);
   auto client = MakeFunction(10, 0);
-  ChainExecutor executor(&cluster_->sim(), dataplane_.get());
+  ChainExecutor executor(cluster_->env(), dataplane_.get());
   ChainSpec chain;
   chain.id = 3;
   chain.tenant = 1;

@@ -16,7 +16,8 @@ namespace {
 TEST(DpuTest, CoresAreWimpy) {
   CostModel cost = CostModel::Default();
   Simulator sim;
-  Dpu dpu(&sim, &cost, 1, 4);
+  Env env{&sim, &cost};
+  Dpu dpu(env, 1, 4);
   SimTime done = 0;
   dpu.core(0).Submit(1000, [&]() { done = sim.now(); });
   sim.Run();
@@ -26,7 +27,8 @@ TEST(DpuTest, CoresAreWimpy) {
 TEST(DpuTest, SocDmaCostMatchesCalibration) {
   CostModel cost = CostModel::Default();
   Simulator sim;
-  Dpu dpu(&sim, &cost, 1);
+  Env env{&sim, &cost};
+  Dpu dpu(env, 1);
   // 64 B read ~= 2.6 us (paper section 4.1.1, citing [95]).
   EXPECT_NEAR(static_cast<double>(dpu.SocDmaCost(64)), 2600.0, 100.0);
   EXPECT_GT(dpu.SocDmaCost(65536), dpu.SocDmaCost(64));
@@ -35,7 +37,8 @@ TEST(DpuTest, SocDmaCostMatchesCalibration) {
 TEST(DpuTest, SocDmaSerializesTransfers) {
   CostModel cost = CostModel::Default();
   Simulator sim;
-  Dpu dpu(&sim, &cost, 1);
+  Env env{&sim, &cost};
+  Dpu dpu(env, 1);
   SimTime first = 0;
   SimTime second = 0;
   dpu.SocDmaTransfer(64, [&]() { first = sim.now(); });
@@ -47,12 +50,13 @@ TEST(DpuTest, SocDmaSerializesTransfers) {
 
 class CrossMmapTest : public ::testing::Test {
  protected:
-  CrossMmapTest() : network_(&sim_, &cost_), rnic_(&sim_, &cost_, 1, &network_) {
+  CrossMmapTest() : network_(env_), rnic_(env_, 1, &network_) {
     pool_ = registry_.CreatePool(1, "t1", {8, 256});
   }
 
   CostModel cost_ = CostModel::Default();
   Simulator sim_;
+  Env env_{&sim_, &cost_};
   RdmaNetwork network_;
   RdmaEngine rnic_;
   TenantRegistry registry_;
@@ -107,11 +111,12 @@ class ComchTest : public ::testing::Test {
   ComchTest() {
     dpu_core_ = std::make_unique<FifoResource>(&sim_, "dpu", cost_.dpu_speed_factor);
     host_core_ = std::make_unique<FifoResource>(&sim_, "host");
-    server_ = std::make_unique<ComchServer>(&sim_, &cost_, dpu_core_.get());
+    server_ = std::make_unique<ComchServer>(env_, dpu_core_.get());
   }
 
   CostModel cost_ = CostModel::Default();
   Simulator sim_;
+  Env env_{&sim_, &cost_};
   std::unique_ptr<FifoResource> dpu_core_;
   std::unique_ptr<FifoResource> host_core_;
   std::unique_ptr<ComchServer> server_;

@@ -10,7 +10,7 @@ namespace {
 
 class FabricTest : public ::testing::Test {
  protected:
-  FabricTest() : fabric_(&sim_, &cost_) {
+  FabricTest() : fabric_(env_) {
     fabric_.AttachNode(1);
     fabric_.AttachNode(2);
     fabric_.AttachNode(3);
@@ -18,6 +18,7 @@ class FabricTest : public ::testing::Test {
 
   CostModel cost_ = CostModel::Default();
   Simulator sim_;
+  Env env_{&sim_, &cost_};
   Fabric fabric_;
 };
 

@@ -31,7 +31,7 @@ TEST_F(FailureInjectionTest, TinyPoolBackpressuresWithoutCorruption) {
   cluster_->CreateTenantPools(1, /*buffers=*/40, /*buffer_size=*/8192);
   NadinoDataPlane::Options options;
   options.initial_recv_buffers = 16;
-  NadinoDataPlane dp(&cluster_->sim(), &cost_, &cluster_->routing(), options);
+  NadinoDataPlane dp(cluster_->env(), &cluster_->routing(), options);
   dp.AddWorkerNode(cluster_->worker(0));
   dp.AddWorkerNode(cluster_->worker(1));
   dp.AttachTenant(1, 1);
@@ -45,7 +45,7 @@ TEST_F(FailureInjectionTest, TinyPoolBackpressuresWithoutCorruption) {
   TenantEchoLoad::Options load_options;
   load_options.window = 64;  // Far beyond what 40 buffers can support.
   load_options.payload_bytes = 1024;
-  TenantEchoLoad load(&cluster_->sim(), &dp, &client, &server, load_options);
+  TenantEchoLoad load(cluster_->env(), &dp, &client, &server, load_options);
   load.SetActive(true);
   cluster_->sim().RunFor(300 * kMillisecond);
   EXPECT_GT(load.completed(), 1000u);  // Still flows, just throttled.
@@ -61,7 +61,7 @@ TEST_F(FailureInjectionTest, TinyPoolBackpressuresWithoutCorruption) {
 TEST_F(FailureInjectionTest, DisconnectedTenantStopsReceivingButOthersFlow) {
   cluster_->CreateTenantPools(1, 512, 8192);
   cluster_->CreateTenantPools(2, 512, 8192);
-  NadinoDataPlane dp(&cluster_->sim(), &cost_, &cluster_->routing(), {});
+  NadinoDataPlane dp(cluster_->env(), &cluster_->routing(), {});
   NetworkEngine* engine1 = dp.AddWorkerNode(cluster_->worker(0));
   dp.AddWorkerNode(cluster_->worker(1));
   dp.AttachTenant(1, 1);
@@ -78,8 +78,8 @@ TEST_F(FailureInjectionTest, DisconnectedTenantStopsReceivingButOthersFlow) {
   for (FunctionRuntime* fn : {&c1, &s1, &c2, &s2}) {
     dp.RegisterFunction(fn);
   }
-  TenantEchoLoad load1(&cluster_->sim(), &dp, &c1, &s1, {});
-  TenantEchoLoad load2(&cluster_->sim(), &dp, &c2, &s2, {});
+  TenantEchoLoad load1(cluster_->env(), &dp, &c1, &s1, {});
+  TenantEchoLoad load2(cluster_->env(), &dp, &c2, &s2, {});
   load1.SetActive(true);
   load2.SetActive(true);
   cluster_->sim().RunFor(50 * kMillisecond);
@@ -98,12 +98,12 @@ TEST_F(FailureInjectionTest, DisconnectedTenantStopsReceivingButOthersFlow) {
 
 TEST_F(FailureInjectionTest, CorruptedPayloadDetectedByChainExecutor) {
   cluster_->CreateTenantPools(1, 512, 8192);
-  NadinoDataPlane dp(&cluster_->sim(), &cost_, &cluster_->routing(), {});
+  NadinoDataPlane dp(cluster_->env(), &cluster_->routing(), {});
   dp.AddWorkerNode(cluster_->worker(0));
   dp.AddWorkerNode(cluster_->worker(1));
   dp.AttachTenant(1, 1);
   dp.Start();
-  ChainExecutor executor(&cluster_->sim(), &dp);
+  ChainExecutor executor(cluster_->env(), &dp);
   ChainSpec chain;
   chain.id = 1;
   chain.tenant = 1;
@@ -143,7 +143,7 @@ TEST_F(FailureInjectionTest, CorruptedPayloadDetectedByChainExecutor) {
 
 TEST_F(FailureInjectionTest, EngineSurvivesUnknownTenantDescriptor) {
   cluster_->CreateTenantPools(1, 512, 8192);
-  NadinoDataPlane dp(&cluster_->sim(), &cost_, &cluster_->routing(), {});
+  NadinoDataPlane dp(cluster_->env(), &cluster_->routing(), {});
   NetworkEngine* engine = dp.AddWorkerNode(cluster_->worker(0));
   dp.AttachTenant(1, 1);
   dp.Start();
@@ -166,7 +166,7 @@ TEST_F(FailureInjectionTest, RnrStormResolvesOnceReceiverCatchesUp) {
   cluster_->CreateTenantPools(1, 256, 8192);
   NadinoDataPlane::Options options;
   options.initial_recv_buffers = 2;
-  NadinoDataPlane dp(&cluster_->sim(), &cost_, &cluster_->routing(), options);
+  NadinoDataPlane dp(cluster_->env(), &cluster_->routing(), options);
   dp.AddWorkerNode(cluster_->worker(0));
   dp.AddWorkerNode(cluster_->worker(1));
   dp.AttachTenant(1, 1);

@@ -19,14 +19,13 @@ class FanoutTest : public ::testing::Test {
     config.with_ingress_node = false;
     cluster_ = std::make_unique<Cluster>(&cost_, config);
     cluster_->CreateTenantPools(1, 512, 8192);
-    dataplane_ = std::make_unique<NadinoDataPlane>(&cluster_->sim(), &cost_,
-                                                   &cluster_->routing(),
+    dataplane_ = std::make_unique<NadinoDataPlane>(cluster_->env(), &cluster_->routing(),
                                                    NadinoDataPlane::Options{});
     dataplane_->AddWorkerNode(cluster_->worker(0));
     dataplane_->AddWorkerNode(cluster_->worker(1));
     dataplane_->AttachTenant(1, 1);
     dataplane_->Start();
-    executor_ = std::make_unique<ChainExecutor>(&cluster_->sim(), dataplane_.get());
+    executor_ = std::make_unique<ChainExecutor>(cluster_->env(), dataplane_.get());
   }
 
   // Builds a frontend with three slow leaves, sequential or parallel.

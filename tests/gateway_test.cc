@@ -19,8 +19,7 @@ class GatewayFixture {
     config.with_ingress_node = true;
     cluster_ = std::make_unique<Cluster>(&cost_, config);
     cluster_->CreateTenantPools(1, 1024, 8192);
-    dataplane_ = std::make_unique<NadinoDataPlane>(&cluster_->sim(), &cost_,
-                                                   &cluster_->routing(),
+    dataplane_ = std::make_unique<NadinoDataPlane>(cluster_->env(), &cluster_->routing(),
                                                    NadinoDataPlane::Options{});
     NetworkEngine* engine = nullptr;
     if (mode == IngressMode::kNadino) {
@@ -28,7 +27,7 @@ class GatewayFixture {
       dataplane_->AttachTenant(1, 1);
       dataplane_->Start();
     }
-    executor_ = std::make_unique<ChainExecutor>(&cluster_->sim(), dataplane_.get());
+    executor_ = std::make_unique<ChainExecutor>(cluster_->env(), dataplane_.get());
     ChainSpec chain;
     chain.id = 10;
     chain.tenant = 1;
@@ -49,7 +48,7 @@ class GatewayFixture {
     options.tenant = 1;
     options.autoscale = autoscale;
     options.max_workers = max_workers;
-    gateway_ = std::make_unique<IngressGateway>(&cluster_->sim(), &cost_, cluster_->ingress(),
+    gateway_ = std::make_unique<IngressGateway>(cluster_->env(), cluster_->ingress(),
                                                 &cluster_->routing(), dataplane_.get(),
                                                 executor_.get(), options);
     gateway_->AddRoute("/echo", 10, 21);
@@ -131,7 +130,7 @@ TEST(GatewayTest, RssSpreadsClientsAcrossWorkers) {
   Cluster cluster(&fx.cost_, config);
   // Simpler check: the RSS hash maps different clients to different workers
   // when more than one is active. Exercise through a 2-worker gateway.
-  NadinoDataPlane dp(&cluster.sim(), &fx.cost_, &cluster.routing(),
+  NadinoDataPlane dp(cluster.env(), &cluster.routing(),
                      NadinoDataPlane::Options{});
   (void)dp;
   SUCCEED();  // Covered behaviorally by the autoscaler + fig14 benches.
@@ -145,7 +144,7 @@ TEST(GatewayTest, AutoscalerAddsWorkersUnderLoadAndRemovesWhenIdle) {
   copts.num_clients = 48;
   copts.path = "/echo";
   copts.payload_bytes = 256;
-  ClosedLoopClients clients(&sim, &fx.cost_, fx.gateway_.get(), copts);
+  ClosedLoopClients clients(fx.cluster_->env(), fx.gateway_.get(), copts);
   clients.Start();
   sim.RunFor(4 * kSecond);
   EXPECT_GT(fx.gateway_->stats().scale_ups, 0u);

@@ -16,13 +16,12 @@ class IngressIntegrationTest : public ::testing::Test {
     config.worker_nodes = 1;
     cluster_ = std::make_unique<Cluster>(&cost_, config);
     cluster_->CreateTenantPools(1, 2048, 8192);
-    dataplane_ = std::make_unique<NadinoDataPlane>(&cluster_->sim(), &cost_,
-                                                   &cluster_->routing(),
+    dataplane_ = std::make_unique<NadinoDataPlane>(cluster_->env(), &cluster_->routing(),
                                                    NadinoDataPlane::Options{});
     engine_ = dataplane_->AddWorkerNode(cluster_->worker(0));
     dataplane_->AttachTenant(1, 1);
     dataplane_->Start();
-    executor_ = std::make_unique<ChainExecutor>(&cluster_->sim(), dataplane_.get());
+    executor_ = std::make_unique<ChainExecutor>(cluster_->env(), dataplane_.get());
     for (const ChainId chain : {10u, 11u}) {
       ChainSpec spec;
       spec.id = chain;
@@ -46,8 +45,7 @@ class IngressIntegrationTest : public ::testing::Test {
     options.initial_workers = initial_workers;
     options.autoscale = autoscale;
     options.max_workers = 6;
-    gateway_ = std::make_unique<IngressGateway>(&cluster_->sim(), &cost_,
-                                                cluster_->ingress(), &cluster_->routing(),
+    gateway_ = std::make_unique<IngressGateway>(cluster_->env(), cluster_->ingress(), &cluster_->routing(),
                                                 dataplane_.get(), executor_.get(), options);
     gateway_->AddRoute("/small", 10, 30);
     gateway_->AddRoute("/large", 11, 31);
@@ -124,7 +122,7 @@ TEST_F(IngressIntegrationTest, ScaleUpPausesThenResumesService) {
   options.num_clients = 40;
   options.path = "/small";
   options.payload_bytes = 128;
-  ClosedLoopClients clients(&cluster_->sim(), &cost_, gateway_.get(), options);
+  ClosedLoopClients clients(cluster_->env(), gateway_.get(), options);
   clients.Start();
   cluster_->sim().RunFor(3 * kSecond);
   EXPECT_GT(gateway_->stats().scale_ups, 0u);

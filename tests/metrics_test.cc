@@ -1,0 +1,134 @@
+// Unit tests for the MetricsRegistry: label rendering, instrument semantics,
+// callback sampling, ValueOf lookups, and sorted deterministic snapshots.
+
+#include "src/sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/env.h"
+
+namespace nadino {
+namespace {
+
+TEST(MetricLabelsTest, RenderIsAlphabeticalAndOmitsUnset) {
+  MetricLabels all;
+  all.tenant = 2;
+  all.node = 1;
+  all.engine = 1000;
+  EXPECT_EQ(all.Render(), "{engine=1000,node=1,tenant=2}");
+  EXPECT_EQ(MetricLabels{}.Render(), "");
+  EXPECT_EQ(MetricLabels::Tenant(7).Render(), "{tenant=7}");
+  EXPECT_EQ(MetricLabels::Node(3).Render(), "{node=3}");
+  EXPECT_EQ(MetricLabels::Engine(42).Render(), "{engine=42}");
+}
+
+TEST(MetricsRegistryTest, CounterIsStableAcrossLookups) {
+  MetricsRegistry registry;
+  registry.Counter("requests").Add(3);
+  registry.Counter("requests").Increment();
+  EXPECT_EQ(registry.Counter("requests").value(), 4u);
+  // A different label set is a different instrument.
+  registry.Counter("requests", MetricLabels::Tenant(1)).Add(10);
+  EXPECT_EQ(registry.Counter("requests").value(), 4u);
+  EXPECT_EQ(registry.Counter("requests", MetricLabels::Tenant(1)).value(), 10u);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistryTest, GaugeMovesBothWays) {
+  MetricsRegistry registry;
+  GaugeMetric& depth = registry.Gauge("queue_depth");
+  depth.Set(5.0);
+  depth.Add(-2.0);
+  EXPECT_DOUBLE_EQ(registry.Gauge("queue_depth").value(), 3.0);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsAndPercentiles) {
+  MetricsRegistry registry;
+  HistogramMetric& h = registry.Histogram("lat", {}, {10, 100, 1000});
+  for (int64_t v : {5, 50, 50, 500, 5000}) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 5605);
+  EXPECT_EQ(h.min(), 5);
+  EXPECT_EQ(h.max(), 5000);
+  ASSERT_EQ(h.bucket_counts().size(), 4u);  // 3 bounds + overflow.
+  EXPECT_EQ(h.bucket_counts()[0], 1u);
+  EXPECT_EQ(h.bucket_counts()[1], 2u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_LE(h.Percentile(0.0), h.Percentile(0.5));
+  EXPECT_LE(h.Percentile(0.5), h.Percentile(1.0));
+}
+
+TEST(MetricsRegistryTest, CallbackIsSampledAtSnapshotTime) {
+  MetricsRegistry registry;
+  uint64_t source = 1;
+  registry.RegisterCallback("pool_in_use", {}, [&]() { return source; });
+  EXPECT_EQ(registry.ValueOf("pool_in_use"), 1u);
+  source = 99;
+  EXPECT_EQ(registry.ValueOf("pool_in_use"), 99u);
+  EXPECT_NE(registry.SnapshotText().find("pool_in_use 99"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ValueOfHandlesAbsentAndNonIntegerKinds) {
+  MetricsRegistry registry;
+  registry.Counter("c").Add(7);
+  registry.Gauge("g").Set(3.5);
+  registry.Histogram("h").Record(1);
+  EXPECT_EQ(registry.ValueOf("c"), 7u);
+  EXPECT_EQ(registry.ValueOf("c", MetricLabels::Tenant(1)), 0u);  // Other key.
+  EXPECT_EQ(registry.ValueOf("missing"), 0u);
+  EXPECT_EQ(registry.ValueOf("g"), 0u);
+  EXPECT_EQ(registry.ValueOf("h"), 0u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByKey) {
+  MetricsRegistry registry;
+  registry.Counter("zeta").Add(1);
+  registry.Counter("alpha").Add(2);
+  registry.Counter("alpha", MetricLabels::Tenant(2)).Add(3);
+  const std::string text = registry.SnapshotText();
+  const size_t alpha = text.find("alpha ");
+  const size_t alpha_t2 = text.find("alpha{tenant=2}");
+  const size_t zeta = text.find("zeta");
+  ASSERT_NE(alpha, std::string::npos);
+  ASSERT_NE(alpha_t2, std::string::npos);
+  ASSERT_NE(zeta, std::string::npos);
+  EXPECT_LT(alpha, alpha_t2);
+  EXPECT_LT(alpha_t2, zeta);
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonContainsTypedEntries) {
+  MetricsRegistry registry;
+  registry.Counter("c", MetricLabels::Node(1)).Add(4);
+  registry.Gauge("g").Set(1.25);
+  const std::string json = registry.SnapshotJson();
+  EXPECT_NE(json.find("\"name\":\"c\""), std::string::npos);
+  EXPECT_NE(json.find("\"node\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauge\""), std::string::npos);
+}
+
+TEST(EnvTest, RngIsSeedDeterministic) {
+  Simulator sim_a;
+  Simulator sim_b;
+  CostModel cost = CostModel::Default();
+  Env a{&sim_a, &cost, 1234};
+  Env b{&sim_b, &cost, 1234};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.rng().NextU64(), b.rng().NextU64());
+  }
+  Env c{&sim_a, &cost, 5678};
+  Env d{&sim_b, &cost, 1234};
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    if (c.rng().NextU64() != d.rng().NextU64()) {
+      diverged = true;
+    }
+  }
+  EXPECT_TRUE(diverged);
+}
+
+}  // namespace
+}  // namespace nadino

@@ -24,8 +24,7 @@ class NetworkEngineTest : public ::testing::Test {
 
   NetworkEngine* MakeEngine(int node, NetworkEngine::Config config = {}) {
     config.engine_id = 1000 + static_cast<uint32_t>(node);
-    engines_.push_back(std::make_unique<NetworkEngine>(&cluster_->sim(), &cost_,
-                                                       cluster_->worker(node),
+    engines_.push_back(std::make_unique<NetworkEngine>(cluster_->env(), cluster_->worker(node),
                                                        &cluster_->routing(), config));
     return engines_.back().get();
   }

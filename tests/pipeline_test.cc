@@ -30,14 +30,13 @@ class PipelineTest : public ::testing::TestWithParam<uint32_t> {
     d.cluster = std::make_unique<Cluster>(&cost_, config);
     d.spec = BuildPipelineSpec(frame_bytes);
     d.cluster->CreateTenantPools(d.spec.tenant, 1024, frame_bytes + 4096);
-    d.dataplane = std::make_unique<NadinoDataPlane>(&d.cluster->sim(), &cost_,
-                                                    &d.cluster->routing(),
+    d.dataplane = std::make_unique<NadinoDataPlane>(d.cluster->env(), &d.cluster->routing(),
                                                     NadinoDataPlane::Options{});
     d.dataplane->AddWorkerNode(d.cluster->worker(0));
     d.dataplane->AddWorkerNode(d.cluster->worker(1));
     d.dataplane->AttachTenant(d.spec.tenant, 1);
     d.dataplane->Start();
-    d.executor = std::make_unique<ChainExecutor>(&d.cluster->sim(), d.dataplane.get());
+    d.executor = std::make_unique<ChainExecutor>(d.cluster->env(), d.dataplane.get());
     d.executor->RegisterChain(d.spec.chain);
     for (size_t i = 0; i < d.spec.stages.size(); ++i) {
       Node* node = d.cluster->worker(static_cast<int>(i % 2));  // Alternate nodes.

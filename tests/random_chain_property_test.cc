@@ -46,7 +46,7 @@ TEST_P(RandomChainPropertyTest, RandomDagCompletesCleanly) {
   Cluster cluster(&cost, config);
   cluster.CreateTenantPools(1, 2048, 8192);
 
-  NadinoDataPlane dp(&cluster.sim(), &cost, &cluster.routing(), {});
+  NadinoDataPlane dp(cluster.env(), &cluster.routing(), {});
   for (int i = 0; i < cluster.worker_count(); ++i) {
     dp.AddWorkerNode(cluster.worker(i));
   }
@@ -62,7 +62,7 @@ TEST_P(RandomChainPropertyTest, RandomDagCompletesCleanly) {
   FunctionId next_fn = 101;
   BuildRandomTree(rng, &spec, 100, &next_fn, 0, 3);
 
-  ChainExecutor executor(&cluster.sim(), &dp);
+  ChainExecutor executor(cluster.env(), &dp);
   executor.RegisterChain(spec);
   std::vector<std::unique_ptr<FunctionRuntime>> functions;
   for (const auto& [fn_id, behavior] : spec.behaviors) {

@@ -116,7 +116,7 @@ TEST(RatePolicyIntegrationTest, ShapedTenantCappedWhileOthersSaturate) {
   Cluster cluster(&cost, config);
   cluster.CreateTenantPools(1, 1024, 8192);
   cluster.CreateTenantPools(2, 1024, 8192);
-  NadinoDataPlane dp(&cluster.sim(), &cost, &cluster.routing(), {});
+  NadinoDataPlane dp(cluster.env(), &cluster.routing(), {});
   NetworkEngine* engine = dp.AddWorkerNode(cluster.worker(0));
   dp.AddWorkerNode(cluster.worker(1));
   dp.AttachTenant(1, 1);
@@ -139,7 +139,7 @@ TEST(RatePolicyIntegrationTest, ShapedTenantCappedWhileOthersSaturate) {
     TenantEchoLoad::Options load_options;
     load_options.payload_bytes = 1024;
     load_options.window = 32;
-    loads.push_back(std::make_unique<TenantEchoLoad>(&cluster.sim(), &dp,
+    loads.push_back(std::make_unique<TenantEchoLoad>(cluster.env(), &dp,
                                                      fns[fns.size() - 2].get(),
                                                      fns.back().get(), load_options));
     loads.back()->SetActive(true);

@@ -13,9 +13,9 @@ namespace {
 class RdmaEngineTest : public ::testing::Test {
  protected:
   RdmaEngineTest()
-      : network_(&sim_, &cost_),
-        a_(&sim_, &cost_, 1, &network_),
-        b_(&sim_, &cost_, 2, &network_) {
+      : network_(env_),
+        a_(env_, 1, &network_),
+        b_(env_, 2, &network_) {
     pool_a_ = registry_a_.CreatePool(kTenant, "a", {32, 8192});
     pool_b_ = registry_b_.CreatePool(kTenant, "b", {32, 8192});
     a_.mr_table().Register(pool_a_, kMrLocal);
@@ -35,6 +35,7 @@ class RdmaEngineTest : public ::testing::Test {
   static constexpr TenantId kTenant = 5;
   CostModel cost_ = CostModel::Default();
   Simulator sim_;
+  Env env_{&sim_, &cost_};
   RdmaNetwork network_;
   RdmaEngine a_;
   RdmaEngine b_;

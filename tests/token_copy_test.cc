@@ -13,7 +13,9 @@ namespace {
 
 TEST(TokenSemaphoreTest, PostBeforeWait) {
   Simulator sim;
-  TokenSemaphore sem(&sim);
+  CostModel cost = CostModel::Default();
+  Env env{&sim, &cost};
+  TokenSemaphore sem(env);
   sem.Post();
   bool ran = false;
   sem.Wait([&]() { ran = true; });
@@ -24,7 +26,9 @@ TEST(TokenSemaphoreTest, PostBeforeWait) {
 
 TEST(TokenSemaphoreTest, WaitBlocksUntilPost) {
   Simulator sim;
-  TokenSemaphore sem(&sim, 400);
+  CostModel cost = CostModel::Default();
+  Env env{&sim, &cost};
+  TokenSemaphore sem(env, 400);
   bool ran = false;
   sem.Wait([&]() { ran = true; });
   sim.Run();
@@ -39,7 +43,9 @@ TEST(TokenSemaphoreTest, WaitBlocksUntilPost) {
 
 TEST(TokenSemaphoreTest, FifoWakeOrder) {
   Simulator sim;
-  TokenSemaphore sem(&sim);
+  CostModel cost = CostModel::Default();
+  Env env{&sim, &cost};
+  TokenSemaphore sem(env);
   std::vector<int> order;
   sem.Wait([&]() { order.push_back(1); });
   sem.Wait([&]() { order.push_back(2); });
@@ -54,8 +60,10 @@ TEST(TokenSemaphoreTest, FifoWakeOrder) {
 TEST(TokenSemaphoreTest, ChainedOwnershipTransfer) {
   // A -> B -> C token passing down a chain, as in section 3.5.1.
   Simulator sim;
-  TokenSemaphore ab(&sim);
-  TokenSemaphore bc(&sim);
+  CostModel cost = CostModel::Default();
+  Env env{&sim, &cost};
+  TokenSemaphore ab(env);
+  TokenSemaphore bc(env);
   std::vector<char> trace;
   bc.Wait([&]() { trace.push_back('C'); });
   ab.Wait([&]() {

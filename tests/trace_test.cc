@@ -67,7 +67,7 @@ TEST(TracerTest, EngineEmitsTxAndRxEvents) {
   Cluster cluster(&cost, config);
   cluster.CreateTenantPools(1, 512, 8192);
   Tracer tracer(&cluster.sim());
-  NadinoDataPlane dp(&cluster.sim(), &cost, &cluster.routing(), {});
+  NadinoDataPlane dp(cluster.env(), &cluster.routing(), {});
   NetworkEngine* e0 = dp.AddWorkerNode(cluster.worker(0));
   NetworkEngine* e1 = dp.AddWorkerNode(cluster.worker(1));
   e0->SetTracer(&tracer);

@@ -1,0 +1,129 @@
+// Dedicated edge-behavior tests for the Tracer's bounded ring: wrap-around
+// boundaries, CountLabel/Filter against a full (wrapped) ring, and Clear()
+// leaving no stale slots behind.
+
+#include "src/sim/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace nadino {
+namespace {
+
+TEST(TracerRingTest, ExactlyFullRingRetainsEverythingDropsNothing) {
+  Simulator sim;
+  Tracer tracer(&sim, 4);
+  for (int i = 0; i < 4; ++i) {
+    tracer.Record(TraceCategory::kApp, 0, "e" + std::to_string(i));
+  }
+  EXPECT_EQ(tracer.recorded(), 4u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_EQ(tracer.size(), 4u);
+  const auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().label, "e0");
+  EXPECT_EQ(events.back().label, "e3");
+}
+
+TEST(TracerRingTest, OneEventPastCapacityDropsExactlyTheOldest) {
+  Simulator sim;
+  Tracer tracer(&sim, 4);
+  for (int i = 0; i < 5; ++i) {
+    tracer.Record(TraceCategory::kApp, 0, "e" + std::to_string(i));
+  }
+  EXPECT_EQ(tracer.dropped(), 1u);
+  const auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().label, "e1");  // e0 was overwritten in place.
+  EXPECT_EQ(events.back().label, "e4");
+}
+
+TEST(TracerRingTest, SnapshotStaysOldestFirstAcrossManyWraps) {
+  Simulator sim;
+  Tracer tracer(&sim, 3);
+  for (int i = 0; i < 100; ++i) {
+    tracer.Record(TraceCategory::kApp, 0, "e" + std::to_string(i));
+  }
+  const auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].label, "e97");
+  EXPECT_EQ(events[1].label, "e98");
+  EXPECT_EQ(events[2].label, "e99");
+}
+
+TEST(TracerRingTest, CountLabelOnFullRingSeesOnlyRetainedEvents) {
+  Simulator sim;
+  Tracer tracer(&sim, 4);
+  // Four "old" events that will all be overwritten, then a wrapped mix.
+  for (int i = 0; i < 4; ++i) {
+    tracer.Record(TraceCategory::kApp, 0, "old");
+  }
+  tracer.Record(TraceCategory::kApp, 0, "keep");
+  tracer.Record(TraceCategory::kApp, 0, "other");
+  tracer.Record(TraceCategory::kApp, 0, "keep");
+  tracer.Record(TraceCategory::kApp, 0, "keep");
+  // The ring is exactly full and fully wrapped: every "old" is gone even
+  // though the slots were never cleared in between.
+  EXPECT_EQ(tracer.CountLabel("old"), 0u);
+  EXPECT_EQ(tracer.CountLabel("keep"), 3u);
+  EXPECT_EQ(tracer.CountLabel("other"), 1u);
+}
+
+TEST(TracerRingTest, FilterOnFullRingMatchesSnapshotOrder) {
+  Simulator sim;
+  Tracer tracer(&sim, 4);
+  for (int i = 0; i < 9; ++i) {
+    tracer.Record(i % 2 == 0 ? TraceCategory::kEngine : TraceCategory::kRdma,
+                  static_cast<uint32_t>(i), "e" + std::to_string(i));
+  }
+  const auto engine_events = tracer.Filter(
+      [](const TraceEvent& e) { return e.category == TraceCategory::kEngine; });
+  // Retained window is e5..e8; the engine-category survivors are e6 and e8.
+  ASSERT_EQ(engine_events.size(), 2u);
+  EXPECT_EQ(engine_events[0].label, "e6");
+  EXPECT_EQ(engine_events[1].label, "e8");
+}
+
+TEST(TracerRingTest, ClearResetsCountersAndDropsStaleSlots) {
+  Simulator sim;
+  Tracer tracer(&sim, 4);
+  for (int i = 0; i < 7; ++i) {
+    tracer.Record(TraceCategory::kApp, 1, "stale");
+  }
+  tracer.Clear();
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  EXPECT_EQ(tracer.CountLabel("stale"), 0u);
+  // Partial refill after Clear() must not resurrect pre-Clear events.
+  tracer.Record(TraceCategory::kApp, 2, "fresh");
+  const auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].label, "fresh");
+  EXPECT_EQ(tracer.CountLabel("stale"), 0u);
+}
+
+TEST(TracerRingTest, ZeroCapacityIsClampedToOneSlot) {
+  Simulator sim;
+  Tracer tracer(&sim, 0);
+  tracer.Record(TraceCategory::kApp, 0, "a");
+  tracer.Record(TraceCategory::kApp, 0, "b");
+  EXPECT_EQ(tracer.size(), 1u);
+  EXPECT_EQ(tracer.dropped(), 1u);
+  const auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].label, "b");
+}
+
+TEST(TracerRingTest, ToTextTruncatesAtMaxLines) {
+  Simulator sim;
+  Tracer tracer(&sim, 8);
+  for (int i = 0; i < 8; ++i) {
+    tracer.Record(TraceCategory::kApp, 0, "e");
+  }
+  const std::string text = tracer.ToText(/*max_lines=*/3);
+  EXPECT_NE(text.find("... (truncated)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nadino

@@ -13,9 +13,9 @@ namespace {
 class VerbsSemanticsTest : public ::testing::Test {
  protected:
   VerbsSemanticsTest()
-      : network_(&sim_, &cost_),
-        a_(&sim_, &cost_, 1, &network_),
-        b_(&sim_, &cost_, 2, &network_) {
+      : network_(env_),
+        a_(env_, 1, &network_),
+        b_(env_, 2, &network_) {
     pool_a_ = registry_a_.CreatePool(kTenant1, "a1", {128, 8192});
     pool_b1_ = registry_b_.CreatePool(kTenant1, "b1", {128, 8192});
     pool_b2_ = registry_b_.CreatePool(kTenant2, "b2", {128, 8192});
@@ -36,6 +36,7 @@ class VerbsSemanticsTest : public ::testing::Test {
   static constexpr TenantId kTenant2 = 2;
   CostModel cost_ = CostModel::Default();
   Simulator sim_;
+  Env env_{&sim_, &cost_};
   RdmaNetwork network_;
   RdmaEngine a_;
   RdmaEngine b_;

@@ -35,7 +35,7 @@ TEST(TenantEchoLoadTest, WindowBoundsOutstandingRequests) {
   config.with_ingress_node = false;
   Cluster cluster(&cost, config);
   cluster.CreateTenantPools(1, 512, 8192);
-  NadinoDataPlane dp(&cluster.sim(), &cost, &cluster.routing(), NadinoDataPlane::Options{});
+  NadinoDataPlane dp(cluster.env(), &cluster.routing(), NadinoDataPlane::Options{});
   dp.AddWorkerNode(cluster.worker(0));
   dp.AddWorkerNode(cluster.worker(1));
   dp.AttachTenant(1, 1);
@@ -49,7 +49,7 @@ TEST(TenantEchoLoadTest, WindowBoundsOutstandingRequests) {
   TenantEchoLoad::Options options;
   options.window = 8;
   options.payload_bytes = 256;
-  TenantEchoLoad load(&cluster.sim(), &dp, &client, &server, options);
+  TenantEchoLoad load(cluster.env(), &dp, &client, &server, options);
   load.SetActive(true);
   cluster.sim().RunFor(200 * kMillisecond);
   EXPECT_GT(load.completed(), 1000u);
@@ -68,7 +68,7 @@ TEST(TenantEchoLoadTest, ScheduledActivationWindow) {
   config.with_ingress_node = false;
   Cluster cluster(&cost, config);
   cluster.CreateTenantPools(1, 512, 8192);
-  NadinoDataPlane dp(&cluster.sim(), &cost, &cluster.routing(), NadinoDataPlane::Options{});
+  NadinoDataPlane dp(cluster.env(), &cluster.routing(), NadinoDataPlane::Options{});
   dp.AddWorkerNode(cluster.worker(0));
   dp.AddWorkerNode(cluster.worker(1));
   dp.AttachTenant(1, 1);
@@ -79,7 +79,7 @@ TEST(TenantEchoLoadTest, ScheduledActivationWindow) {
                          cluster.worker(1)->tenants().PoolOfTenant(1));
   dp.RegisterFunction(&client);
   dp.RegisterFunction(&server);
-  TenantEchoLoad load(&cluster.sim(), &dp, &client, &server, {});
+  TenantEchoLoad load(cluster.env(), &dp, &client, &server, {});
   load.ScheduleActive(100 * kMillisecond, 200 * kMillisecond);
   cluster.sim().RunFor(50 * kMillisecond);
   EXPECT_EQ(load.completed(), 0u);  // Not yet active.
@@ -93,8 +93,10 @@ TEST(TenantEchoLoadTest, ScheduledActivationWindow) {
 
 TEST(PeriodicSamplerTest, RollsMetersOnSchedule) {
   Simulator sim;
+  CostModel cost = CostModel::Default();
+  Env env{&sim, &cost};
   RateMeter meter;
-  PeriodicSampler sampler(&sim, 100 * kMillisecond);
+  PeriodicSampler sampler(env, 100 * kMillisecond);
   sampler.AddRate(&meter);
   int hooks = 0;
   sampler.AddHook([&](SimTime) { ++hooks; });
