@@ -1,23 +1,50 @@
 #!/usr/bin/env bash
-# Configure, build, and run the full test suite. One command for CI and for a
-# pre-commit sanity pass.
+# Configure, build, and run the full test suite, optionally followed by the
+# bench regression gate. One command for CI and for a pre-commit sanity pass.
 #
 # Usage:
-#   scripts/check.sh                 # Release build, all tests
-#   scripts/check.sh address         # AddressSanitizer build (Debug)
-#   scripts/check.sh undefined       # UBSan build (Debug)
+#   scripts/check.sh                   # Release build, all tests
+#   scripts/check.sh address           # AddressSanitizer build (Debug)
+#   scripts/check.sh undefined         # UBSan build (Debug)
+#   scripts/check.sh --bench-diff      # ...then run the fig15/fig16 benches
+#                                      # and diff their BENCH_<name>.json
+#                                      # artifacts against bench/goldens/;
+#                                      # any drift fails the check
+#   scripts/check.sh --update-goldens  # rerun the benches and rewrite
+#                                      # bench/goldens/ (after an intentional
+#                                      # model change; review the diff!)
+#
+# The sanitizer can also be selected via the environment:
+#   NADINO_SANITIZE=address scripts/check.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-SANITIZER="${1:-}"
+SANITIZER="${NADINO_SANITIZE:-}"
+BENCH_DIFF=0
+UPDATE_GOLDENS=0
+for arg in "$@"; do
+  case "${arg}" in
+    address|undefined) SANITIZER="${arg}" ;;
+    --bench-diff) BENCH_DIFF=1 ;;
+    --update-goldens)
+      BENCH_DIFF=1
+      UPDATE_GOLDENS=1
+      ;;
+    *)
+      echo "usage: $0 [address|undefined] [--bench-diff|--update-goldens]" >&2
+      exit 2
+      ;;
+  esac
+done
+
 BUILD_DIR=build
 CMAKE_ARGS=()
 if [[ -n "${SANITIZER}" ]]; then
   case "${SANITIZER}" in
     address|undefined) ;;
     *)
-      echo "usage: $0 [address|undefined]" >&2
+      echo "NADINO_SANITIZE must be 'address' or 'undefined', got '${SANITIZER}'" >&2
       exit 2
       ;;
   esac
@@ -28,3 +55,51 @@ fi
 cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}"
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure
+
+if [[ "${BENCH_DIFF}" -eq 0 ]]; then
+  exit 0
+fi
+
+# --- Bench regression gate ---------------------------------------------------
+# The simulator is deterministic, so the metrics snapshots these benches emit
+# are byte-stable across runs and machines. Goldens under bench/goldens/ pin
+# them; unintended drift in calibrated costs, scheduling, or metric plumbing
+# shows up here as a diff.
+GOLDEN_DIR=bench/goldens
+GOLDEN_BENCHES=(fig15_multitenancy fig16_boutique)
+GOLDEN_ARTIFACTS=(BENCH_fig15_dwrr.json BENCH_fig15_fcfs.json BENCH_fig16_dne_home.json)
+
+RUN_DIR="$(mktemp -d)"
+trap 'rm -rf "${RUN_DIR}"' EXIT
+ROOT_DIR="$(pwd)"
+for bench in "${GOLDEN_BENCHES[@]}"; do
+  echo "bench-diff: running ${bench}..."
+  (cd "${RUN_DIR}" && "${ROOT_DIR}/${BUILD_DIR}/bench/${bench}" > "${bench}.out")
+done
+
+if [[ "${UPDATE_GOLDENS}" -eq 1 ]]; then
+  mkdir -p "${GOLDEN_DIR}"
+  for artifact in "${GOLDEN_ARTIFACTS[@]}"; do
+    cp "${RUN_DIR}/${artifact}" "${GOLDEN_DIR}/${artifact}"
+    echo "bench-diff: updated ${GOLDEN_DIR}/${artifact}"
+  done
+  exit 0
+fi
+
+STATUS=0
+for artifact in "${GOLDEN_ARTIFACTS[@]}"; do
+  if [[ ! -f "${GOLDEN_DIR}/${artifact}" ]]; then
+    echo "bench-diff: MISSING golden ${GOLDEN_DIR}/${artifact}" >&2
+    echo "bench-diff: run scripts/check.sh --update-goldens to create it" >&2
+    STATUS=1
+    continue
+  fi
+  if ! diff -u "${GOLDEN_DIR}/${artifact}" "${RUN_DIR}/${artifact}"; then
+    echo "bench-diff: DRIFT in ${artifact} (see diff above)" >&2
+    echo "bench-diff: intentional? rerun with --update-goldens and commit" >&2
+    STATUS=1
+  else
+    echo "bench-diff: ${artifact} matches golden"
+  fi
+done
+exit "${STATUS}"

@@ -19,6 +19,7 @@
 #include <utility>
 
 #include "src/core/calibration.h"
+#include "src/core/fault.h"
 #include "src/sim/metrics.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
@@ -32,7 +33,10 @@ class Env {
  public:
   Env(Simulator* sim, const CostModel* cost, uint64_t seed = kDefaultSeed,
       Tracer* tracer = nullptr)
-      : sim_(sim), cost_(cost), tracer_(tracer), seed_(seed), rng_(seed) {}
+      : sim_(sim), cost_(cost), tracer_(tracer), seed_(seed), rng_(seed),
+        faults_(sim, &metrics_, seed) {
+    faults_.SetTracer(tracer_);
+  }
 
   Env(const Env&) = delete;
   Env& operator=(const Env&) = delete;
@@ -46,7 +50,10 @@ class Env {
   // The tracer is optional; components emit through Trace() which no-ops when
   // none is installed.
   Tracer* tracer() { return tracer_; }
-  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
+  void SetTracer(Tracer* tracer) {
+    tracer_ = tracer;
+    faults_.SetTracer(tracer);
+  }
   void Trace(TraceCategory category, uint32_t actor, std::string label, uint64_t arg0 = 0,
              uint64_t arg1 = 0) {
     if (tracer_ != nullptr) {
@@ -60,6 +67,11 @@ class Env {
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
 
+  // The unified fault-injection plane every message-crossing boundary
+  // consults (see src/core/fault.h and DESIGN.md §3a).
+  FaultPlane& faults() { return faults_; }
+  const FaultPlane& faults() const { return faults_; }
+
  private:
   Simulator* sim_;
   const CostModel* cost_;
@@ -67,6 +79,7 @@ class Env {
   uint64_t seed_;
   Rng rng_;
   MetricsRegistry metrics_;
+  FaultPlane faults_;  // After metrics_: constructed with its address.
 };
 
 }  // namespace nadino

@@ -490,7 +490,8 @@ ComchBenchResult RunComchBench(const CostModel& cost, const ComchBenchOptions& o
   Simulator& sim = cluster.sim();
   Node* node = cluster.worker(0);
 
-  ComchServer server(cluster.env(), &node->dpu()->core(0));
+  ComchServer server(cluster.env(), &node->dpu()->core(0),
+                     /*engine_managed_polling=*/false, node->id());
   // The single-core DNE echoes descriptors straight back.
   server.SetReceiver([&server](FunctionId fn, const BufferDescriptor& desc) {
     server.SendToHost(fn, desc);
@@ -651,6 +652,9 @@ MultiTenantResult RunMultiTenant(const CostModel& cost, const MultiTenantOptions
   config.seed = options.seed;
   Cluster cluster(&cost, config);
   Simulator& sim = cluster.sim();
+  for (const FaultSpec& spec : options.faults) {
+    cluster.env().faults().Install(spec);
+  }
 
   NadinoDataPlane::Options dp_options;
   dp_options.use_dwrr = options.use_dwrr;

@@ -194,6 +194,10 @@ struct MultiTenantOptions {
   // Throttle reproducing "DNE configured to sustain ~110K RPS on one core".
   SimDuration extra_engine_cost = 1200;
   uint64_t seed = kDefaultSeed;
+  // Installed into the cluster Env's FaultPlane before the workload starts.
+  // Equal seed + equal specs reproduce the faulted run bit-for-bit (the
+  // determinism contract in DESIGN.md section 3a).
+  std::vector<FaultSpec> faults;
 };
 struct MultiTenantResult {
   std::map<TenantId, TimeSeries> tenant_rps;

@@ -68,12 +68,14 @@ void NadinoDataPlane::RegisterFunction(FunctionRuntime* function) {
     return;  // Endpoint on a non-worker node (ingress/client pseudo-function).
   }
   engine->RegisterLocalFunction(
-      function->id(), function->core(), [engine, function](Buffer* buffer) {
+      function->id(), function->core(),
+      [engine, function](Buffer* buffer) {
         // Arriving inter-node payloads: ownership engine -> function, then up
         // to the application handler.
         function->pool()->Transfer(buffer, engine->owner_id(), function->owner_id());
         function->Deliver(buffer);
-      });
+      },
+      function->tenant());
 }
 
 bool NadinoDataPlane::Send(FunctionRuntime* src, Buffer* buffer) {
@@ -111,12 +113,23 @@ bool NadinoDataPlane::SendIntraNode(FunctionRuntime* src, FunctionRuntime* dst,
   m_intra_node_->Increment();
   src->core()->Consume(env().cost().token_post_cost);
   const BufferDescriptor desc = pool->MakeDescriptor(*buffer, dst->id());
-  skmsg_.Send(src->core(), dst->core(), desc, [dst, pool](const BufferDescriptor& d) {
-    Buffer* b = pool->Resolve(d);
-    if (b != nullptr) {
-      dst->Deliver(b);
-    }
-  });
+  const bool sent = skmsg_.Send(
+      src->core(), dst->core(), desc,
+      [dst, pool](const BufferDescriptor& d) {
+        Buffer* b = pool->Resolve(d);
+        if (b != nullptr) {
+          dst->Deliver(b);
+        }
+      },
+      /*engine_endpoint=*/false, src->tenant());
+  if (!sent) {
+    // Injected kSkMsg drop: the descriptor never reached the consumer. The
+    // buffer was already handed to `dst` — move ownership back to the sender
+    // ("false ⇒ caller still owns it") so the caller's recycle conserves.
+    pool->Transfer(buffer, dst->owner_id(), src->owner_id());
+    m_drops_->Increment();
+    return false;
+  }
   return true;
 }
 
@@ -132,7 +145,12 @@ bool NadinoDataPlane::SendInterNode(FunctionRuntime* src, Buffer* buffer, Functi
     return false;
   }
   m_inter_node_->Increment();
-  engine->SendFromFunction(src, pool->MakeDescriptor(*buffer, dst));
+  if (!engine->SendFromFunction(src, pool->MakeDescriptor(*buffer, dst))) {
+    // IPC entry drop: the engine moved ownership back to `src`; the caller
+    // still owns the buffer and recycles it.
+    m_drops_->Increment();
+    return false;
+  }
   return true;
 }
 

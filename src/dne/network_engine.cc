@@ -22,7 +22,7 @@ NetworkEngine::NetworkEngine(Env& env, Node* node, RoutingTable* routing, const 
     // endpoints itself, so per-message channel handling is charged inside the
     // scheduled TX/RX stages (and thus governed by the DWRR policy).
     comch_ = std::make_unique<ComchServer>(env, worker_core_,
-                                           /*engine_managed_polling=*/true);
+                                           /*engine_managed_polling=*/true, node->id());
     comch_->SetReceiver([this](FunctionId /*src*/, const BufferDescriptor& desc) {
       IngestTx(desc, ComchDpuCost());
     });
@@ -104,21 +104,23 @@ void NetworkEngine::PrewarmRemoteRnic(RdmaEngine* remote, TenantId tenant, int n
 }
 
 void NetworkEngine::RegisterLocalFunction(FunctionId fn, FifoResource* fn_core,
-                                          DeliverFn deliver) {
+                                          DeliverFn deliver, TenantId tenant) {
   endpoints_[fn] = LocalEndpoint{fn_core, std::move(deliver), false};
   if (config_.kind == Kind::kDne) {
-    comch_->ConnectEndpoint(fn, config_.comch_variant, fn_core,
-                            [this, fn](const BufferDescriptor& desc) {
-                              const auto it = endpoints_.find(fn);
-                              if (it == endpoints_.end()) {
-                                return;
-                              }
-                              BufferPool* pool = node_->tenants().PoolById(desc.pool);
-                              Buffer* buffer = pool == nullptr ? nullptr : pool->Resolve(desc);
-                              if (buffer != nullptr && it->second.deliver) {
-                                it->second.deliver(buffer);
-                              }
-                            });
+    comch_->ConnectEndpoint(
+        fn, config_.comch_variant, fn_core,
+        [this, fn](const BufferDescriptor& desc) {
+          const auto it = endpoints_.find(fn);
+          if (it == endpoints_.end()) {
+            return;
+          }
+          BufferPool* pool = node_->tenants().PoolById(desc.pool);
+          Buffer* buffer = pool == nullptr ? nullptr : pool->Resolve(desc);
+          if (buffer != nullptr && it->second.deliver) {
+            it->second.deliver(buffer);
+          }
+        },
+        tenant);
   }
 }
 
@@ -135,16 +137,29 @@ void NetworkEngine::Start() {
   sim().Schedule(config_.replenish_period, [this]() { ReplenishTick(); });
 }
 
-void NetworkEngine::SendFromFunction(FunctionRuntime* src, const BufferDescriptor& desc) {
+bool NetworkEngine::SendFromFunction(FunctionRuntime* src, const BufferDescriptor& desc) {
+  bool sent;
   if (config_.kind == Kind::kDne) {
-    comch_->SendToDpu(src->id(), desc);
-    return;
+    sent = comch_->SendToDpu(src->id(), desc);
+  } else {
+    // CNE ingestion over SK_MSG: the shared engine pays the per-message
+    // interrupt cost — the mechanism that throttles it at high concurrency.
+    sent = skmsg_->Send(src->core(), worker_core_, desc,
+                        [this](const BufferDescriptor& d) { IngestTx(d); },
+                        /*engine_endpoint=*/true, src->tenant());
   }
-  // CNE ingestion over SK_MSG: the shared engine pays the per-message
-  // interrupt cost — the mechanism that throttles it at high concurrency.
-  skmsg_->Send(src->core(), worker_core_, desc,
-               [this](const BufferDescriptor& d) { IngestTx(d); },
-               /*engine_endpoint=*/true);
+  if (!sent) {
+    // Dropped at the IPC entry (severed endpoint / injected fault). The
+    // buffer was already handed to this engine — return ownership to the
+    // sender so the data plane's "false ⇒ caller still owns it" contract
+    // holds and the caller's recycle conserves the pool.
+    BufferPool* pool = node_->tenants().PoolById(desc.pool);
+    Buffer* buffer = pool == nullptr ? nullptr : pool->Resolve(desc);
+    if (buffer != nullptr) {
+      pool->Transfer(buffer, owner_id(), src->owner_id());
+    }
+  }
+  return sent;
 }
 
 bool NetworkEngine::SendFromEngine(TenantId tenant, Buffer* buffer) {
@@ -171,15 +186,28 @@ void NetworkEngine::IngestTx(const BufferDescriptor& desc, SimDuration ingest_co
     m_unroutable_->Increment();
     return;
   }
+  // kDneTx fault site: the descriptor entering the TX pipeline. Runs after
+  // the ownership check so a drop can recycle the buffer this engine
+  // provably owns; corruption flips payload bytes the header checksum
+  // downstream must catch.
+  const FaultDecision fault = env_->faults().Intercept(
+      FaultSite::kDneTx, FaultScope{pool->tenant(), node_->id()}, buffer->payload().data(),
+      buffer->payload().size());
+  if (fault.action == FaultAction::kDrop) {
+    pool->Put(buffer, owner_id());
+    return;
+  }
   TxItem item;
   item.tenant = pool->tenant();
   item.desc = desc;
   item.bytes = buffer->length + static_cast<uint32_t>(kWireHeaderBytes);
   item.ingest_cost = ingest_cost;
   // Tenant shaping policy (token bucket): messages over the tenant's rate are
-  // held back at admission; fairness scheduling applies below the caps.
+  // held back at admission; fairness scheduling applies below the caps. An
+  // injected kDelay stretches the same admission path.
   const SimDuration shaping_delay =
-      rate_limiter_.AdmissionDelay(item.tenant, item.bytes, sim().now());
+      rate_limiter_.AdmissionDelay(item.tenant, item.bytes, sim().now()) +
+      (fault.action == FaultAction::kDelay ? fault.delay : 0);
   if (shaping_delay > 0) {
     sim().Schedule(shaping_delay, [this, item = std::move(item)]() mutable {
       scheduler_->Enqueue(std::move(item));
@@ -237,11 +265,22 @@ void NetworkEngine::ExecuteTx(const TxItem& item) {
   auto post = [this, item, buffer, pool, qp = acquired.qp]() {
     PostToRnic(item, buffer, pool, qp);
   };
-  auto maybe_dma = [this, buffer, post = std::move(post)]() {
+  auto maybe_dma = [this, buffer, pool, tenant = item.tenant, post = std::move(post)]() {
     if (config_.on_path) {
       // On-path: the payload is staged host -> SoC memory through the slow
       // SoC DMA engine before the RNIC can transmit it (Fig. 2 (1)).
-      node_->dpu()->SocDmaTransfer(buffer->length, post);
+      node_->dpu()->SocDmaTransfer(
+          buffer->length,
+          [this, buffer, pool, post](bool ok) {
+            if (!ok) {
+              // Injected kSocDma drop: the staging copy failed before the
+              // RNIC ever saw the buffer — recycle it.
+              pool->Put(buffer, owner_id());
+              return;
+            }
+            post();
+          },
+          tenant, buffer->payload().data(), buffer->payload().size());
     } else {
       post();
     }
@@ -309,16 +348,40 @@ void NetworkEngine::HandleRecvCompletion(const Completion& cqe) {
   }
   BufferPool* pool = pool_it->second;
   pool->Transfer(registered, OwnerId::Rnic(node_->id()), owner_id());
-  const FunctionId dst = cqe.imm;
-  if (config_.on_path) {
-    // On-path: the RNIC deposited into SoC memory; stage SoC -> host pool.
-    node_->dpu()->SocDmaTransfer(registered->length,
-                                 [this, dst, registered, pool]() {
-                                   DeliverLocal(dst, registered, pool);
-                                 });
+  // kDneRx fault site: the received message leaving the RNIC for local
+  // delivery. Intercepted after the ownership transfer so a drop recycles a
+  // buffer this engine owns; corruption hits the received payload before any
+  // checksum validation downstream.
+  const FaultDecision fault = env_->faults().Intercept(
+      FaultSite::kDneRx, FaultScope{cqe.tenant, node_->id()}, registered->payload().data(),
+      registered->payload().size());
+  if (fault.action == FaultAction::kDrop) {
+    pool->Put(registered, owner_id());
     return;
   }
-  DeliverLocal(dst, registered, pool);
+  const FunctionId dst = cqe.imm;
+  auto deliver = [this, dst, registered, pool, tenant = cqe.tenant]() {
+    if (config_.on_path) {
+      // On-path: the RNIC deposited into SoC memory; stage SoC -> host pool.
+      node_->dpu()->SocDmaTransfer(
+          registered->length,
+          [this, dst, registered, pool](bool ok) {
+            if (!ok) {
+              pool->Put(registered, owner_id());
+              return;
+            }
+            DeliverLocal(dst, registered, pool);
+          },
+          tenant, registered->payload().data(), registered->payload().size());
+      return;
+    }
+    DeliverLocal(dst, registered, pool);
+  };
+  if (fault.action == FaultAction::kDelay) {
+    sim().Schedule(fault.delay, deliver);
+    return;
+  }
+  deliver();
 }
 
 void NetworkEngine::DeliverLocal(FunctionId fn, Buffer* buffer, BufferPool* pool) {
@@ -335,22 +398,31 @@ void NetworkEngine::DeliverLocal(FunctionId fn, Buffer* buffer, BufferPool* pool
   const BufferDescriptor desc = pool->MakeDescriptor(*buffer, fn);
   if (config_.kind == Kind::kDne) {
     // Charge the Comch channel handling on the worker loop, then push the
-    // descriptor toward the host function.
-    worker_core_->Submit(ComchDpuCost(), [this, fn, desc]() { comch_->SendToHost(fn, desc); });
+    // descriptor toward the host function. An entry drop (severed endpoint /
+    // injected fault) leaves the buffer engine-owned: recycle it.
+    worker_core_->Submit(ComchDpuCost(), [this, fn, desc, buffer, pool]() {
+      if (!comch_->SendToHost(fn, desc)) {
+        pool->Put(buffer, owner_id());
+      }
+    });
     return;
   }
-  skmsg_->Send(worker_core_, it->second.fn_core, desc,
-               [this, fn](const BufferDescriptor& d) {
-                 const auto ep = endpoints_.find(fn);
-                 if (ep == endpoints_.end()) {
-                   return;
-                 }
-                 BufferPool* p = node_->tenants().PoolById(d.pool);
-                 Buffer* b = p == nullptr ? nullptr : p->Resolve(d);
-                 if (b != nullptr && ep->second.deliver) {
-                   ep->second.deliver(b);
-                 }
-               });
+  const bool sent = skmsg_->Send(worker_core_, it->second.fn_core, desc,
+                                 [this, fn](const BufferDescriptor& d) {
+                                   const auto ep = endpoints_.find(fn);
+                                   if (ep == endpoints_.end()) {
+                                     return;
+                                   }
+                                   BufferPool* p = node_->tenants().PoolById(d.pool);
+                                   Buffer* b = p == nullptr ? nullptr : p->Resolve(d);
+                                   if (b != nullptr && ep->second.deliver) {
+                                     ep->second.deliver(b);
+                                   }
+                                 },
+                                 /*engine_endpoint=*/false, pool->tenant());
+  if (!sent) {
+    pool->Put(buffer, owner_id());
+  }
 }
 
 void NetworkEngine::ReplenishTick() {

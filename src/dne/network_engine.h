@@ -110,8 +110,10 @@ class NetworkEngine {
 
   // Registers a local function endpoint: how the RX stage hands descriptors
   // to this function. For the DNE this also connects a Comch endpoint; for
-  // the CNE it records the SK_MSG destination.
-  void RegisterLocalFunction(FunctionId fn, FifoResource* fn_core, DeliverFn deliver);
+  // the CNE it records the SK_MSG destination. `tenant` labels the Comch drop
+  // accounting and scopes fault interception on this function's channel.
+  void RegisterLocalFunction(FunctionId fn, FifoResource* fn_core, DeliverFn deliver,
+                             TenantId tenant = kInvalidTenant);
 
   // Starts the replenisher (core thread) and CQ handling.
   void Start();
@@ -125,8 +127,10 @@ class NetworkEngine {
   void IngestTx(const BufferDescriptor& desc, SimDuration ingest_cost = 0);
 
   // Function-side send entry: charges the function-side IPC cost and routes
-  // the descriptor to IngestTx. Called by the data plane's Send().
-  void SendFromFunction(FunctionRuntime* src, const BufferDescriptor& desc);
+  // the descriptor to IngestTx. Called by the data plane's Send(). Returns
+  // false when the IPC dropped the descriptor at entry; ownership of the
+  // buffer moves back to `src` in that case (the caller recycles it).
+  bool SendFromFunction(FunctionRuntime* src, const BufferDescriptor& desc);
 
   // Engine-as-endpoint send, used when the engine itself originates traffic
   // (the Fig. 12 echo microbenchmark runs a pair of DNEs as client/server).

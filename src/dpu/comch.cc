@@ -4,8 +4,12 @@
 
 namespace nadino {
 
-ComchServer::ComchServer(Env& env, FifoResource* dpu_core, bool engine_managed_polling)
-    : env_(&env), dpu_core_(dpu_core), engine_managed_polling_(engine_managed_polling) {}
+ComchServer::ComchServer(Env& env, FifoResource* dpu_core, bool engine_managed_polling,
+                         NodeId node)
+    : env_(&env),
+      dpu_core_(dpu_core),
+      engine_managed_polling_(engine_managed_polling),
+      node_(node) {}
 
 ComchServer::Costs ComchServer::CostsFor(ComchVariant variant) const {
   switch (variant) {
@@ -24,7 +28,7 @@ ComchServer::Costs ComchServer::CostsFor(ComchVariant variant) const {
 }
 
 void ComchServer::ConnectEndpoint(FunctionId fn, ComchVariant variant, FifoResource* host_core,
-                                  HostReceiver host_receiver) {
+                                  HostReceiver host_receiver, TenantId tenant) {
   Endpoint ep;
   ep.variant = variant;
   ep.host_core = host_core;
@@ -34,6 +38,7 @@ void ComchServer::ConnectEndpoint(FunctionId fn, ComchVariant variant, FifoResou
     host_core->set_pinned(true);  // Busy polling ties up the function's core.
   }
   endpoints_[fn] = std::move(ep);
+  fn_tenant_[fn] = tenant;  // Survives Disconnect: post-sever drops attribute.
 }
 
 void ComchServer::Disconnect(FunctionId fn) {
@@ -48,16 +53,61 @@ void ComchServer::Disconnect(FunctionId fn) {
   endpoints_.erase(it);
 }
 
-void ComchServer::SendToDpu(FunctionId fn, const BufferDescriptor& desc) {
+TenantId ComchServer::TenantOf(FunctionId fn) const {
+  const auto it = fn_tenant_.find(fn);
+  return it == fn_tenant_.end() ? kInvalidTenant : it->second;
+}
+
+void ComchServer::CountDrop(FunctionId fn) {
+  const TenantId tenant = TenantOf(fn);
+  auto& counter = drop_counters_[tenant];
+  if (counter == nullptr) {
+    MetricLabels labels;
+    if (node_ != kInvalidNode) {
+      labels.node = static_cast<int64_t>(node_);
+    }
+    if (tenant != kInvalidTenant) {
+      labels.tenant = static_cast<int64_t>(tenant);
+    }
+    counter = &env_->metrics().Counter("comch_dropped", labels);
+  }
+  counter->Increment();
+}
+
+uint64_t ComchServer::dropped() const {
+  uint64_t total = 0;
+  for (const auto& [tenant, counter] : drop_counters_) {
+    total += counter->value();
+  }
+  return total;
+}
+
+bool ComchServer::SendToDpu(FunctionId fn, const BufferDescriptor& desc) {
   const auto it = endpoints_.find(fn);
   if (it == endpoints_.end()) {
-    ++dropped_;
-    return;
+    CountDrop(fn);
+    return false;
+  }
+  // kComch fault site. Corruption flips bits in the 16-byte descriptor as it
+  // crosses PCIe; the DPU side decodes the damaged wire image and the
+  // resolve/ownership checks downstream must reject it (no silent corruption).
+  BufferDescriptor crossing = desc;
+  auto wire = crossing.Encode();
+  const FaultDecision fault = env_->faults().Intercept(
+      FaultSite::kComch, FaultScope{TenantOf(fn), node_}, wire.data(), wire.size());
+  if (fault.action == FaultAction::kDrop) {
+    CountDrop(fn);
+    return false;
+  }
+  if (fault.action == FaultAction::kCorrupt) {
+    crossing = BufferDescriptor::Decode(wire);
   }
   ++to_dpu_;
   const Costs costs = CostsFor(it->second.variant);
-  it->second.host_core->Submit(costs.host_send, [this, fn, desc, costs]() {
-    sim().Schedule(costs.channel, [this, fn, desc, costs]() {
+  const SimDuration channel =
+      costs.channel + (fault.action == FaultAction::kDelay ? fault.delay : 0);
+  it->second.host_core->Submit(costs.host_send, [this, fn, desc = crossing, channel, costs]() {
+    sim().Schedule(channel, [this, fn, desc, costs]() {
       if (engine_managed_polling_) {
         // The owning engine discovers the descriptor on its next loop pass
         // and charges the handling cost within its scheduled stage.
@@ -73,29 +123,43 @@ void ComchServer::SendToDpu(FunctionId fn, const BufferDescriptor& desc) {
       });
     });
   });
+  return true;
 }
 
-void ComchServer::SendToHost(FunctionId fn, const BufferDescriptor& desc) {
+bool ComchServer::SendToHost(FunctionId fn, const BufferDescriptor& desc) {
   const auto it = endpoints_.find(fn);
   if (it == endpoints_.end()) {
-    ++dropped_;
-    return;
+    CountDrop(fn);
+    return false;
+  }
+  BufferDescriptor crossing = desc;
+  auto wire = crossing.Encode();
+  const FaultDecision fault = env_->faults().Intercept(
+      FaultSite::kComch, FaultScope{TenantOf(fn), node_}, wire.data(), wire.size());
+  if (fault.action == FaultAction::kDrop) {
+    CountDrop(fn);
+    return false;
+  }
+  if (fault.action == FaultAction::kCorrupt) {
+    crossing = BufferDescriptor::Decode(wire);
   }
   ++to_host_;
   const Costs costs = CostsFor(it->second.variant);
+  const SimDuration channel =
+      costs.channel + (fault.action == FaultAction::kDelay ? fault.delay : 0);
   // Re-resolve the endpoint at each stage: it may be Disconnect()ed while the
   // message is in flight, in which case the descriptor is dropped.
-  auto after_dpu_side = [this, fn, desc, costs]() {
-    sim().Schedule(costs.channel, [this, fn, desc, costs]() {
+  auto after_dpu_side = [this, fn, desc = crossing, channel, costs]() {
+    sim().Schedule(channel, [this, fn, desc, costs]() {
       const auto ep_it = endpoints_.find(fn);
       if (ep_it == endpoints_.end()) {
-        ++dropped_;
+        CountDrop(fn);
         return;
       }
       ep_it->second.host_core->Submit(costs.host_recv, [this, fn, desc]() {
         const auto final_it = endpoints_.find(fn);
         if (final_it == endpoints_.end() || !final_it->second.host_receiver) {
-          ++dropped_;
+          CountDrop(fn);
           return;
         }
         final_it->second.host_receiver(desc);
@@ -104,9 +168,10 @@ void ComchServer::SendToHost(FunctionId fn, const BufferDescriptor& desc) {
   };
   if (engine_managed_polling_) {
     after_dpu_side();  // The engine already charged the DPU-side handling.
-    return;
+    return true;
   }
   dpu_core_->Submit(costs.dpu_side, std::move(after_dpu_side));
+  return true;
 }
 
 }  // namespace nadino

@@ -13,7 +13,9 @@
 // Only 16-byte buffer descriptors travel here; payloads stay in the
 // cross-processor shared memory pool. The server side may Disconnect() a
 // misbehaving tenant's endpoint — the isolation lever the paper contrasts
-// with raw intra-node RDMA (section 3.5.4).
+// with raw intra-node RDMA (section 3.5.4). Every message also crosses the
+// FaultPlane's kComch site; drops of either origin land in the
+// comch_dropped{node,tenant} registry counters (dropped() sums them).
 
 #ifndef SRC_DPU_COMCH_H_
 #define SRC_DPU_COMCH_H_
@@ -43,14 +45,16 @@ class ComchServer {
   using HostReceiver = std::function<void(const BufferDescriptor&)>;
 
   // `dpu_core` is the DNE core that executes channel handling; costs given in
-  // host time are scaled by that core's speed factor automatically.
+  // host time are scaled by that core's speed factor automatically. `node`
+  // labels this server's drop counters and scopes fault interception.
   //
   // With `engine_managed_polling` set, the server does NOT charge the
   // DPU-side handling cost itself: the owning engine busy-polls the endpoints
   // inside its run-to-completion event loop (section 3.5.4) and accounts for
   // the per-message channel handling as part of its scheduled TX/RX stages.
   // This keeps per-tenant DWRR in control of *all* per-message engine work.
-  ComchServer(Env& env, FifoResource* dpu_core, bool engine_managed_polling = false);
+  ComchServer(Env& env, FifoResource* dpu_core, bool engine_managed_polling = false,
+              NodeId node = kInvalidNode);
 
   // DPU-side per-message handling cost (host time) for this server's
   // configuration — what an engine-managed owner must charge per message.
@@ -61,10 +65,12 @@ class ComchServer {
 
   void SetReceiver(ServerReceiver receiver) { receiver_ = std::move(receiver); }
 
-  // Registers a host-side endpoint for `fn`. `host_core` runs the function's
-  // send/receive costs; with kPolling it becomes a pinned (busy-poll) core.
+  // Registers a host-side endpoint for `fn`, owned by `tenant` (labels the
+  // drop accounting; kInvalidTenant is accepted for tenant-less tests).
+  // `host_core` runs the function's send/receive costs; with kPolling it
+  // becomes a pinned (busy-poll) core.
   void ConnectEndpoint(FunctionId fn, ComchVariant variant, FifoResource* host_core,
-                       HostReceiver host_receiver);
+                       HostReceiver host_receiver, TenantId tenant = kInvalidTenant);
 
   // Severs a tenant function's endpoint; subsequent sends are dropped and
   // counted (the DNE's defense against misbehaving tenants).
@@ -74,17 +80,22 @@ class ComchServer {
 
   // Host -> DPU: called from function context. Charges the function's core,
   // the channel latency, then DPU-side processing before handing the
-  // descriptor to the server receiver.
-  void SendToDpu(FunctionId fn, const BufferDescriptor& desc);
+  // descriptor to the server receiver. Returns false when the message is
+  // dropped at entry (severed endpoint or injected fault): the caller still
+  // owns the buffer and must recycle it.
+  bool SendToDpu(FunctionId fn, const BufferDescriptor& desc);
 
   // DPU -> host: called from DNE context. Charges DPU-side processing, the
   // channel, then the function-side receive cost before invoking the host
-  // receiver.
-  void SendToHost(FunctionId fn, const BufferDescriptor& desc);
+  // receiver. Returns false when dropped at entry (see SendToDpu); in-flight
+  // drops (endpoint severed mid-crossing) are counted but not reported.
+  bool SendToHost(FunctionId fn, const BufferDescriptor& desc);
 
   uint64_t messages_to_dpu() const { return to_dpu_; }
   uint64_t messages_to_host() const { return to_host_; }
-  uint64_t dropped() const { return dropped_; }
+  // Thin shim over the comch_dropped{node,tenant} registry counters (PR-1
+  // Stats convention): total drops across every tenant on this server.
+  uint64_t dropped() const;
   int polling_endpoints() const { return polling_endpoints_; }
 
  private:
@@ -103,17 +114,25 @@ class ComchServer {
 
   Costs CostsFor(ComchVariant variant) const;
 
+  // Registry counter for drops attributed to `fn`'s tenant (lazily created;
+  // the fn -> tenant mapping survives Disconnect so post-sever drops are
+  // still attributed to the misbehaving tenant).
+  void CountDrop(FunctionId fn);
+  TenantId TenantOf(FunctionId fn) const;
+
   Simulator& sim() const { return env_->sim(); }
 
   Env* env_;
   FifoResource* dpu_core_;
   bool engine_managed_polling_;
+  NodeId node_;
   ServerReceiver receiver_;
   std::map<FunctionId, Endpoint> endpoints_;
+  std::map<FunctionId, TenantId> fn_tenant_;
+  std::map<TenantId, CounterMetric*> drop_counters_;
   int polling_endpoints_ = 0;
   uint64_t to_dpu_ = 0;
   uint64_t to_host_ = 0;
-  uint64_t dropped_ = 0;
 };
 
 }  // namespace nadino

@@ -21,10 +21,27 @@ SimDuration Dpu::SocDmaCost(uint64_t bytes) const {
          static_cast<SimDuration>(static_cast<double>(bytes) / bytes_per_ns + 0.5);
 }
 
-void Dpu::SocDmaTransfer(uint64_t bytes, FifoResource::Callback done) {
+void Dpu::SocDmaTransfer(uint64_t bytes, DmaCallback done, TenantId tenant, std::byte* payload,
+                         size_t payload_len) {
+  // kSocDma fault site. A drop still occupies the DMA engine for the full
+  // service time (the transfer ran and failed), then completes with ok=false
+  // so the caller recycles whatever it was staging. Corruption flips staged
+  // payload bytes in place; delay models PCIe backpressure on the engine.
+  const FaultDecision fault =
+      env_->faults().Intercept(FaultSite::kSocDma, FaultScope{tenant, node_}, payload,
+                               payload_len);
   ++soc_dma_transfers_;
   soc_dma_bytes_ += bytes;
-  dma_engine_.Submit(SocDmaCost(bytes), std::move(done));
+  SimDuration service = SocDmaCost(bytes);
+  if (fault.action == FaultAction::kDelay) {
+    service += fault.delay;
+  }
+  const bool ok = fault.action != FaultAction::kDrop;
+  dma_engine_.Submit(service, [done = std::move(done), ok]() {
+    if (done) {
+      done(ok);
+    }
+  });
 }
 
 }  // namespace nadino

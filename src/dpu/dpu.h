@@ -39,9 +39,17 @@ class Dpu {
   // The shared SoC DMA engine (one per DPU; transfers serialize on it).
   FifoResource& dma_engine() { return dma_engine_; }
 
+  // `done(false)` means an injected kSocDma drop killed the transfer: the
+  // engine time was still charged, but the data did NOT land — the caller
+  // must recycle the buffer it was staging.
+  using DmaCallback = std::function<void(bool ok)>;
+
   // Queues a host<->SoC staging transfer of `bytes` through the SoC DMA
-  // engine; `done` fires when the data has landed.
-  void SocDmaTransfer(uint64_t bytes, FifoResource::Callback done);
+  // engine; `done(ok)` fires when the transfer finishes. `tenant` scopes
+  // fault interception; `payload`/`payload_len`, when provided, expose the
+  // staged bytes for kCorrupt flips.
+  void SocDmaTransfer(uint64_t bytes, DmaCallback done, TenantId tenant = kInvalidTenant,
+                      std::byte* payload = nullptr, size_t payload_len = 0);
 
   // Service time of a single SoC DMA transfer when the engine is idle.
   SimDuration SocDmaCost(uint64_t bytes) const;

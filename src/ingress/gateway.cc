@@ -192,6 +192,18 @@ void IngressGateway::SubmitRequest(uint32_t client_id, const std::string& path,
     sim().Schedule(0, std::move(done));
     return;
   }
+  // kTransport fault site: the client's HTTP/TCP crossing into the ingress
+  // stack. A drop models a connection reset before the request is accepted:
+  // the client observes an error (`done` still fires, keeping closed-loop
+  // load generators alive) and no gateway state is created. A delay models
+  // SYN retransmission / accept-queue pressure ahead of the rx cost.
+  const FaultDecision transport_fault = env_->faults().Intercept(
+      FaultSite::kTransport, FaultScope{options_.tenant, node_->id()});
+  if (transport_fault.action == FaultAction::kDrop) {
+    m_http_errors_->Increment();
+    sim().Schedule(0, std::move(done));
+    return;
+  }
   m_requests_->Increment();
   if (tracer_ != nullptr) {
     tracer_->Record(TraceCategory::kIngress, static_cast<uint32_t>(worker->index),
@@ -202,9 +214,10 @@ void IngressGateway::SubmitRequest(uint32_t client_id, const std::string& path,
   pending_[request_id] = Pending{std::move(done), worker->index, 0};
   // Terminate (or receive, for proxy modes) the client's HTTP/TCP request.
   const uint64_t wire_bytes = payload_bytes + kHttpRequestOverhead;
-  const SimDuration rx_cost = ingress_stack_.RxCost(wire_bytes) +
-                              LivelockIrq(env_->cost(), ingress_stack_, *worker->core) +
-                              env_->cost().http_parse;
+  const SimDuration rx_cost =
+      ingress_stack_.RxCost(wire_bytes) +
+      LivelockIrq(env_->cost(), ingress_stack_, *worker->core) + env_->cost().http_parse +
+      (transport_fault.action == FaultAction::kDelay ? transport_fault.delay : 0);
   worker->core->Submit(rx_cost, [this, worker, route, payload_bytes, request_id]() {
     if (options_.mode == IngressMode::kNadino) {
       NadinoHandleRequest(worker, route, payload_bytes, request_id);
@@ -373,7 +386,8 @@ void IngressGateway::ProxyHandleRequest(Worker* worker, const Route& route,
               m_http_errors_->Increment();
             }
           });
-        });
+        },
+        options_.tenant);
   });
 }
 
@@ -400,7 +414,8 @@ void IngressGateway::PortalDeliver(FunctionRuntime* portal, Buffer* buffer) {
   portal->core()->Submit(tx_cost, [this, worker, request_id, body_bytes, portal_node,
                                    wire_bytes]() {
     node_->rnic().network()->fabric().Send(
-        portal_node, node_->id(), wire_bytes, [this, worker, request_id, body_bytes]() {
+        portal_node, node_->id(), wire_bytes,
+        [this, worker, request_id, body_bytes]() {
           const uint64_t wire = body_bytes + kHttpResponseOverhead;
           const SimDuration rx_cost = ingress_stack_.RxCost(wire) +
                                       LivelockIrq(env_->cost(), ingress_stack_, *worker->core) +
@@ -408,7 +423,8 @@ void IngressGateway::PortalDeliver(FunctionRuntime* portal, Buffer* buffer) {
           worker->core->Submit(rx_cost, [this, worker, request_id, body_bytes]() {
             FinishResponse(worker, request_id, body_bytes);
           });
-        });
+        },
+        options_.tenant);
   });
 }
 

@@ -15,28 +15,55 @@ void Fabric::AttachNode(NodeId node) {
   const CostModel& cost = env_->cost();
   Port port;
   port.up = std::make_unique<Link>(&env_->sim(), "up:" + std::to_string(node), cost.fabric_gbps,
-                                   cost.link_propagation);
+                                   cost.link_propagation, &env_->faults(), node);
   port.down = std::make_unique<Link>(&env_->sim(), "down:" + std::to_string(node),
-                                     cost.fabric_gbps, cost.link_propagation);
+                                     cost.fabric_gbps, cost.link_propagation, &env_->faults(),
+                                     node);
   ports_.emplace(node, std::move(port));
 }
 
-void Fabric::Send(NodeId src, NodeId dst, uint64_t payload_bytes, Delivery delivered) {
+void Fabric::Send(NodeId src, NodeId dst, uint64_t payload_bytes, Delivery delivered,
+                  TenantId tenant) {
   assert(ports_.count(src) > 0 && ports_.count(dst) > 0);
+  const FaultDecision fault =
+      env_->faults().Intercept(FaultSite::kFabric, FaultScope{tenant, src});
+  if (fault.action == FaultAction::kDrop) {
+    return;  // Lost in transit; the FaultPlane counted it.
+  }
   const uint64_t wire_bytes = payload_bytes + kWireHeaderBytes;
   Link* up = ports_.at(src).up.get();
   Link* down = ports_.at(dst).down.get();
-  up->Transfer(wire_bytes, [this, down, wire_bytes, delivered = std::move(delivered)]() mutable {
-    env_->sim().Schedule(env_->cost().switch_latency,
-                         [this, down, wire_bytes, delivered = std::move(delivered)]() mutable {
-                           down->Transfer(wire_bytes, [this, delivered = std::move(delivered)]() {
-                             ++messages_delivered_;
-                             if (delivered) {
-                               delivered();
-                             }
-                           });
-                         });
-  });
+  auto transit = [this, up, down, wire_bytes, tenant](Delivery done) {
+    up->Transfer(
+        wire_bytes,
+        [this, down, wire_bytes, tenant, done = std::move(done)]() mutable {
+          env_->sim().Schedule(
+              env_->cost().switch_latency,
+              [this, down, wire_bytes, tenant, done = std::move(done)]() mutable {
+                down->Transfer(
+                    wire_bytes,
+                    [this, done = std::move(done)]() {
+                      ++messages_delivered_;
+                      if (done) {
+                        done();
+                      }
+                    },
+                    tenant);
+              });
+        },
+        tenant);
+  };
+  if (fault.action == FaultAction::kDuplicate) {
+    transit(delivered);  // Same callback fires twice; receivers are idempotent.
+  }
+  if (fault.action == FaultAction::kDelay) {
+    env_->sim().Schedule(fault.delay, [transit = std::move(transit),
+                                       delivered = std::move(delivered)]() mutable {
+      transit(std::move(delivered));
+    });
+    return;
+  }
+  transit(std::move(delivered));
 }
 
 size_t Fabric::UplinkQueueDepth(NodeId node) const {

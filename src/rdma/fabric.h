@@ -37,8 +37,11 @@ class Fabric {
   bool HasNode(NodeId node) const { return ports_.count(node) > 0; }
 
   // Moves `payload_bytes` (+ header) from src to dst; `delivered` fires when
-  // the last byte arrives at dst's port.
-  void Send(NodeId src, NodeId dst, uint64_t payload_bytes, Delivery delivered);
+  // the last byte arrives at dst's port. `tenant` scopes fault interception
+  // (kFabric on the whole transit, kLink per direction); a dropped message is
+  // counted by the FaultPlane and `delivered` never fires.
+  void Send(NodeId src, NodeId dst, uint64_t payload_bytes, Delivery delivered,
+            TenantId tenant = kInvalidTenant);
 
   // Congestion signal: messages queued on the node's uplink.
   size_t UplinkQueueDepth(NodeId node) const;

@@ -153,6 +153,56 @@ SimDuration RdmaEngine::QpTouchCost(QpNum qp) {
 }
 
 void RdmaEngine::Transmit(Packet pkt, SimDuration extra_cost) {
+  // kRnicTx fault site: WRs leaving this RNIC. ACKs and read responses are
+  // exempt — they are generated on behalf of a remote request, and losing
+  // them would hang the requester instead of failing it cleanly.
+  const bool interceptable = pkt.kind == Packet::Kind::kSend ||
+                             pkt.kind == Packet::Kind::kWrite ||
+                             pkt.kind == Packet::Kind::kReadReq;
+  if (interceptable) {
+    const FaultDecision fault =
+        env_->faults().Intercept(FaultSite::kRnicTx, FaultScope{pkt.tenant, node_},
+                                 pkt.payload.data(), pkt.payload.size());
+    switch (fault.action) {
+      case FaultAction::kDrop: {
+        // The WR dies in the TX pipeline. Synthesize the local error
+        // completion RC delivers after retry exhaustion so the poster is
+        // failed, not hung: outstanding is decremented and the CQE carries
+        // kTransportError (the QP stays usable — see verbs.h).
+        Packet ack;
+        ack.kind = Packet::Kind::kAck;
+        ack.src = pkt.dst;
+        ack.dst = node_;
+        ack.src_qp = pkt.dst_qp;
+        ack.dst_qp = pkt.src_qp;
+        ack.tenant = pkt.tenant;
+        ack.wr_id = pkt.wr_id;
+        ack.imm = pkt.imm;
+        ack.acked_op = pkt.kind == Packet::Kind::kSend    ? RdmaOpcode::kSend
+                       : pkt.kind == Packet::Kind::kWrite ? RdmaOpcode::kWrite
+                                                          : RdmaOpcode::kRead;
+        ack.status = WrStatus::kTransportError;
+        if (pkt.kind == Packet::Kind::kReadReq) {
+          pending_reads_.erase(pkt.wr_id);
+        }
+        sim().Schedule(env_->cost().rnic_rnr_backoff,
+                       [this, ack]() { HandleAck(ack); });
+        return;
+      }
+      case FaultAction::kDelay:
+        extra_cost += fault.delay;
+        break;
+      case FaultAction::kDuplicate:
+        EnqueueTx(pkt, extra_cost);  // Extra copy; receive paths are idempotent.
+        break;
+      default:
+        break;  // kPass, or kCorrupt (payload already flipped in place).
+    }
+  }
+  EnqueueTx(std::move(pkt), extra_cost);
+}
+
+void RdmaEngine::EnqueueTx(Packet pkt, SimDuration extra_cost) {
   const uint64_t bytes = pkt.payload.size();
   SimDuration service = extra_cost;
   if (pkt.kind == Packet::Kind::kAck) {
@@ -178,14 +228,17 @@ void RdmaEngine::Transmit(Packet pkt, SimDuration extra_cost) {
   }
   tx_pipe_.Submit(service, [this, pkt = std::move(pkt)]() mutable {
     const NodeId dst = pkt.dst;
+    const TenantId tenant = pkt.tenant;
     const uint64_t wire_bytes = pkt.payload.size();
     auto* network = network_;
-    network->fabric().Send(node_, dst, wire_bytes,
-                           [network, dst, pkt = std::move(pkt)]() mutable {
-                             RdmaEngine* peer = network->EngineAt(dst);
-                             assert(peer != nullptr);
-                             peer->DeliverFromWire(std::move(pkt));
-                           });
+    network->fabric().Send(
+        node_, dst, wire_bytes,
+        [network, dst, pkt = std::move(pkt)]() mutable {
+          RdmaEngine* peer = network->EngineAt(dst);
+          assert(peer != nullptr);
+          peer->DeliverFromWire(std::move(pkt));
+        },
+        tenant);
   });
 }
 
@@ -263,16 +316,47 @@ bool RdmaEngine::PostRead(QpNum qp, Buffer* dst, PoolId remote_pool, uint32_t re
 }
 
 void RdmaEngine::DeliverFromWire(Packet pkt) {
-  SimDuration service = 0;
+  // kRnicRx fault site: packets entering this RNIC. Only payload-carrying
+  // requests are interceptable; dropping an ACK / read response would hang
+  // the peer's WR rather than fail it.
+  SimDuration rx_fault_delay = 0;
+  if (pkt.kind == Packet::Kind::kSend || pkt.kind == Packet::Kind::kWrite) {
+    const FaultDecision fault =
+        env_->faults().Intercept(FaultSite::kRnicRx, FaultScope{pkt.tenant, node_},
+                                 pkt.payload.data(), pkt.payload.size());
+    switch (fault.action) {
+      case FaultAction::kDrop:
+        // Lost in the RX pipeline: NACK the sender so its WR completes with
+        // an error and its buffer is recycled — dropped, counted, not hung.
+        SendAck(pkt, pkt.kind == Packet::Kind::kSend ? RdmaOpcode::kSend : RdmaOpcode::kWrite,
+                WrStatus::kTransportError, 0);
+        return;
+      case FaultAction::kDelay:
+        rx_fault_delay = fault.delay;
+        break;
+      case FaultAction::kDuplicate: {
+        Packet copy = pkt;
+        DeliverReceived(std::move(copy), 0);
+        break;
+      }
+      default:
+        break;  // kPass / kCorrupt (payload flipped in place; checksums catch).
+    }
+  }
+  DeliverReceived(std::move(pkt), rx_fault_delay);
+}
+
+void RdmaEngine::DeliverReceived(Packet pkt, SimDuration extra_cost) {
+  SimDuration service = extra_cost;
   switch (pkt.kind) {
     case Packet::Kind::kAck:
-      service = 100;
+      service += 100;
       break;
     case Packet::Kind::kReadReq:
-      service = env_->cost().rnic_wr_rx;
+      service += env_->cost().rnic_wr_rx;
       break;
     default:
-      service = env_->cost().rnic_wr_rx + static_cast<SimDuration>(
+      service += env_->cost().rnic_wr_rx + static_cast<SimDuration>(
                                         static_cast<double>(pkt.payload.size()) *
                                         env_->cost().rnic_per_byte_ns);
       break;

@@ -177,11 +177,23 @@ class RdmaEngine {
   RcQp* FindQp(QpNum qp);
   const RcQp* FindQp(QpNum qp) const;
 
-  // Charges the TX pipeline and puts the packet on the wire.
+  // Consults the kRnicTx fault site, then charges the TX pipeline and puts
+  // the packet on the wire. An injected drop completes the WR locally with
+  // WrStatus::kTransportError instead of transmitting.
   void Transmit(Packet pkt, SimDuration extra_cost = 0);
 
+  // The post-interception half of Transmit (duplicates re-enter here so an
+  // injected duplicate cannot re-trigger the fault site).
+  void EnqueueTx(Packet pkt, SimDuration extra_cost);
+
   // Entry point for packets arriving from the fabric (called by the network).
+  // Consults the kRnicRx fault site; a drop NACKs the sender with
+  // WrStatus::kTransportError so its WR fails instead of hanging.
   void DeliverFromWire(Packet pkt);
+
+  // Post-interception RX: charges the RX pipeline and dispatches to the
+  // per-kind handler (duplicates re-enter here, bypassing the fault site).
+  void DeliverReceived(Packet pkt, SimDuration extra_cost);
 
   // RX-pipeline-charged handlers per packet kind.
   void HandleSend(Packet pkt);

@@ -26,6 +26,13 @@ enum class WrStatus : uint8_t {
   kRemoteAccessError,  // One-sided op against an unregistered / protected MR.
   kRnrRetryExceeded,   // Receiver never posted a buffer.
   kQpError,
+  // The packet was lost in the NIC pipeline (injected kRnicTx/kRnicRx drop).
+  // Unlike kRnrRetryExceeded this does NOT move the QP to the error state:
+  // the WR completes with an error so the poster can recycle its buffer, and
+  // the connection stays usable — RC's retransmission would normally mask
+  // such a loss entirely; the error completion models retry exhaustion on
+  // one WR without tearing the QP down.
+  kTransportError,
 };
 
 // Access rights granted when registering a memory region, mirroring

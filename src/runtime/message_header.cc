@@ -1,5 +1,6 @@
 #include "src/runtime/message_header.h"
 
+#include <array>
 #include <cstring>
 
 namespace nadino {
@@ -15,8 +16,20 @@ void FillPayload(Buffer* buffer, uint64_t seed, uint32_t length) {
   }
 }
 
-uint64_t PayloadChecksum(const Buffer& buffer, uint32_t length) {
-  return Checksum({buffer.data.data() + MessageHeader::kWireSize, length});
+// Offset/width of the checksum field inside the serialized header.
+constexpr size_t kChecksumOffset = 24;
+constexpr size_t kChecksumWidth = 8;
+
+// Digest over the serialized header (checksum field zeroed) and the payload.
+// Covering the header bytes — including routing and correlation fields and
+// the padding — means a single flipped bit anywhere in the message is caught,
+// not just flips that land in the payload.
+uint64_t MessageChecksum(const Buffer& buffer, uint32_t payload_length) {
+  std::array<std::byte, MessageHeader::kWireSize> head;
+  std::memcpy(head.data(), buffer.data.data(), MessageHeader::kWireSize);
+  std::memset(head.data() + kChecksumOffset, 0, kChecksumWidth);
+  return Checksum({head.data(), head.size()}) ^
+         Checksum({buffer.data.data() + MessageHeader::kWireSize, payload_length});
 }
 
 void Serialize(const MessageHeader& h, std::byte* out) {
@@ -50,8 +63,10 @@ bool WriteMessage(Buffer* buffer, MessageHeader header) {
     return false;
   }
   FillPayload(buffer, header.request_id, header.payload_length);
-  header.payload_checksum = PayloadChecksum(*buffer, header.payload_length);
+  header.payload_checksum = 0;
   Serialize(header, buffer->data.data());
+  header.payload_checksum = MessageChecksum(*buffer, header.payload_length);
+  std::memcpy(buffer->data.data() + kChecksumOffset, &header.payload_checksum, kChecksumWidth);
   buffer->length = MessageHeader::kWireSize + header.payload_length;
   return true;
 }
@@ -61,8 +76,10 @@ bool RewriteHeader(Buffer* buffer, MessageHeader header) {
       buffer->data.size() < MessageHeader::kWireSize + header.payload_length) {
     return false;
   }
-  header.payload_checksum = PayloadChecksum(*buffer, header.payload_length);
+  header.payload_checksum = 0;
   Serialize(header, buffer->data.data());
+  header.payload_checksum = MessageChecksum(*buffer, header.payload_length);
+  std::memcpy(buffer->data.data() + kChecksumOffset, &header.payload_checksum, kChecksumWidth);
   buffer->length = MessageHeader::kWireSize + header.payload_length;
   return true;
 }
@@ -75,7 +92,7 @@ std::optional<MessageHeader> ReadMessage(const Buffer& buffer) {
   if (buffer.length < MessageHeader::kWireSize + h.payload_length) {
     return std::nullopt;
   }
-  if (PayloadChecksum(buffer, h.payload_length) != h.payload_checksum) {
+  if (MessageChecksum(buffer, h.payload_length) != h.payload_checksum) {
     return std::nullopt;
   }
   return h;

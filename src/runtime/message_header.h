@@ -24,6 +24,8 @@ struct MessageHeader {
   FunctionId dst = kInvalidFunction;
   uint32_t payload_length = 0;
   uint64_t request_id = 0;
+  // Digest over the whole message — the serialized header (this field
+  // zeroed) and the payload — so a flip anywhere on the wire is caught.
   uint64_t payload_checksum = 0;
   uint8_t flags = 0;
 

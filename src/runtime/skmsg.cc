@@ -4,11 +4,22 @@
 
 namespace nadino {
 
-void SkMsgChannel::Send(FifoResource* src_core, FifoResource* dst_core,
-                        const BufferDescriptor& desc, Receiver receiver, bool engine_endpoint) {
+bool SkMsgChannel::Send(FifoResource* src_core, FifoResource* dst_core,
+                        const BufferDescriptor& desc, Receiver receiver, bool engine_endpoint,
+                        TenantId tenant) {
+  // kSkMsg fault site (drop/delay only: a descriptor carries no payload to
+  // corrupt here, and duplicating it would double-deliver its buffer).
+  const FaultDecision fault = env_->faults().Intercept(FaultSite::kSkMsg, FaultScope{tenant});
+  if (fault.action == FaultAction::kDrop) {
+    ++dropped_;
+    return false;
+  }
   ++messages_;
-  const SimDuration deliver_cost =
+  SimDuration deliver_cost =
       env_->cost().skmsg_deliver + (engine_endpoint ? env_->cost().skmsg_engine_irq : 0);
+  if (fault.action == FaultAction::kDelay) {
+    deliver_cost += fault.delay;
+  }
   src_core->Submit(env_->cost().skmsg_send,
                    [dst_core, deliver_cost, desc, receiver = std::move(receiver)]() {
                      dst_core->Submit(deliver_cost, [desc, receiver = std::move(receiver)]() {
@@ -17,6 +28,7 @@ void SkMsgChannel::Send(FifoResource* src_core, FifoResource* dst_core,
                        }
                      });
                    });
+  return true;
 }
 
 }  // namespace nadino

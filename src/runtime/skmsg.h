@@ -27,16 +27,20 @@ class SkMsgChannel {
 
   // Sends `desc` from `src_core` to the receiver running on `dst_core`.
   // `engine_endpoint` adds the shared-engine interrupt cost (CNE ingestion).
-  void Send(FifoResource* src_core, FifoResource* dst_core, const BufferDescriptor& desc,
-            Receiver receiver, bool engine_endpoint = false);
+  // Returns false when an injected kSkMsg drop discards the descriptor at
+  // entry: the caller still owns the buffer and must recycle it.
+  bool Send(FifoResource* src_core, FifoResource* dst_core, const BufferDescriptor& desc,
+            Receiver receiver, bool engine_endpoint = false, TenantId tenant = kInvalidTenant);
 
   uint64_t messages() const { return messages_; }
+  uint64_t dropped() const { return dropped_; }
 
  private:
   Simulator& sim() const { return env_->sim(); }
 
   Env* env_;
   uint64_t messages_ = 0;
+  uint64_t dropped_ = 0;
 };
 
 }  // namespace nadino

@@ -4,26 +4,48 @@
 
 namespace nadino {
 
-Link::Link(Simulator* sim, std::string name, double bandwidth_gbps, SimDuration propagation)
+Link::Link(Simulator* sim, std::string name, double bandwidth_gbps, SimDuration propagation,
+           FaultPlane* faults, NodeId node)
     : sim_(sim),
       bytes_per_ns_(bandwidth_gbps / 8.0),  // Gbit/s == bits/ns; /8 -> bytes/ns.
       propagation_(propagation),
-      pipe_(sim, std::move(name)) {}
+      pipe_(sim, std::move(name)),
+      faults_(faults),
+      node_(node) {}
 
 SimDuration Link::SerializationTime(uint64_t bytes) const {
   return static_cast<SimDuration>(static_cast<double>(bytes) / bytes_per_ns_ + 0.5);
 }
 
-void Link::Transfer(uint64_t bytes, Callback delivered) {
+void Link::Serialize(uint64_t bytes, SimDuration extra_propagation, const Callback& delivered) {
   bytes_transferred_ += bytes;
-  pipe_.Submit(SerializationTime(bytes), [this, delivered = std::move(delivered)]() {
+  const SimDuration arrival_lag = propagation_ + extra_propagation;
+  pipe_.Submit(SerializationTime(bytes), [this, arrival_lag, delivered]() {
     if (!delivered) {
       return;
     }
     // Propagation happens off the shared pipe: back-to-back messages overlap
     // their propagation with the next message's serialization.
-    sim_->Schedule(propagation_, delivered);
+    sim_->Schedule(arrival_lag, delivered);
   });
+}
+
+void Link::Transfer(uint64_t bytes, Callback delivered, TenantId tenant) {
+  FaultDecision fault;
+  if (faults_ != nullptr) {
+    fault = faults_->Intercept(FaultSite::kLink, FaultScope{tenant, node_});
+  }
+  switch (fault.action) {
+    case FaultAction::kDrop:
+      ++dropped_;  // Lost on the wire: never serializes, never arrives.
+      return;
+    case FaultAction::kDuplicate:
+      Serialize(bytes, 0, delivered);
+      break;
+    default:
+      break;
+  }
+  Serialize(bytes, fault.action == FaultAction::kDelay ? fault.delay : 0, delivered);
 }
 
 }  // namespace nadino

@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <string>
 
+#include "src/core/fault.h"
+#include "src/core/types.h"
 #include "src/sim/resource.h"
 #include "src/sim/simulator.h"
 #include "src/sim/time.h"
@@ -19,20 +21,29 @@ class Link {
   using Callback = std::function<void()>;
 
   // `bandwidth_gbps` in gigabits/second; `propagation` is the fixed one-way
-  // delay added after the message finishes serializing.
-  Link(Simulator* sim, std::string name, double bandwidth_gbps, SimDuration propagation);
+  // delay added after the message finishes serializing. `faults` (optional)
+  // is the FaultPlane this link consults per transfer, with `node` naming the
+  // port owner for fault scoping.
+  Link(Simulator* sim, std::string name, double bandwidth_gbps, SimDuration propagation,
+       FaultPlane* faults = nullptr, NodeId node = kInvalidNode);
 
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
 
   // Sends `bytes` through the link; `delivered` fires at arrival time.
-  void Transfer(uint64_t bytes, Callback delivered);
+  // A kLink drop fault discards the message before it serializes (`delivered`
+  // never fires; dropped() counts it); delay stretches propagation; duplicate
+  // serializes and delivers the message twice.
+  void Transfer(uint64_t bytes, Callback delivered, TenantId tenant = kInvalidTenant);
 
   // Serialization time for a message of `bytes` at this link's bandwidth.
   SimDuration SerializationTime(uint64_t bytes) const;
 
   // Bytes delivered since construction.
   uint64_t bytes_transferred() const { return bytes_transferred_; }
+
+  // Messages discarded by injected kLink drop faults.
+  uint64_t dropped() const { return dropped_; }
 
   // Queue depth of messages waiting to serialize (congestion signal).
   size_t queue_depth() const { return pipe_.queue_depth(); }
@@ -41,11 +52,16 @@ class Link {
   void ResetWindow() { pipe_.ResetWindow(); }
 
  private:
+  void Serialize(uint64_t bytes, SimDuration extra_propagation, const Callback& delivered);
+
   Simulator* sim_;
   double bytes_per_ns_;
   SimDuration propagation_;
   FifoResource pipe_;
+  FaultPlane* faults_;
+  NodeId node_;
   uint64_t bytes_transferred_ = 0;
+  uint64_t dropped_ = 0;
 };
 
 }  // namespace nadino

@@ -16,6 +16,8 @@ const char* TraceCategoryName(TraceCategory category) {
       return "ingress";
     case TraceCategory::kApp:
       return "app";
+    case TraceCategory::kFault:
+      return "fault";
   }
   return "?";
 }

@@ -25,6 +25,7 @@ enum class TraceCategory : uint8_t {
   kIpc,      // SK_MSG / Comch descriptor hops.
   kIngress,  // Gateway request/response lifecycle.
   kApp,      // Function-level events.
+  kFault,    // FaultPlane injections (site/action, scope in args).
 };
 
 const char* TraceCategoryName(TraceCategory category);

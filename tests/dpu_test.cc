@@ -41,8 +41,8 @@ TEST(DpuTest, SocDmaSerializesTransfers) {
   Dpu dpu(env, 1);
   SimTime first = 0;
   SimTime second = 0;
-  dpu.SocDmaTransfer(64, [&]() { first = sim.now(); });
-  dpu.SocDmaTransfer(64, [&]() { second = sim.now(); });
+  dpu.SocDmaTransfer(64, [&](bool) { first = sim.now(); });
+  dpu.SocDmaTransfer(64, [&](bool) { second = sim.now(); });
   sim.Run();
   EXPECT_GE(second, first * 2 - 10);
   EXPECT_EQ(dpu.soc_dma_transfers(), 2u);

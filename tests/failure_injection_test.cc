@@ -160,6 +160,152 @@ TEST_F(FailureInjectionTest, EngineSurvivesUnknownTenantDescriptor) {
   EXPECT_EQ(stolen->owner, OwnerId::Function(66));  // Untouched.
 }
 
+TEST_F(FailureInjectionTest, MultiSiteDropChaosCountedNotHung) {
+  // Bounded drop faults at five distinct FaultPlane sites at once. The
+  // DESIGN.md invariants under chaos: every drop is counted in the registry,
+  // buffers are conserved (recycled at the drop site, never leaked), and the
+  // data plane keeps flowing — dropped requests cost window slots, not hangs.
+  cluster_->CreateTenantPools(1, 512, 8192);
+  FaultPlane& plane = cluster_->env().faults();
+  for (FaultSite site : {FaultSite::kComch, FaultSite::kDneTx, FaultSite::kDneRx,
+                         FaultSite::kRnicTx, FaultSite::kRnicRx}) {
+    FaultSpec spec;
+    spec.site = site;
+    spec.action = FaultAction::kDrop;
+    spec.probability = 0.005;
+    spec.max_injections = 6;  // 5 sites * 6 = 30 drops, below the window of 64.
+    ASSERT_GE(plane.Install(spec), 0);
+  }
+  NadinoDataPlane dp(cluster_->env(), &cluster_->routing(), {});
+  dp.AddWorkerNode(cluster_->worker(0));
+  dp.AddWorkerNode(cluster_->worker(1));
+  dp.AttachTenant(1, 1);
+  dp.Start();
+  FunctionRuntime client(11, 1, "c", cluster_->worker(0), cluster_->worker(0)->AllocateCore(),
+                         cluster_->worker(0)->tenants().PoolOfTenant(1));
+  FunctionRuntime server(12, 1, "s", cluster_->worker(1), cluster_->worker(1)->AllocateCore(),
+                         cluster_->worker(1)->tenants().PoolOfTenant(1));
+  dp.RegisterFunction(&client);
+  dp.RegisterFunction(&server);
+  // Steady state before load: the engines' posted receive buffers.
+  cluster_->sim().RunFor(10 * kMillisecond);
+  BufferPool* pool0 = cluster_->worker(0)->tenants().PoolOfTenant(1);
+  BufferPool* pool1 = cluster_->worker(1)->tenants().PoolOfTenant(1);
+  const size_t baseline0 = pool0->in_use();
+  const size_t baseline1 = pool1->in_use();
+
+  TenantEchoLoad::Options load_options;
+  load_options.window = 64;
+  load_options.payload_bytes = 1024;
+  TenantEchoLoad load(cluster_->env(), &dp, &client, &server, load_options);
+  load.SetActive(true);
+  cluster_->sim().RunFor(300 * kMillisecond);
+  load.SetActive(false);
+  cluster_->sim().RunFor(50 * kMillisecond);  // Drain in-flight traffic.
+
+  // Chaos actually happened, at more than one site, and every injection is
+  // visible both in the plane totals and the registry instruments.
+  EXPECT_GT(plane.injected_total(), 10u);
+  int sites_hit = 0;
+  uint64_t registry_total = 0;
+  for (FaultSite site : {FaultSite::kComch, FaultSite::kDneTx, FaultSite::kDneRx,
+                         FaultSite::kRnicTx, FaultSite::kRnicRx}) {
+    sites_hit += plane.injected_at(site) > 0 ? 1 : 0;
+    for (NodeId node : {cluster_->worker(0)->id(), cluster_->worker(1)->id()}) {
+      MetricLabels labels;
+      labels.tenant = 1;
+      labels.node = static_cast<int64_t>(node);
+      registry_total += cluster_->metrics().ValueOf(
+          std::string("fault_injected_") + FaultSiteName(site) + "_drop", labels);
+    }
+  }
+  EXPECT_GE(sites_hit, 3);
+  EXPECT_EQ(registry_total, plane.injected_total());
+
+  // Still flowing: drops consumed at most one window slot each.
+  EXPECT_GT(load.completed(), 1000u);
+
+  // Conservation: every dropped message's buffer was recycled where it died.
+  EXPECT_EQ(pool0->in_use(), baseline0);
+  EXPECT_EQ(pool1->in_use(), baseline1);
+  EXPECT_EQ(pool0->stats().ownership_violations, 0u);
+  EXPECT_EQ(pool1->stats().ownership_violations, 0u);
+}
+
+TEST_F(FailureInjectionTest, RnicRxCorruptionChaosIsDetectedNotSilent) {
+  // Corrupt payloads on the receive side of the wire; the message-layer
+  // checksum must catch every flip — responses either verify or are dropped
+  // by the integrity check, never silently delivered corrupted.
+  cluster_->CreateTenantPools(1, 512, 8192);
+  FaultPlane& plane = cluster_->env().faults();
+  FaultSpec spec;
+  spec.site = FaultSite::kRnicRx;
+  spec.action = FaultAction::kCorrupt;
+  spec.probability = 0.01;
+  spec.max_injections = 10;
+  ASSERT_GE(plane.Install(spec), 0);
+  NadinoDataPlane dp(cluster_->env(), &cluster_->routing(), {});
+  dp.AddWorkerNode(cluster_->worker(0));
+  dp.AddWorkerNode(cluster_->worker(1));
+  dp.AttachTenant(1, 1);
+  dp.Start();
+  FunctionRuntime client(11, 1, "c", cluster_->worker(0), cluster_->worker(0)->AllocateCore(),
+                         cluster_->worker(0)->tenants().PoolOfTenant(1));
+  FunctionRuntime server(12, 1, "s", cluster_->worker(1), cluster_->worker(1)->AllocateCore(),
+                         cluster_->worker(1)->tenants().PoolOfTenant(1));
+  dp.RegisterFunction(&client);
+  dp.RegisterFunction(&server);
+  uint64_t verified = 0;
+  uint64_t integrity_failures = 0;
+  client.SetHandler([&](FunctionRuntime& fn, Buffer* b) {
+    if (ReadMessage(*b).has_value()) {
+      ++verified;
+    } else {
+      ++integrity_failures;  // Checksum caught the flip.
+    }
+    fn.pool()->Put(b, fn.owner_id());
+  });
+  int sent = 0;
+  server.SetHandler([&](FunctionRuntime& fn, Buffer* b) {
+    // Echo back so corruption can hit either direction.
+    const auto header = ReadMessage(*b);
+    if (!header.has_value()) {
+      ++integrity_failures;
+      fn.pool()->Put(b, fn.owner_id());
+      return;
+    }
+    MessageHeader reply;
+    reply.src = 12;
+    reply.dst = 11;
+    reply.payload_length = 512;
+    reply.request_id = header->request_id;
+    reply.flags = MessageHeader::kFlagResponse;
+    WriteMessage(b, reply);
+    dp.Send(&fn, b);
+  });
+  for (int i = 0; i < 2000; ++i) {
+    cluster_->sim().Schedule(static_cast<SimDuration>(i) * 50 * kMicrosecond, [&]() {
+      Buffer* out = client.pool()->Get(client.owner_id());
+      if (out == nullptr) {
+        return;
+      }
+      MessageHeader header;
+      header.src = 11;
+      header.dst = 12;
+      header.payload_length = 512;
+      header.request_id = static_cast<uint64_t>(++sent);
+      WriteMessage(out, header);
+      dp.Send(&client, out);
+    });
+  }
+  cluster_->sim().RunFor(200 * kMillisecond);
+  // Every injected corruption was detected by a checksum somewhere; nothing
+  // was silently delivered (verified + caught accounts for all traffic).
+  EXPECT_EQ(plane.injected_at(FaultSite::kRnicRx), 10u);
+  EXPECT_EQ(integrity_failures, 10u);
+  EXPECT_GT(verified, 1500u);
+}
+
 TEST_F(FailureInjectionTest, RnrStormResolvesOnceReceiverCatchesUp) {
   // Receiver posts very few buffers and replenishes slowly; RNR backoff
   // plus the replenisher must still deliver everything eventually.
