@@ -32,6 +32,7 @@ int main() {
   std::printf("\n(2) RPS vs concurrency, 1 KB payload\n");
   std::printf("%-12s %12s %12s %8s | %14s %14s\n", "concurrency", "off-path", "on-path",
               "gain", "off-path lat", "on-path lat");
+  std::string golden_off_path;  // Representative snapshot for the bench gate.
   for (const int concurrency : {1, 2, 4, 8, 16, 32, 64}) {
     DneEchoOptions options;
     options.payload = 1024;
@@ -44,7 +45,11 @@ int main() {
     std::printf("%-12d %12.0f %12.0f %7.2fx | %11.1f us %11.1f us\n", concurrency,
                 off_path.rps, on_path.rps, off_path.rps / on_path.rps,
                 off_path.mean_latency_us, on_path.mean_latency_us);
+    if (concurrency == 8) {
+      golden_off_path = off_path.metrics_json;
+    }
   }
+  bench::WriteMetricsJson("fig11_offpath_c8", golden_off_path);
   bench::Note(
       "paper shape: up to ~30% RPS improvement and >20% latency reduction for "
       "off-path; the gap opens with concurrency as the slow SoC DMA engine "

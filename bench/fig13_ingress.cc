@@ -19,6 +19,7 @@ int main() {
               "F-Ingr us", "K-Ingr us", "NADINO", "F-Ingr", "K-Ingr");
   double best_vs_kernel = 0.0;
   double best_vs_fstack = 0.0;
+  std::string golden_nadino;  // Representative snapshot for the bench gate.
   for (const int clients : {1, 4, 8, 16, 32, 64}) {
     IngressEchoResult results[3];
     const IngressMode modes[3] = {IngressMode::kNadino, IngressMode::kFIngress,
@@ -36,7 +37,11 @@ int main() {
                 results[2].mean_latency_us, results[0].rps, results[1].rps, results[2].rps);
     best_vs_kernel = std::max(best_vs_kernel, results[0].rps / results[2].rps);
     best_vs_fstack = std::max(best_vs_fstack, results[0].rps / results[1].rps);
+    if (clients == 16) {
+      golden_nadino = results[0].metrics_json;
+    }
   }
+  bench::WriteMetricsJson("fig13_nadino_c16", golden_nadino);
   std::printf("\nbest RPS gain: %.1fx vs K-Ingress (paper: up to 11.4x), "
               "%.1fx vs F-Ingress (paper: up to 3.2x)\n",
               best_vs_kernel, best_vs_fstack);

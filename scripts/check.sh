@@ -66,8 +66,9 @@ fi
 # them; unintended drift in calibrated costs, scheduling, or metric plumbing
 # shows up here as a diff.
 GOLDEN_DIR=bench/goldens
-GOLDEN_BENCHES=(fig15_multitenancy fig16_boutique)
-GOLDEN_ARTIFACTS=(BENCH_fig15_dwrr.json BENCH_fig15_fcfs.json BENCH_fig16_dne_home.json)
+GOLDEN_BENCHES=(fig11_offpath_onpath fig13_ingress fig15_multitenancy fig16_boutique)
+GOLDEN_ARTIFACTS=(BENCH_fig11_offpath_c8.json BENCH_fig13_nadino_c16.json
+                  BENCH_fig15_dwrr.json BENCH_fig15_fcfs.json BENCH_fig16_dne_home.json)
 
 RUN_DIR="$(mktemp -d)"
 trap 'rm -rf "${RUN_DIR}"' EXIT

@@ -41,6 +41,12 @@ struct CostModel {
   SimDuration rnic_qp_cache_miss = 1600;
   // Receiver-not-ready retry backoff when no receive buffer is posted.
   SimDuration rnic_rnr_backoff = 20 * kMicrosecond;
+  // Local ACK timeout (RC transport retransmit budget collapsed to one
+  // deadline): a payload-carrying WR whose packet or ACK is lost in the
+  // fabric completes locally with kTransportError — failed, not hung — so
+  // its buffer recycles and the retry layer can re-send. Far above any
+  // legitimate simulated RTT (microseconds).
+  SimDuration rnic_ack_timeout = 5 * kMillisecond;
   // Memory-region registration (host + NIC page-table update), per region.
   SimDuration mr_register_cost = 30 * kMicrosecond;
   // RC connection establishment: "of the order of tens of milliseconds"

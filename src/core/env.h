@@ -20,6 +20,7 @@
 
 #include "src/core/calibration.h"
 #include "src/core/fault.h"
+#include "src/core/slo.h"
 #include "src/sim/metrics.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
@@ -34,7 +35,7 @@ class Env {
   Env(Simulator* sim, const CostModel* cost, uint64_t seed = kDefaultSeed,
       Tracer* tracer = nullptr)
       : sim_(sim), cost_(cost), tracer_(tracer), seed_(seed), rng_(seed),
-        faults_(sim, &metrics_, seed) {
+        faults_(sim, &metrics_, seed), slos_(sim, &metrics_, seed) {
     faults_.SetTracer(tracer_);
   }
 
@@ -72,6 +73,11 @@ class Env {
   FaultPlane& faults() { return faults_; }
   const FaultPlane& faults() const { return faults_; }
 
+  // Per-tenant SLO objects and retry policies; the recovery counterpart to
+  // the FaultPlane (see src/core/slo.h and DESIGN.md §3b).
+  SloRegistry& slos() { return slos_; }
+  const SloRegistry& slos() const { return slos_; }
+
  private:
   Simulator* sim_;
   const CostModel* cost_;
@@ -80,6 +86,7 @@ class Env {
   Rng rng_;
   MetricsRegistry metrics_;
   FaultPlane faults_;  // After metrics_: constructed with its address.
+  SloRegistry slos_;   // Likewise.
 };
 
 }  // namespace nadino

@@ -81,6 +81,7 @@ class EchoMeter {
     result.mean_latency_us = latencies_.MeanUs();
     result.p99_latency_us = ToUs(latencies_.Percentile(0.99));
     result.metrics_text = env_->metrics().SnapshotText();
+    result.metrics_json = env_->metrics().SnapshotJson();
     return result;
   }
 
@@ -152,6 +153,7 @@ EchoResult RunDneEcho(const CostModel& cost, const DneEchoOptions& options) {
     result.mean_latency_us = load.latencies().MeanUs();
     result.p99_latency_us = ToUs(load.latencies().Percentile(0.99));
     result.metrics_text = cluster.metrics().SnapshotText();
+    result.metrics_json = cluster.metrics().SnapshotJson();
     return result;
   }
 
@@ -638,6 +640,7 @@ IngressEchoResult RunIngressEcho(const CostModel& cost, const IngressEchoOptions
   result.scale_downs = gateway.stats().scale_downs;
   result.final_workers = gateway.active_workers();
   result.metrics_text = cluster.metrics().SnapshotText();
+  result.metrics_json = cluster.metrics().SnapshotJson();
   return result;
 }
 
@@ -654,6 +657,12 @@ MultiTenantResult RunMultiTenant(const CostModel& cost, const MultiTenantOptions
   Simulator& sim = cluster.sim();
   for (const FaultSpec& spec : options.faults) {
     cluster.env().faults().Install(spec);
+  }
+  for (const auto& [tenant, target] : options.slos) {
+    cluster.env().slos().Register(tenant, target);
+  }
+  for (const auto& [tenant, policy] : options.retries) {
+    cluster.env().slos().SetRetryPolicy(tenant, policy);
   }
 
   NadinoDataPlane::Options dp_options;

@@ -85,6 +85,7 @@ struct EchoResult {
   uint64_t completed = 0;
   // Full registry dump at the end of the run (deterministic; sorted keys).
   std::string metrics_text;
+  std::string metrics_json;
 };
 
 // DNE/CNE echo across two worker nodes.
@@ -171,6 +172,7 @@ struct IngressEchoResult {
   uint64_t scale_downs = 0;
   int final_workers = 0;
   std::string metrics_text;
+  std::string metrics_json;
 };
 IngressEchoResult RunIngressEcho(const CostModel& cost, const IngressEchoOptions& options);
 
@@ -198,6 +200,11 @@ struct MultiTenantOptions {
   // Equal seed + equal specs reproduce the faulted run bit-for-bit (the
   // determinism contract in DESIGN.md section 3a).
   std::vector<FaultSpec> faults;
+  // Registered into the cluster Env's SloRegistry before the workload
+  // starts: per-tenant SLO targets (latency/error budget) and retry
+  // policies the DNE TX path consults. Same determinism contract.
+  std::map<TenantId, SloTarget> slos;
+  std::map<TenantId, RetryPolicy> retries;
 };
 struct MultiTenantResult {
   std::map<TenantId, TimeSeries> tenant_rps;

@@ -40,6 +40,14 @@ NetworkEngine::NetworkEngine(Env& env, Node* node, RoutingTable* routing, const 
   } else {
     scheduler_ = std::make_unique<FcfsScheduler>();
   }
+  // SLO feedback loop (section 4.2): each quantum replenishment asks the
+  // registry for the tenant's effective weight — boosted while it burns
+  // error budget, clamped while flagged for violating another's isolation.
+  // Unregistered tenants resolve to their base weight, so runs without SLOs
+  // are byte-identical to pre-SLO runs.
+  scheduler_->SetWeightAdvisor([this](TenantId tenant, uint32_t base) {
+    return env_->slos().EffectiveWeight(tenant, base);
+  });
   MetricLabels labels = MetricLabels::Node(node_->id());
   labels.engine = static_cast<int64_t>(config_.engine_id);
   MetricsRegistry& reg = env_->metrics();
@@ -179,13 +187,20 @@ SimDuration NetworkEngine::ComchDpuCost() const {
   return comch_ ? comch_->DpuSideCost(config_.comch_variant) : 0;
 }
 
-void NetworkEngine::IngestTx(const BufferDescriptor& desc, SimDuration ingest_cost) {
+void NetworkEngine::IngestTx(const BufferDescriptor& desc, SimDuration ingest_cost,
+                             uint32_t attempt) {
   BufferPool* pool = node_->tenants().PoolById(desc.pool);
   Buffer* buffer = pool == nullptr ? nullptr : pool->Resolve(desc);
   if (buffer == nullptr || !(buffer->owner == owner_id())) {
     m_unroutable_->Increment();
     return;
   }
+  TxItem item;
+  item.tenant = pool->tenant();
+  item.desc = desc;
+  item.bytes = buffer->length + static_cast<uint32_t>(kWireHeaderBytes);
+  item.ingest_cost = ingest_cost;
+  item.attempt = attempt;
   // kDneTx fault site: the descriptor entering the TX pipeline. Runs after
   // the ownership check so a drop can recycle the buffer this engine
   // provably owns; corruption flips payload bytes the header checksum
@@ -194,14 +209,15 @@ void NetworkEngine::IngestTx(const BufferDescriptor& desc, SimDuration ingest_co
       FaultSite::kDneTx, FaultScope{pool->tenant(), node_->id()}, buffer->payload().data(),
       buffer->payload().size());
   if (fault.action == FaultAction::kDrop) {
+    // Injected TX drop: with a retry policy armed this becomes a timed
+    // re-ingestion (the buffer stays engine-owned across the backoff)
+    // instead of a terminal loss the chain above would never recover from.
+    if (ScheduleTxRetry(item, "tx_drop_retry")) {
+      return;
+    }
     pool->Put(buffer, owner_id());
     return;
   }
-  TxItem item;
-  item.tenant = pool->tenant();
-  item.desc = desc;
-  item.bytes = buffer->length + static_cast<uint32_t>(kWireHeaderBytes);
-  item.ingest_cost = ingest_cost;
   // Tenant shaping policy (token bucket): messages over the tenant's rate are
   // held back at admission; fairness scheduling applies below the caps. An
   // injected kDelay stretches the same admission path.
@@ -298,7 +314,7 @@ void NetworkEngine::PostToRnic(const TxItem& item, Buffer* buffer, BufferPool* p
     return;
   }
   const uint64_t wr_id = next_wr_id_++;
-  in_flight_[wr_id] = InFlightSend{buffer, pool, qp};
+  in_flight_[wr_id] = InFlightSend{buffer, pool, qp, item};
   node_->rnic().PostSend(qp, *buffer, wr_id, item.desc.dst_function);
   m_tx_messages_->Increment();
   if (tracer_ != nullptr) {
@@ -320,13 +336,63 @@ void NetworkEngine::OnCompletion(const Completion& cqe) {
       if (it == in_flight_.end()) {
         return;
       }
-      // The RNIC is done reading the source buffer: recycle it to the pool.
-      it->second.pool->Put(it->second.buffer, OwnerId::Rnic(node_->id()));
-      connections_.NoteIdle(it->second.qp);
+      const InFlightSend inflight = it->second;
       in_flight_.erase(it);
+      connections_.NoteIdle(inflight.qp);
       m_send_completions_->Increment();
+      if (cqe.status != WrStatus::kSuccess) {
+        // Transport NACK ("counted not hung": an injected RNIC loss completes
+        // the WR with an error while the QP stays usable). Reclaim the buffer
+        // and re-enter the TX pipeline after backoff when the tenant's retry
+        // policy allows; recycle terminally otherwise.
+        inflight.pool->Transfer(inflight.buffer, OwnerId::Rnic(node_->id()), owner_id());
+        if (ScheduleTxRetry(inflight.item, "tx_nack_retry")) {
+          return;
+        }
+        inflight.pool->Put(inflight.buffer, owner_id());
+        return;
+      }
+      // The RNIC is done reading the source buffer: recycle it to the pool.
+      inflight.pool->Put(inflight.buffer, OwnerId::Rnic(node_->id()));
     });
   }
+}
+
+bool NetworkEngine::ScheduleTxRetry(const TxItem& item, const char* stage) {
+  SloRegistry& slos = env_->slos();
+  const RetryPolicy* policy = slos.RetryPolicyOf(item.tenant);
+  if (policy == nullptr) {
+    return false;  // No policy: terminal, exactly the pre-SLO behaviour.
+  }
+  // Metrics are created lazily on the first retry event so unfaulted runs
+  // keep byte-identical snapshots (bench goldens).
+  const MetricLabels labels = MetricLabels::Tenant(static_cast<int64_t>(item.tenant));
+  MetricsRegistry& reg = env_->metrics();
+  SloObject* slo = slos.OfTenant(item.tenant);
+  if (item.attempt >= policy->max_attempts) {
+    reg.Counter("retry_exhausted", labels).Increment();
+    env_->Trace(TraceCategory::kEngine, config_.engine_id, "retry_exhausted", item.tenant,
+                item.attempt);
+    if (slo != nullptr) {
+      slo->RecordError();
+    }
+    return false;
+  }
+  if (slo != nullptr && !slo->TryConsumeRetryToken()) {
+    // Retry budget capped by the error budget: a tenant that burned its
+    // window cannot amplify load with further retries.
+    reg.Counter("retry_budget_denied", labels).Increment();
+    env_->Trace(TraceCategory::kEngine, config_.engine_id, "retry_budget_denied", item.tenant,
+                item.attempt);
+    return false;
+  }
+  const SimDuration backoff = policy->BackoffFor(item.attempt, slos.jitter_rng());
+  reg.Counter("retry_attempts", labels).Increment();
+  env_->Trace(TraceCategory::kEngine, config_.engine_id, stage, item.tenant, item.attempt);
+  sim().Schedule(backoff, [this, desc = item.desc, attempt = item.attempt + 1]() {
+    IngestTx(desc, 0, attempt);
+  });
+  return true;
 }
 
 void NetworkEngine::HandleRecvCompletion(const Completion& cqe) {

@@ -124,7 +124,9 @@ class NetworkEngine {
   // The buffer named by `desc` must already be owned by this engine.
   // `ingest_cost` is per-message handling the engine still owes (the Comch
   // channel handling its poll loop performs when it picks the message up).
-  void IngestTx(const BufferDescriptor& desc, SimDuration ingest_cost = 0);
+  // `attempt` is 1 for first delivery; retry recovery re-enters with the
+  // attempt count it is resuming (see ScheduleTxRetry).
+  void IngestTx(const BufferDescriptor& desc, SimDuration ingest_cost = 0, uint32_t attempt = 1);
 
   // Function-side send entry: charges the function-side IPC cost and routes
   // the descriptor to IngestTx. Called by the data plane's Send(). Returns
@@ -159,6 +161,7 @@ class NetworkEngine {
     Buffer* buffer = nullptr;
     BufferPool* pool = nullptr;
     QpNum qp = 0;
+    TxItem item;  // Retained so an error completion can retry the send.
   };
 
   struct LocalEndpoint {
@@ -172,6 +175,12 @@ class NetworkEngine {
 
   void PumpTx();
   void ExecuteTx(const TxItem& item);
+  // Retry recovery (src/core/slo.h): when the tenant has a RetryPolicy with
+  // attempts and error budget remaining, schedules a backed-off re-ingestion
+  // of `item` and returns true — the buffer stays engine-owned across the
+  // backoff. Returns false (after counting the terminal outcome) when the
+  // caller must recycle the buffer.
+  bool ScheduleTxRetry(const TxItem& item, const char* stage);
   void PostToRnic(const TxItem& item, Buffer* buffer, BufferPool* pool, QpNum qp);
   void OnCompletion(const Completion& cqe);
   void HandleRecvCompletion(const Completion& cqe);

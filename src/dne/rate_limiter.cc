@@ -1,6 +1,7 @@
 #include "src/dne/rate_limiter.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace nadino {
 
@@ -21,9 +22,14 @@ SimTime TokenBucket::ReserveSendTime(uint64_t bytes, SimTime now) {
   if (tokens_ >= 0.0) {
     return now;
   }
-  // The deficit refills at rate_bps: the message may pass once it has.
+  // The deficit refills at rate_bps: the message may pass once it has. Ceil
+  // the conversion to integer nanoseconds — truncating admitted messages up
+  // to 1 ns before the refill, letting a long run at exact line rate creep
+  // ahead of the configured rate. The token balance itself stays exact (the
+  // fractional deficit carries to the next ReserveSendTime), so rounding up
+  // here never double-charges a message.
   const double deficit_seconds = -tokens_ * 8.0 / rate_bps_;
-  return now + static_cast<SimDuration>(deficit_seconds * kSecond);
+  return now + static_cast<SimDuration>(std::ceil(deficit_seconds * static_cast<double>(kSecond)));
 }
 
 void TenantRateLimiter::SetRate(TenantId tenant, double rate_bps, uint64_t burst_bytes) {

@@ -68,7 +68,17 @@ bool DwrrScheduler::Dequeue(TxItem* out) {
       continue;
     }
     if (state.fresh_visit) {
-      state.deficit += static_cast<int64_t>(state.weight) * quantum_;
+      // Live policy input: the advisor may boost (SLO burn) or clamp
+      // (isolation violation) this round's replenishment without touching
+      // the configured base weight.
+      uint32_t weight = state.weight;
+      if (advisor_) {
+        weight = advisor_(tenant, weight);
+        if (weight == 0) {
+          weight = 1;
+        }
+      }
+      state.deficit += static_cast<int64_t>(weight) * quantum_;
       state.fresh_visit = false;
     }
     if (state.deficit < static_cast<int64_t>(state.queue.front().bytes)) {

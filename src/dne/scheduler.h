@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <list>
 #include <map>
 
@@ -26,14 +27,25 @@ struct TxItem {
   // Comch channel handling discovered by the engine's poll loop). Charged as
   // part of the scheduled TX stage so tenant fairness governs it.
   int64_t ingest_cost = 0;
+  // Delivery attempt, 1-based; retry recovery re-ingests with attempt + 1
+  // and the tenant's RetryPolicy bounds it (src/core/slo.h).
+  uint32_t attempt = 1;
 };
 
 class TxScheduler {
  public:
+  // Consulted at each quantum replenishment to adjust a tenant's base weight
+  // from live policy state (SLO burn boost / isolation clamp). Returning the
+  // base unchanged reproduces plain DWRR.
+  using WeightAdvisor = std::function<uint32_t(TenantId tenant, uint32_t base)>;
+
   virtual ~TxScheduler() = default;
 
   // Declares a tenant and its weight (FCFS ignores weights).
   virtual void SetWeight(TenantId tenant, uint32_t weight) = 0;
+
+  // Installs the advisor; schedulers without weight awareness ignore it.
+  virtual void SetWeightAdvisor(WeightAdvisor advisor) { (void)advisor; }
 
   virtual void Enqueue(TxItem item) = 0;
 
@@ -68,6 +80,7 @@ class DwrrScheduler : public TxScheduler {
   explicit DwrrScheduler(uint32_t quantum_bytes = 2048) : quantum_(quantum_bytes) {}
 
   void SetWeight(TenantId tenant, uint32_t weight) override;
+  void SetWeightAdvisor(WeightAdvisor advisor) override { advisor_ = std::move(advisor); }
   void Enqueue(TxItem item) override;
   bool Dequeue(TxItem* out) override;
   size_t pending() const override { return pending_; }
@@ -90,6 +103,7 @@ class DwrrScheduler : public TxScheduler {
   TenantState& StateOf(TenantId tenant);
 
   uint32_t quantum_;
+  WeightAdvisor advisor_;
   size_t pending_ = 0;
   std::map<TenantId, TenantState> tenants_;
   std::list<TenantId> active_;  // Round-robin order over backlogged tenants.

@@ -160,6 +160,9 @@ void RdmaEngine::Transmit(Packet pkt, SimDuration extra_cost) {
                              pkt.kind == Packet::Kind::kWrite ||
                              pkt.kind == Packet::Kind::kReadReq;
   if (interceptable) {
+    // Armed before fault interception: the synthesized drop-ACK below
+    // resolves the entry just like a real one.
+    ArmAckTimeout(pkt);
     const FaultDecision fault =
         env_->faults().Intercept(FaultSite::kRnicTx, FaultScope{pkt.tenant, node_},
                                  pkt.payload.data(), pkt.payload.size());
@@ -450,6 +453,11 @@ void RdmaEngine::SetWriteArrivalHook(PoolId pool, WriteArrivalHook hook) {
 }
 
 void RdmaEngine::HandleAck(const Packet& pkt) {
+  if (pending_acks_.erase(AckKey{pkt.dst_qp, pkt.wr_id}) == 0) {
+    // The WR already completed locally (ack timeout) or this is the ACK of
+    // an injected duplicate: the poster must see exactly one completion.
+    return;
+  }
   RcQp* q = FindQp(pkt.dst_qp);
   if (q != nullptr && q->outstanding > 0) {
     --q->outstanding;
@@ -494,6 +502,9 @@ void RdmaEngine::HandleReadReq(Packet pkt) {
 }
 
 void RdmaEngine::HandleReadResp(Packet pkt) {
+  if (pending_acks_.erase(AckKey{pkt.dst_qp, pkt.wr_id}) == 0) {
+    return;  // Already completed locally by the ack timeout.
+  }
   RcQp* q = FindQp(pkt.dst_qp);
   if (q != nullptr && q->outstanding > 0) {
     --q->outstanding;
@@ -517,6 +528,52 @@ void RdmaEngine::HandleReadResp(Packet pkt) {
   cqe.qp = pkt.dst_qp;
   cqe.tenant = pkt.tenant;
   cqe.src_node = pkt.src;
+  cq_.Push(cqe);
+}
+
+void RdmaEngine::ArmAckTimeout(const Packet& pkt) {
+  const AckKey key{pkt.src_qp, pkt.wr_id};
+  PendingAck info;
+  info.op = pkt.kind == Packet::Kind::kSend    ? RdmaOpcode::kSend
+            : pkt.kind == Packet::Kind::kWrite ? RdmaOpcode::kWrite
+                                               : RdmaOpcode::kRead;
+  info.tenant = pkt.tenant;
+  info.dst = pkt.dst;
+  info.imm = pkt.imm;
+  pending_acks_[key] = info;
+  sim().Schedule(env_->cost().rnic_ack_timeout, [this, key]() { OnAckTimeout(key); });
+}
+
+void RdmaEngine::OnAckTimeout(AckKey key) {
+  const auto it = pending_acks_.find(key);
+  if (it == pending_acks_.end()) {
+    return;  // ACKed (or locally failed) in time.
+  }
+  const PendingAck info = it->second;
+  pending_acks_.erase(it);
+  if (info.op == RdmaOpcode::kRead) {
+    pending_reads_.erase(key.second);
+  }
+  RcQp* q = FindQp(key.first);
+  if (q != nullptr && q->outstanding > 0) {
+    --q->outstanding;
+  }
+  // Created lazily so unfaulted runs keep byte-identical snapshots.
+  MetricLabels labels = MetricLabels::Node(node_);
+  if (info.tenant != kInvalidTenant) {
+    labels.tenant = static_cast<int64_t>(info.tenant);
+  }
+  env_->metrics().Counter("rnic_ack_timeouts", labels).Increment();
+  env_->Trace(TraceCategory::kRdma, static_cast<uint32_t>(node_), "ack_timeout", key.second,
+              static_cast<uint64_t>(info.tenant));
+  Completion cqe;
+  cqe.wr_id = key.second;
+  cqe.opcode = info.op;
+  cqe.status = WrStatus::kTransportError;
+  cqe.qp = key.first;
+  cqe.tenant = info.tenant;
+  cqe.src_node = info.dst;
+  cqe.imm = info.imm;
   cq_.Push(cqe);
 }
 

@@ -174,8 +174,26 @@ class RdmaEngine {
 
   static constexpr int kMaxRnrRetries = 7;
 
+  // A WR awaiting its remote ACK (or read response); enough context to
+  // synthesize the local error completion if the wire loses either leg.
+  struct PendingAck {
+    RdmaOpcode op = RdmaOpcode::kSend;
+    TenantId tenant = kInvalidTenant;
+    NodeId dst = kInvalidNode;
+    uint32_t imm = 0;
+  };
+  // (local qp, wr_id): wr_ids are per-poster, so qualify with the QP.
+  using AckKey = std::pair<QpNum, uint64_t>;
+
   RcQp* FindQp(QpNum qp);
   const RcQp* FindQp(QpNum qp) const;
+
+  // Tracks the WR and arms the rnic_ack_timeout deadline. Fires as a no-op
+  // when the ACK arrived in time; otherwise completes the WR locally with
+  // kTransportError (RC retransmit exhaustion), exactly like an injected
+  // kRnicTx drop — dropped, counted, not hung.
+  void ArmAckTimeout(const Packet& pkt);
+  void OnAckTimeout(AckKey key);
 
   // Consults the kRnicTx fault site, then charges the TX pipeline and puts
   // the packet on the wire. An injected drop completes the WR locally with
@@ -221,6 +239,7 @@ class RdmaEngine {
   std::map<TenantId, std::unique_ptr<SharedReceiveQueue>> srqs_;
   std::map<TenantId, uint64_t> tenant_bytes_tx_;
   std::map<uint64_t, Buffer*> pending_reads_;  // wr_id -> destination buffer.
+  std::map<AckKey, PendingAck> pending_acks_;
   std::map<PoolId, WriteArrivalHook> write_hooks_;
   // Registry-backed counters (labels: node). See Stats for field meanings.
   CounterMetric* m_sends_;

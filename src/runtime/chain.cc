@@ -40,6 +40,11 @@ const FunctionBehavior* ChainExecutor::BehaviorOf(ChainId chain, FunctionId fn) 
   return fn_it == chain_it->second.behaviors.end() ? nullptr : &fn_it->second;
 }
 
+TenantId ChainExecutor::TenantOf(ChainId chain) const {
+  const auto it = chains_.find(chain);
+  return it == chains_.end() ? kInvalidTenant : it->second.tenant;
+}
+
 void ChainExecutor::Fail(FunctionRuntime& fn, Buffer* buffer) {
   ++errors_;
   fn.pool()->Put(buffer, fn.owner_id());
@@ -67,6 +72,9 @@ void ChainExecutor::HandleRequest(FunctionRuntime& fn, Buffer* buffer,
     return;
   }
   ++requests_handled_;
+  if (SloObject* slo = env_->slos().OfTenant(TenantOf(header.chain))) {
+    slo->RecordRequest();
+  }
   // Execute the application logic on the function's dedicated core, then
   // either fan out to callees or respond.
   fn.core()->Submit(behavior->compute, [this, &fn, buffer, header]() {
@@ -85,6 +93,8 @@ void ChainExecutor::HandleRequest(FunctionRuntime& fn, Buffer* buffer,
     }
     PendingCall ctx;
     ctx.chain = header.chain;
+    ctx.tenant = TenantOf(header.chain);
+    ctx.issuer = &fn;
     ctx.caller = fn.id();
     ctx.parent_request = header.request_id;
     ctx.parent_src = header.src;
@@ -119,13 +129,26 @@ void ChainExecutor::IssueCall(FunctionRuntime& fn, Buffer* buffer, const Pending
   if (!dataplane_->Send(&fn, buffer)) {
     pending_.erase(call_id);
     Fail(fn, buffer);
+    return;
   }
+  ArmTimeout(call_id, ctx.tenant);
 }
 
 void ChainExecutor::HandleResponse(FunctionRuntime& fn, Buffer* buffer,
                                    const MessageHeader& header) {
   const auto it = pending_.find(header.request_id);
   if (it == pending_.end() || it->second.caller != fn.id()) {
+    if (it == pending_.end() && stale_ids_.erase(header.request_id) > 0) {
+      // The answer to an attempt that already timed out: a retry (or its
+      // terminal failure) superseded it. Recycle quietly — counting it as an
+      // error would double-charge the timeout.
+      env_->metrics()
+          .Counter("retry_stale_responses", MetricLabels::Tenant(static_cast<int64_t>(
+                                                TenantOf(header.chain))))
+          .Increment();
+      fn.pool()->Put(buffer, fn.owner_id());
+      return;
+    }
     Fail(fn, buffer);
     return;
   }
@@ -141,6 +164,7 @@ void ChainExecutor::HandleResponse(FunctionRuntime& fn, Buffer* buffer,
     return;
   }
   ++ctx.call_index;
+  ctx.attempt = 1;  // The next sequential call starts its own attempt count.
   if (ctx.call_index < behavior->calls.size()) {
     IssueCall(fn, buffer, ctx);
     return;
@@ -172,7 +196,10 @@ void ChainExecutor::IssueFanout(FunctionRuntime& fn, Buffer* buffer,
     const uint64_t call_id = next_request_id_++;
     PendingCall ctx;
     ctx.chain = header.chain;
+    ctx.tenant = TenantOf(header.chain);
+    ctx.issuer = &fn;
     ctx.caller = fn.id();
+    ctx.call_index = i;
     ctx.fanout_group = group;
     pending_[call_id] = ctx;
     MessageHeader out_header;
@@ -186,7 +213,9 @@ void ChainExecutor::IssueFanout(FunctionRuntime& fn, Buffer* buffer,
       ++errors_;
       fn.pool()->Put(out, fn.owner_id());
       --fanout.remaining;
+      continue;
     }
+    ArmTimeout(call_id, ctx.tenant);
   }
   if (fanout.remaining == 0) {
     // Every branch failed: nothing will ever come back; drop the group.
@@ -230,6 +259,116 @@ void ChainExecutor::Reply(FunctionRuntime& fn, Buffer* buffer, ChainId chain,
   if (!dataplane_->Send(&fn, buffer)) {
     Fail(fn, buffer);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Retry recovery (src/core/slo.h): per-attempt timeouts as simulator events,
+// exponential backoff with seeded jitter, retry budget capped by the
+// tenant's error budget. All retry_* metrics are created lazily so runs
+// without policies keep byte-identical snapshots.
+// ---------------------------------------------------------------------------
+
+void ChainExecutor::ArmTimeout(uint64_t call_id, TenantId tenant) {
+  const RetryPolicy* policy = env_->slos().RetryPolicyOf(tenant);
+  if (policy == nullptr || policy->timeout <= 0) {
+    return;
+  }
+  sim().Schedule(policy->timeout, [this, call_id]() { OnCallTimeout(call_id); });
+}
+
+void ChainExecutor::OnCallTimeout(uint64_t call_id) {
+  const auto it = pending_.find(call_id);
+  if (it == pending_.end()) {
+    return;  // Answered (or superseded) before the deadline.
+  }
+  PendingCall ctx = it->second;
+  pending_.erase(it);
+  stale_ids_.insert(call_id);
+  const MetricLabels labels = MetricLabels::Tenant(static_cast<int64_t>(ctx.tenant));
+  env_->metrics().Counter("retry_timeouts", labels).Increment();
+  env_->Trace(TraceCategory::kApp, ctx.caller, "call_timeout", call_id, ctx.attempt);
+  const RetryPolicy* policy = env_->slos().RetryPolicyOf(ctx.tenant);
+  SloObject* slo = env_->slos().OfTenant(ctx.tenant);
+  if (policy == nullptr || ctx.attempt >= policy->max_attempts) {
+    env_->metrics().Counter("retry_exhausted", labels).Increment();
+    FailAttempt(ctx);
+    return;
+  }
+  if (slo != nullptr && !slo->TryConsumeRetryToken()) {
+    env_->metrics().Counter("retry_budget_denied", labels).Increment();
+    FailAttempt(ctx);
+    return;
+  }
+  const SimDuration backoff = policy->BackoffFor(ctx.attempt, env_->slos().jitter_rng());
+  ctx.attempt += 1;
+  env_->metrics().Counter("retry_attempts", labels).Increment();
+  sim().Schedule(backoff, [this, ctx]() { ReissueCall(ctx); });
+}
+
+void ChainExecutor::ReissueCall(PendingCall ctx) {
+  FunctionRuntime* fn = ctx.issuer;
+  const FunctionBehavior* behavior = BehaviorOf(ctx.chain, ctx.caller);
+  if (fn == nullptr || behavior == nullptr || ctx.call_index >= behavior->calls.size()) {
+    FailAttempt(ctx);
+    return;
+  }
+  Buffer* buffer = fn->pool()->Get(fn->owner_id());
+  if (buffer == nullptr) {
+    // Pool backpressure at retry time: treat as terminal rather than
+    // queueing unboundedly against an exhausted pool.
+    FailAttempt(ctx);
+    return;
+  }
+  const CallSpec& call = behavior->calls[ctx.call_index];
+  const uint64_t call_id = next_request_id_++;
+  pending_[call_id] = ctx;
+  MessageHeader out;
+  out.chain = ctx.chain;
+  out.src = ctx.caller;
+  out.dst = call.callee;
+  out.payload_length = call.request_payload;
+  out.request_id = call_id;
+  env_->Trace(TraceCategory::kApp, ctx.caller, "call_retry", call_id, ctx.attempt);
+  if (!WriteMessage(buffer, out) || !dataplane_->Send(fn, buffer)) {
+    pending_.erase(call_id);
+    fn->pool()->Put(buffer, fn->owner_id());
+    FailAttempt(ctx);
+    return;
+  }
+  ArmTimeout(call_id, ctx.tenant);
+}
+
+void ChainExecutor::FailAttempt(const PendingCall& ctx) {
+  ++errors_;
+  if (SloObject* slo = env_->slos().OfTenant(ctx.tenant)) {
+    slo->RecordError();
+  }
+  env_->Trace(TraceCategory::kApp, ctx.caller, "call_failed", ctx.parent_request, ctx.attempt);
+  if (ctx.fanout_group == 0) {
+    return;
+  }
+  // A fan-out member died terminally: let the group converge degraded
+  // instead of wedging the parent forever.
+  const auto it = fanouts_.find(ctx.fanout_group);
+  if (it == fanouts_.end()) {
+    return;
+  }
+  FanoutGroup& group = it->second;
+  --group.remaining;
+  if (group.remaining > 0) {
+    return;
+  }
+  const FanoutGroup done = group;
+  fanouts_.erase(it);
+  // The last outstanding branch was the failed one, so no arriving buffer
+  // carries the reply; draw a fresh one for it.
+  FunctionRuntime* fn = ctx.issuer;
+  Buffer* buffer = fn == nullptr ? nullptr : fn->pool()->Get(fn->owner_id());
+  if (buffer == nullptr) {
+    ++errors_;
+    return;
+  }
+  Reply(*fn, buffer, done.chain, done.parent_request, done.parent_src);
 }
 
 }  // namespace nadino

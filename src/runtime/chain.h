@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "src/core/env.h"
@@ -78,11 +79,17 @@ class ChainExecutor {
  private:
   struct PendingCall {
     ChainId chain = 0;
+    TenantId tenant = kInvalidTenant;
+    // The issuing runtime, retained so a timeout can re-issue the call from
+    // a fresh pool buffer. Functions outlive the executor's pending calls
+    // (both live for the whole experiment).
+    FunctionRuntime* issuer = nullptr;
     FunctionId caller = kInvalidFunction;
     uint64_t parent_request = 0;
     FunctionId parent_src = kInvalidFunction;
     size_t call_index = 0;
     uint64_t fanout_group = 0;  // Nonzero: member of a parallel fan-out.
+    uint32_t attempt = 1;       // Bounded by the tenant's RetryPolicy.
   };
 
   // A parallel fan-out in flight: the reply fires when `remaining` hits zero.
@@ -112,8 +119,24 @@ class ChainExecutor {
              FunctionId parent_src);
 
   const FunctionBehavior* BehaviorOf(ChainId chain, FunctionId fn) const;
+  TenantId TenantOf(ChainId chain) const;
 
   void Fail(FunctionRuntime& fn, Buffer* buffer);
+
+  // --- Retry recovery (src/core/slo.h) --------------------------------------
+  // Arms the tenant's per-attempt timeout for an in-flight call; a no-op
+  // when the tenant has no RetryPolicy (no event scheduled, no RNG drawn).
+  void ArmTimeout(uint64_t call_id, TenantId tenant);
+  // Fires at the deadline: if the call is still pending, marks the attempt
+  // stale and either schedules a backed-off re-issue or fails terminally.
+  void OnCallTimeout(uint64_t call_id);
+  // Re-issues a timed-out call from a fresh pool buffer with a new
+  // correlation id (the old id is in stale_ids_, so a late original
+  // response is recycled quietly instead of counted as an error).
+  void ReissueCall(PendingCall ctx);
+  // Terminal failure of one attempt chain-side: counts the error, consumes
+  // SLO budget, and (for fan-out members) lets the group converge degraded.
+  void FailAttempt(const PendingCall& ctx);
 
   Simulator& sim() const { return env_->sim(); }
 
@@ -122,6 +145,9 @@ class ChainExecutor {
   std::map<ChainId, ChainSpec> chains_;
   std::map<uint64_t, PendingCall> pending_;
   std::map<uint64_t, FanoutGroup> fanouts_;
+  // Correlation ids whose attempt timed out; their late responses are
+  // recycled without counting an error.
+  std::set<uint64_t> stale_ids_;
   uint64_t next_fanout_group_ = 1;
   uint64_t next_request_id_ = 1;
   uint64_t errors_ = 0;

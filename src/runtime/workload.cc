@@ -89,6 +89,9 @@ bool TenantEchoLoad::IssueOne() {
   }
   issue_times_[header.request_id] = sim().now();
   ++outstanding_;
+  if (SloObject* slo = env_->slos().OfTenant(client_->tenant())) {
+    slo->RecordRequest();
+  }
   return true;
 }
 
@@ -97,7 +100,11 @@ void TenantEchoLoad::OnClientMessage(Buffer* buffer) {
   if (header.has_value()) {
     const auto it = issue_times_.find(header->request_id);
     if (it != issue_times_.end()) {
-      latencies_.Record(sim().now() - it->second);
+      const SimDuration latency = sim().now() - it->second;
+      latencies_.Record(latency);
+      if (SloObject* slo = env_->slos().OfTenant(client_->tenant())) {
+        slo->RecordLatency(latency);
+      }
       issue_times_.erase(it);
     }
   }

@@ -155,6 +155,31 @@ void MetricsRegistry::RegisterCallback(const std::string& name, const MetricLabe
   entry.callback = std::move(fn);
 }
 
+void MetricsRegistry::RegisterGaugeCallback(const std::string& name, const MetricLabels& labels,
+                                            GaugeCallback fn) {
+  Entry& entry = GetOrCreate(name, labels, Kind::kGaugeCallback);
+  entry.gauge_callback = std::move(fn);
+}
+
+double MetricsRegistry::GaugeValueOf(const std::string& name, const MetricLabels& labels) const {
+  const auto it = entries_.find(name + labels.Render());
+  if (it == entries_.end()) {
+    return 0.0;
+  }
+  const Entry& entry = it->second;
+  switch (entry.kind) {
+    case Kind::kGauge:
+      return entry.gauge->value();
+    case Kind::kGaugeCallback:
+      return entry.gauge_callback ? entry.gauge_callback() : 0.0;
+    case Kind::kCounter:
+    case Kind::kCallback:
+    case Kind::kHistogram:
+      return 0.0;
+  }
+  return 0.0;
+}
+
 uint64_t MetricsRegistry::ValueOf(const std::string& name, const MetricLabels& labels) const {
   const auto it = entries_.find(name + labels.Render());
   if (it == entries_.end()) {
@@ -167,6 +192,7 @@ uint64_t MetricsRegistry::ValueOf(const std::string& name, const MetricLabels& l
     case Kind::kCallback:
       return entry.callback ? entry.callback() : 0;
     case Kind::kGauge:
+    case Kind::kGaugeCallback:
     case Kind::kHistogram:
       return 0;
   }
@@ -187,6 +213,9 @@ std::string MetricsRegistry::SnapshotText() const {
         break;
       case Kind::kGauge:
         out += FormatDouble(entry.gauge->value());
+        break;
+      case Kind::kGaugeCallback:
+        out += FormatDouble(entry.gauge_callback ? entry.gauge_callback() : 0.0);
         break;
       case Kind::kHistogram: {
         const HistogramMetric& h = *entry.histogram;
@@ -252,6 +281,10 @@ std::string MetricsRegistry::SnapshotJson() const {
         break;
       case Kind::kGauge:
         out += "\"type\":\"gauge\",\"value\":" + FormatDouble(entry.gauge->value());
+        break;
+      case Kind::kGaugeCallback:
+        out += "\"type\":\"gauge\",\"value\":" +
+               FormatDouble(entry.gauge_callback ? entry.gauge_callback() : 0.0);
         break;
       case Kind::kHistogram: {
         const HistogramMetric& h = *entry.histogram;

@@ -104,6 +104,10 @@ class MetricsRegistry {
   // classes (BufferPool, QpCache, TxScheduler) that keep local counters and
   // have no Env of their own.
   using Callback = std::function<uint64_t()>;
+  // Gauge-flavoured callback: sampled at snapshot time, rendered with the
+  // same fixed six-decimal formatting as a stored gauge (used for derived
+  // ratios like slo_burn_rate that must never go stale in a snapshot).
+  using GaugeCallback = std::function<double()>;
 
   MetricsRegistry() = default;
   MetricsRegistry(const MetricsRegistry&) = delete;
@@ -120,6 +124,15 @@ class MetricsRegistry {
   // Registers (or replaces) a callback sampled at snapshot time; rendered
   // like a counter.
   void RegisterCallback(const std::string& name, const MetricLabels& labels, Callback fn);
+
+  // Registers (or replaces) a gauge callback sampled at snapshot time;
+  // rendered like a gauge.
+  void RegisterGaugeCallback(const std::string& name, const MetricLabels& labels,
+                             GaugeCallback fn);
+
+  // Current value of a gauge or gauge-callback instrument; 0.0 when the key
+  // is absent or names another kind.
+  double GaugeValueOf(const std::string& name, const MetricLabels& labels = {}) const;
 
   // Current integer value of a counter or callback instrument; 0 when the key
   // is absent (or names a gauge/histogram). Lets experiment harnesses read
@@ -138,7 +151,7 @@ class MetricsRegistry {
   size_t size() const { return entries_.size(); }
 
  private:
-  enum class Kind : uint8_t { kCounter, kGauge, kHistogram, kCallback };
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram, kCallback, kGaugeCallback };
 
   struct Entry {
     Kind kind = Kind::kCounter;
@@ -148,6 +161,7 @@ class MetricsRegistry {
     std::unique_ptr<GaugeMetric> gauge;
     std::unique_ptr<HistogramMetric> histogram;
     Callback callback;
+    GaugeCallback gauge_callback;
   };
 
   Entry& GetOrCreate(const std::string& name, const MetricLabels& labels, Kind kind);

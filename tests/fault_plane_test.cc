@@ -12,6 +12,7 @@
 
 #include "src/core/experiments.h"
 #include "src/core/fault.h"
+#include "src/dpu/comch.h"
 #include "src/mem/buffer.h"
 #include "src/rdma/fabric.h"
 #include "src/sim/link.h"
@@ -321,6 +322,42 @@ TEST_F(FaultPlaneTest, FabricDropAndDuplicate) {
   labels.node = 1;  // kFabric scopes to the source port.
   EXPECT_EQ(env_.metrics().ValueOf("fault_injected_fabric_drop", labels), 1u);
   EXPECT_EQ(env_.metrics().ValueOf("fault_injected_fabric_duplicate", labels), 1u);
+}
+
+// A severed delivery is counted on exactly one path: the comch_dropped
+// registry counter. Comch::dropped() is a thin shim summing those counters —
+// never an independent tally — so the two can never disagree.
+TEST_F(FaultPlaneTest, ComchDropShimAndRegistryAgree) {
+  FifoResource dpu_core(&sim_, "dpu", cost_.dpu_speed_factor);
+  FifoResource host_core(&sim_, "host");
+  ComchServer server(env_, &dpu_core, /*engine_managed_polling=*/false, /*node=*/3);
+  server.SetReceiver([](FunctionId, const BufferDescriptor&) {});
+  server.ConnectEndpoint(7, ComchVariant::kEvent, &host_core,
+                         [](const BufferDescriptor&) {}, /*tenant=*/5);
+
+  MetricLabels labels;
+  labels.tenant = 5;
+  labels.node = 3;
+  EXPECT_EQ(server.dropped(), 0u);
+
+  // One severed delivery => exactly one increment, visible identically
+  // through the shim and the registry.
+  server.Disconnect(7);
+  EXPECT_FALSE(server.SendToDpu(7, BufferDescriptor{1, 2, 3, 4}));
+  EXPECT_EQ(env_.metrics().ValueOf("comch_dropped", labels), 1u);
+  EXPECT_EQ(server.dropped(), 1u);
+
+  // An injected kComch drop takes the same single path.
+  server.ConnectEndpoint(7, ComchVariant::kEvent, &host_core,
+                         [](const BufferDescriptor&) {}, /*tenant=*/5);
+  FaultSpec spec = DropAt(FaultSite::kComch);
+  spec.max_injections = 1;
+  ASSERT_GE(plane_.Install(spec), 0);
+  EXPECT_FALSE(server.SendToDpu(7, BufferDescriptor{1, 2, 3, 4}));
+  sim_.Run();
+  EXPECT_EQ(env_.metrics().ValueOf("comch_dropped", labels), 2u);
+  EXPECT_EQ(server.dropped(), 2u);
+  EXPECT_EQ(server.messages_to_dpu(), 0u);
 }
 
 // --- End-to-end determinism under chaos --------------------------------------

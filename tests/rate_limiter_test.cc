@@ -45,6 +45,54 @@ TEST(TokenBucketTest, SustainedRateConvergesToConfigured) {
   EXPECT_NEAR(achieved_bps, 80e6, 80e6 * 0.02);
 }
 
+TEST(TokenBucketTest, ExactLineRateAdmitsConfiguredBytes) {
+  // Accounting regression for the deficit->time conversion: truncating the
+  // refill deadline admitted every deferred message up to 1 ns early, so a
+  // long run at exact line rate crept ahead of the configured rate. With the
+  // conversion rounded up (and the fractional token balance carried), a
+  // 10-second run admits rate_bps * T / 8 bytes within one MTU.
+  const double rate_bps = 80e6;  // 10 MB/s.
+  const uint64_t mtu = 1500;
+  TokenBucket bucket(rate_bps, mtu);
+  const SimTime horizon = 10 * kSecond;
+  SimTime now = 0;
+  uint64_t admitted = 0;
+  while (true) {
+    const SimTime send_at = bucket.ReserveSendTime(mtu, now);
+    if (send_at >= horizon) {
+      break;
+    }
+    now = std::max(now, send_at);
+    admitted += mtu;
+  }
+  const double expected = rate_bps * ToSeconds(horizon) / 8.0;
+  EXPECT_NEAR(static_cast<double>(admitted), expected, static_cast<double>(mtu));
+}
+
+TEST(TokenBucketTest, DeferredMessagesAreNotDoubleCharged) {
+  // Each reservation charges its bytes exactly once: with a per-message rate
+  // that is not an integer number of nanoseconds (8000 bits / 7 Mbps =
+  // 1142857.14... ns), the k-th deferred send time must track k * bits/rate
+  // without cumulative drift — ceiling the deadline may only cost < 1 ns per
+  // message, never re-charging the fractional remainder.
+  const double rate_bps = 7e6;
+  TokenBucket bucket(rate_bps, /*burst_bytes=*/1000);
+  SimTime now = 0;
+  SimTime last = 0;
+  const int messages = 7000;
+  for (int i = 0; i < messages; ++i) {
+    last = bucket.ReserveSendTime(1000, now);
+    now = std::max(now, last);
+  }
+  // Message 0 consumes the burst; the remaining 6999 each owe 8000 bits at
+  // 7 Mbps, i.e. exactly 6999 * 8000 / 7e6 seconds = 7.999 s (an integer
+  // number of microseconds, so representable exactly).
+  const double expected_ns =
+      static_cast<double>(messages - 1) * 8000.0 / rate_bps * 1e9;
+  EXPECT_NEAR(static_cast<double>(last), expected_ns, 16.0)
+      << "per-message truncation drift accumulated across deferrals";
+}
+
 TEST(TenantRateLimiterTest, UnshapedTenantsPassFree) {
   TenantRateLimiter limiter;
   EXPECT_EQ(limiter.AdmissionDelay(1, 1000000, 0), 0);
