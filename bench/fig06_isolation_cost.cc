@@ -16,6 +16,7 @@ int main() {
   const CostModel& cost = CostModel::Default();
   const SimDuration duration = 400 * kMillisecond;
 
+  std::string golden_dne;  // DNE snapshot at the paper's 4 KB anchor payload.
   std::printf("%-10s %-22s %14s %12s\n", "payload", "setting", "mean latency", "RPS");
   for (const uint32_t payload : {64u, 512u, 1024u, 4096u}) {
     NativeEchoOptions native;
@@ -29,6 +30,9 @@ int main() {
     dne_options.via_functions = true;
     dne_options.duration = duration;
     const EchoResult dne = RunDneEcho(cost, dne_options);
+    if (payload == 4096u) {
+      golden_dne = dne.metrics_json;
+    }
     std::printf("%-10u %-22s %11.2f us %12.0f\n", payload, "native RDMA (CPU)",
                 cpu.mean_latency_us, cpu.rps);
     std::printf("%-10s %-22s %11.2f us %12.0f\n", "", "native RDMA (DPU)",
@@ -36,6 +40,7 @@ int main() {
     std::printf("%-10s %-22s %11.2f us %12.0f\n", "", "NADINO DNE", dne.mean_latency_us,
                 dne.rps);
   }
+  bench::WriteMetricsJson("fig06_dne_4096", golden_dne);
   bench::Note(
       "paper: \"the cost introduced by DNE as an additional isolation layer is "
       "limited\"; the Comch descriptor hops account for the DNE-vs-native gap here "

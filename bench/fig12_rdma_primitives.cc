@@ -26,11 +26,15 @@ int main() {
     double owdl_rps;
   };
   std::vector<Row> rows;
+  std::string golden_two_sided;  // Snapshot at the paper's 4 KB anchor.
   for (const uint32_t payload : {64u, 512u, 1024u, 2048u, 4096u}) {
     DneEchoOptions two_sided_options;
     two_sided_options.payload = payload;
     two_sided_options.duration = duration;
     const EchoResult two_sided = RunDneEcho(cost, two_sided_options);
+    if (payload == 4096u) {
+      golden_two_sided = two_sided.metrics_json;
+    }
     OneSidedEchoOptions one_sided;
     one_sided.payload = payload;
     one_sided.duration = duration;
@@ -50,6 +54,7 @@ int main() {
     std::printf("%-10u %12.0f %12.0f %12.0f %12.0f\n", row.payload, row.two_sided_rps,
                 row.owrc_best_rps, row.owrc_worst_rps, row.owdl_rps);
   }
+  bench::WriteMetricsJson("fig12_twosided_4096", golden_two_sided);
   bench::Note(
       "paper anchors at 4 KB: two-sided 11.6 us vs OWRC-Best 15 us (1.3x), "
       "OWRC-Worst 16.7 us (1.5x), OWDL 26.1 us (2.3x); throughput 1.3x / 1.4x / "

@@ -13,6 +13,10 @@
 #   scripts/check.sh --update-goldens  # rerun the benches and rewrite
 #                                      # bench/goldens/ (after an intentional
 #                                      # model change; review the diff!)
+#   scripts/check.sh --perf            # ...then run bench/simperf and gate
+#                                      # wall-clock events/sec against
+#                                      # bench/perf_baseline.json (fails on a
+#                                      # >2x regression; see DESIGN.md §3c)
 #
 # The sanitizer can also be selected via the environment:
 #   NADINO_SANITIZE=address scripts/check.sh
@@ -23,6 +27,7 @@ cd "$(dirname "$0")/.."
 SANITIZER="${NADINO_SANITIZE:-}"
 BENCH_DIFF=0
 UPDATE_GOLDENS=0
+PERF_GATE=0
 for arg in "$@"; do
   case "${arg}" in
     address|undefined) SANITIZER="${arg}" ;;
@@ -31,8 +36,9 @@ for arg in "$@"; do
       BENCH_DIFF=1
       UPDATE_GOLDENS=1
       ;;
+    --perf) PERF_GATE=1 ;;
     *)
-      echo "usage: $0 [address|undefined] [--bench-diff|--update-goldens]" >&2
+      echo "usage: $0 [address|undefined] [--bench-diff|--update-goldens] [--perf]" >&2
       exit 2
       ;;
   esac
@@ -56,6 +62,26 @@ cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}"
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure
 
+# --- Wall-clock perf gate ----------------------------------------------------
+# Unlike the golden diffs below, events/sec is machine-dependent, so the gate
+# lives inside the simperf binary with a generous threshold: the run fails
+# only when throughput drops below baseline/threshold (a real hot-path
+# regression, not scheduler jitter). BENCH_simperf.json is NOT golden-diffed.
+if [[ "${PERF_GATE}" -eq 1 ]]; then
+  ROOT_DIR="$(pwd)"
+  PERF_RUN_DIR="$(mktemp -d)"
+  echo "perf: running bench/simperf against bench/perf_baseline.json..."
+  PERF_STATUS=0
+  (cd "${PERF_RUN_DIR}" &&
+   "${ROOT_DIR}/${BUILD_DIR}/bench/simperf" \
+     --check "${ROOT_DIR}/bench/perf_baseline.json" --threshold 2.0) || PERF_STATUS=$?
+  rm -rf "${PERF_RUN_DIR}"
+  if [[ "${PERF_STATUS}" -ne 0 ]]; then
+    echo "perf: FAILED (see output above)" >&2
+    exit "${PERF_STATUS}"
+  fi
+fi
+
 if [[ "${BENCH_DIFF}" -eq 0 ]]; then
   exit 0
 fi
@@ -66,8 +92,10 @@ fi
 # them; unintended drift in calibrated costs, scheduling, or metric plumbing
 # shows up here as a diff.
 GOLDEN_DIR=bench/goldens
-GOLDEN_BENCHES=(fig11_offpath_onpath fig13_ingress fig15_multitenancy fig16_boutique)
-GOLDEN_ARTIFACTS=(BENCH_fig11_offpath_c8.json BENCH_fig13_nadino_c16.json
+GOLDEN_BENCHES=(fig06_isolation_cost fig11_offpath_onpath fig12_rdma_primitives fig13_ingress
+                fig15_multitenancy fig16_boutique)
+GOLDEN_ARTIFACTS=(BENCH_fig06_dne_4096.json BENCH_fig11_offpath_c8.json
+                  BENCH_fig12_twosided_4096.json BENCH_fig13_nadino_c16.json
                   BENCH_fig15_dwrr.json BENCH_fig15_fcfs.json BENCH_fig16_dne_home.json)
 
 RUN_DIR="$(mktemp -d)"

@@ -109,19 +109,19 @@ void BaselineDataPlane::RegisterFunction(FunctionRuntime* function) {
 bool BaselineDataPlane::Send(FunctionRuntime* src, Buffer* buffer) {
   const std::optional<MessageHeader> header = ReadMessage(*buffer);
   if (!header.has_value()) {
-    m_drops_->Increment();
+    m_drops_.Increment();
     return false;
   }
-  m_sends_->Increment();
+  m_sends_.Increment();
   const NodeId dst_node = routing_->NodeOf(header->dst);
   if (dst_node == kInvalidNode) {
-    m_drops_->Increment();
+    m_drops_.Increment();
     return false;
   }
   if (dst_node == src->node()->id()) {
     const auto it = functions_.find(header->dst);
     if (it == functions_.end()) {
-      m_drops_->Increment();
+      m_drops_.Increment();
       return false;
     }
     return SendIntraNode(src, it->second, buffer);
@@ -136,7 +136,7 @@ bool BaselineDataPlane::Send(FunctionRuntime* src, Buffer* buffer) {
     case BaselineSystem::kNightcore:
       // NightCore has no inter-node data plane (section 4.3: all functions
       // are placed on a single node).
-      m_drops_->Increment();
+      m_drops_.Increment();
       return false;
   }
   return false;
@@ -144,14 +144,14 @@ bool BaselineDataPlane::Send(FunctionRuntime* src, Buffer* buffer) {
 
 bool BaselineDataPlane::SendIntraNode(FunctionRuntime* src, FunctionRuntime* dst,
                                       Buffer* buffer) {
-  m_intra_node_->Increment();
+  m_intra_node_.Increment();
   BufferPool* pool = src->pool();
   if (system_ == BaselineSystem::kJunction) {
     // Junction: loopback through the per-function userspace TCP stack — a
     // serialize/deserialize copy even on-node.
     const uint64_t bytes = buffer->length;
     std::vector<std::byte> wire(buffer->payload().begin(), buffer->payload().end());
-    m_payload_copies_->Increment();
+    m_payload_copies_.Increment();
     src->core()->Submit(junction_stack_.TxCost(bytes), [this, src, dst, pool, buffer,
                                                         wire = std::move(wire), bytes]() {
       pool->Put(buffer, src->owner_id());
@@ -159,19 +159,19 @@ bool BaselineDataPlane::SendIntraNode(FunctionRuntime* src, FunctionRuntime* dst
                           [this, dst, pool, wire]() {
         Buffer* in = pool->Get(dst->owner_id());
         if (in == nullptr) {
-          m_drops_->Increment();
+          m_drops_.Increment();
           return;
         }
         std::memcpy(in->data.data(), wire.data(), wire.size());
         in->length = static_cast<uint32_t>(wire.size());
-        m_payload_copies_->Increment();
+        m_payload_copies_.Increment();
         dst->Deliver(in);
       });
     });
     return true;
   }
   if (!pool->Transfer(buffer, src->owner_id(), dst->owner_id())) {
-    m_drops_->Increment();
+    m_drops_.Increment();
     return false;
   }
   const BufferDescriptor desc = pool->MakeDescriptor(*buffer, dst->id());
@@ -206,16 +206,16 @@ bool BaselineDataPlane::SendIntraNode(FunctionRuntime* src, FunctionRuntime* dst
 
 bool BaselineDataPlane::SendInterTcp(FunctionRuntime* src, Buffer* buffer, FunctionId dst_fn,
                                      NodeId dst_node) {
-  m_inter_node_->Increment();
+  m_inter_node_.Increment();
   NodeState* src_state = StateOf(src->node()->id());
   NodeState* dst_state = StateOf(dst_node);
   if (src_state == nullptr || dst_state == nullptr) {
-    m_drops_->Increment();
+    m_drops_.Increment();
     return false;
   }
   BufferPool* src_pool = src->pool();
   if (!src_pool->Transfer(buffer, src->owner_id(), engine_owner(src->node()->id()))) {
-    m_drops_->Increment();
+    m_drops_.Increment();
     return false;
   }
   const BufferDescriptor desc = src_pool->MakeDescriptor(*buffer, dst_fn);
@@ -224,13 +224,13 @@ bool BaselineDataPlane::SendInterTcp(FunctionRuntime* src, Buffer* buffer, Funct
       [this, src_state, dst_state, src_pool, dst_fn](const BufferDescriptor& d) {
         Buffer* out = src_pool->Resolve(d);
         if (out == nullptr) {
-          m_drops_->Increment();
+          m_drops_.Increment();
           return;
         }
         const uint64_t bytes = out->length;
         // Socket copy #1 (user -> kernel) happens inside the TX cost.
         std::vector<std::byte> wire(out->payload().begin(), out->payload().end());
-        m_payload_copies_->Increment();
+        m_payload_copies_.Increment();
         src_state->engine_core->Submit(
             relay_stack_.TxCost(bytes) + relay_stack_.IrqCost(),
             [this, src_state, dst_state, src_pool, out, dst_fn, bytes,
@@ -247,13 +247,13 @@ bool BaselineDataPlane::SendInterTcp(FunctionRuntime* src, Buffer* buffer, Funct
                           Buffer* in =
                               dst_pool->Get(engine_owner(dst_state->node->id()));
                           if (in == nullptr) {
-                            m_drops_->Increment();
+                            m_drops_.Increment();
                             return;
                           }
                           // Socket copy #2 (kernel -> user).
                           std::memcpy(in->data.data(), wire.data(), wire.size());
                           in->length = static_cast<uint32_t>(wire.size());
-                          m_payload_copies_->Increment();
+                          m_payload_copies_.Increment();
                           DeliverAtNode(dst_state, in, dst_fn);
                         });
                   });
@@ -265,16 +265,16 @@ bool BaselineDataPlane::SendInterTcp(FunctionRuntime* src, Buffer* buffer, Funct
 
 bool BaselineDataPlane::SendInterFuyao(FunctionRuntime* src, Buffer* buffer, FunctionId dst_fn,
                                        NodeId dst_node) {
-  m_inter_node_->Increment();
+  m_inter_node_.Increment();
   NodeState* src_state = StateOf(src->node()->id());
   NodeState* dst_state = StateOf(dst_node);
   if (src_state == nullptr || dst_state == nullptr) {
-    m_drops_->Increment();
+    m_drops_.Increment();
     return false;
   }
   BufferPool* src_pool = src->pool();
   if (!src_pool->Transfer(buffer, src->owner_id(), engine_owner(src->node()->id()))) {
-    m_drops_->Increment();
+    m_drops_.Increment();
     return false;
   }
   const BufferDescriptor desc = src_pool->MakeDescriptor(*buffer, dst_fn);
@@ -283,7 +283,7 @@ bool BaselineDataPlane::SendInterFuyao(FunctionRuntime* src, Buffer* buffer, Fun
       [this, src_state, dst_state, src_pool](const BufferDescriptor& d) {
         Buffer* out = src_pool->Resolve(d);
         if (out == nullptr) {
-          m_drops_->Increment();
+          m_drops_.Increment();
           return;
         }
         src_state->engine_core->Submit(env().cost().fuyao_relay_tx, [this, src_state, dst_state,
@@ -291,7 +291,7 @@ bool BaselineDataPlane::SendInterFuyao(FunctionRuntime* src, Buffer* buffer, Fun
           const ConnectionManager::Acquired acquired =
               src_state->connections->Acquire(dst_state->node->id(), tenant_);
           if (acquired.qp == 0) {
-            m_drops_->Increment();
+            m_drops_.Increment();
             src_pool->Put(out, engine_owner(src_state->node->id()));
             return;
           }
@@ -319,17 +319,17 @@ void BaselineDataPlane::FuyaoPollerDiscovery(NodeState* state, Buffer* rdma_buff
       BufferPool* tenant_pool = state->node->tenants().PoolOfTenant(tenant_);
       Buffer* in = tenant_pool->Get(engine_owner(state->node->id()));
       if (in == nullptr) {
-        m_drops_->Increment();
+        m_drops_.Increment();
         rdma_buffer->length = 0;
         return;
       }
       const SimDuration copy_cost = copier_.Copy(*rdma_buffer, in, CopyLocality::kCacheCold);
-      m_payload_copies_->Increment();
+      m_payload_copies_.Increment();
       rdma_buffer->length = 0;  // Release the RDMA slot.
       state->engine_core->Submit(copy_cost, [this, state, in]() {
         const std::optional<MessageHeader> header = ReadMessage(*in);
         if (!header.has_value()) {
-          m_drops_->Increment();
+          m_drops_.Increment();
           state->node->tenants().PoolOfTenant(tenant_)->Put(
               in, engine_owner(state->node->id()));
           return;
@@ -342,18 +342,18 @@ void BaselineDataPlane::FuyaoPollerDiscovery(NodeState* state, Buffer* rdma_buff
 
 bool BaselineDataPlane::SendInterJunction(FunctionRuntime* src, Buffer* buffer,
                                           FunctionId dst_fn, NodeId dst_node) {
-  m_inter_node_->Increment();
+  m_inter_node_.Increment();
   NodeState* dst_state = StateOf(dst_node);
   const auto dst_it = functions_.find(dst_fn);
   if (dst_state == nullptr || dst_it == functions_.end()) {
-    m_drops_->Increment();
+    m_drops_.Increment();
     return false;
   }
   FunctionRuntime* dst = dst_it->second;
   BufferPool* src_pool = src->pool();
   const uint64_t bytes = buffer->length;
   std::vector<std::byte> wire(buffer->payload().begin(), buffer->payload().end());
-  m_payload_copies_->Increment();
+  m_payload_copies_.Increment();
   const NodeId src_node = src->node()->id();
   src->core()->Submit(junction_stack_.TxCost(bytes), [this, src, src_pool, buffer, dst_state,
                                                       dst, bytes, src_node,
@@ -367,12 +367,12 @@ bool BaselineDataPlane::SendInterJunction(FunctionRuntime* src, Buffer* buffer,
             BufferPool* dst_pool = dst_state->node->tenants().PoolOfTenant(tenant_);
             Buffer* in = dst_pool->Get(dst->owner_id());
             if (in == nullptr) {
-              m_drops_->Increment();
+              m_drops_.Increment();
               return;
             }
             std::memcpy(in->data.data(), wire.data(), wire.size());
             in->length = static_cast<uint32_t>(wire.size());
-            m_payload_copies_->Increment();
+            m_payload_copies_.Increment();
             dst->Deliver(in);
           });
         });
@@ -384,13 +384,13 @@ void BaselineDataPlane::DeliverAtNode(NodeState* state, Buffer* buffer, Function
   const auto it = functions_.find(dst_fn);
   BufferPool* pool = state->node->tenants().PoolOfTenant(tenant_);
   if (it == functions_.end()) {
-    m_drops_->Increment();
+    m_drops_.Increment();
     pool->Put(buffer, engine_owner(state->node->id()));
     return;
   }
   FunctionRuntime* dst = it->second;
   if (!pool->Transfer(buffer, engine_owner(state->node->id()), dst->owner_id())) {
-    m_drops_->Increment();
+    m_drops_.Increment();
     return;
   }
   const BufferDescriptor desc = pool->MakeDescriptor(*buffer, dst_fn);

@@ -639,6 +639,7 @@ IngressEchoResult RunIngressEcho(const CostModel& cost, const IngressEchoOptions
   result.scale_ups = gateway.stats().scale_ups;
   result.scale_downs = gateway.stats().scale_downs;
   result.final_workers = gateway.active_workers();
+  result.sim_events = sim.events_processed();
   result.metrics_text = cluster.metrics().SnapshotText();
   result.metrics_json = cluster.metrics().SnapshotJson();
   return result;
@@ -741,6 +742,7 @@ MultiTenantResult RunMultiTenant(const CostModel& cost, const MultiTenantOptions
     result.tenant_served[scenario.tenant] = served;
   }
   result.drops = metrics.ValueOf("dataplane_drops");
+  result.sim_events = sim.events_processed();
   result.metrics_text = metrics.SnapshotText();
   result.metrics_json = metrics.SnapshotJson();
   return result;

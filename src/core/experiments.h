@@ -171,6 +171,9 @@ struct IngressEchoResult {
   uint64_t scale_ups = 0;
   uint64_t scale_downs = 0;
   int final_workers = 0;
+  // Total simulator callbacks executed, for wall-clock perf accounting
+  // (bench/simperf.cc divides wall time by this to get ns/event).
+  uint64_t sim_events = 0;
   std::string metrics_text;
   std::string metrics_json;
 };
@@ -215,6 +218,8 @@ struct MultiTenantResult {
   // dataplane_drops from the registry.
   uint64_t drops = 0;
   double aggregate_rps = 0.0;
+  // Total simulator callbacks executed (wall-clock perf accounting).
+  uint64_t sim_events = 0;
   std::string metrics_text;
   std::string metrics_json;
 };

@@ -31,12 +31,12 @@ SloObject::SloObject(Simulator* sim, MetricsRegistry* metrics, TenantId tenant,
                      const SloTarget& target)
     : sim_(sim), tenant_(tenant), target_(target) {
   const MetricLabels labels = MetricLabels::Tenant(static_cast<int64_t>(tenant));
-  m_requests_ = &metrics->Counter("slo_requests", labels);
-  m_violations_ = &metrics->Counter("slo_violations", labels);
-  m_errors_ = &metrics->Counter("slo_errors", labels);
-  m_budget_consumed_ = &metrics->Counter("slo_error_budget_consumed", labels);
-  m_budget_exhausted_ = &metrics->Counter("slo_budget_exhausted", labels);
-  m_latency_ = &metrics->Histogram("slo_latency", labels);
+  m_requests_ = metrics->ResolveCounter("slo_requests", labels);
+  m_violations_ = metrics->ResolveCounter("slo_violations", labels);
+  m_errors_ = metrics->ResolveCounter("slo_errors", labels);
+  m_budget_consumed_ = metrics->ResolveCounter("slo_error_budget_consumed", labels);
+  m_budget_exhausted_ = metrics->ResolveCounter("slo_budget_exhausted", labels);
+  m_latency_ = metrics->ResolveHistogram("slo_latency", labels);
 }
 
 int64_t SloObject::WindowIndex() const {
@@ -55,22 +55,22 @@ void SloObject::MaybeRoll() {
 void SloObject::RecordRequest() {
   MaybeRoll();
   ++window_requests_;
-  m_requests_->Increment();
+  m_requests_.Increment();
 }
 
 void SloObject::RecordLatency(SimDuration latency) {
   MaybeRoll();
-  m_latency_->Record(latency);
+  m_latency_.Record(latency);
   if (latency > target_.p99_target) {
-    m_violations_->Increment();
+    m_violations_.Increment();
   }
 }
 
 void SloObject::RecordError() {
   MaybeRoll();
   ++window_consumed_;
-  m_errors_->Increment();
-  m_budget_consumed_->Increment();
+  m_errors_.Increment();
+  m_budget_consumed_.Increment();
 }
 
 uint64_t SloObject::BudgetAllowed() const {
@@ -83,11 +83,11 @@ uint64_t SloObject::BudgetAllowed() const {
 bool SloObject::TryConsumeRetryToken() {
   MaybeRoll();
   if (window_consumed_ >= BudgetAllowed()) {
-    m_budget_exhausted_->Increment();
+    m_budget_exhausted_.Increment();
     return false;
   }
   ++window_consumed_;
-  m_budget_consumed_->Increment();
+  m_budget_consumed_.Increment();
   return true;
 }
 

@@ -128,13 +128,14 @@ class SloObject {
   int64_t window_index_ = 0;
   uint64_t window_requests_ = 0;
   uint64_t window_consumed_ = 0;
-  // Registry-backed instruments (labels: {tenant}).
-  CounterMetric* m_requests_;
-  CounterMetric* m_violations_;
-  CounterMetric* m_errors_;
-  CounterMetric* m_budget_consumed_;
-  CounterMetric* m_budget_exhausted_;
-  HistogramMetric* m_latency_;
+  // Registry-backed instruments (labels: {tenant}), resolved once at
+  // construction into raw-word handles (metrics.h).
+  CounterHandle m_requests_;
+  CounterHandle m_violations_;
+  CounterHandle m_errors_;
+  CounterHandle m_budget_consumed_;
+  CounterHandle m_budget_exhausted_;
+  HistogramHandle m_latency_;
 };
 
 // Owned by Env; one per experiment. Not thread-safe (neither is the sim).

@@ -81,19 +81,19 @@ void NadinoDataPlane::RegisterFunction(FunctionRuntime* function) {
 bool NadinoDataPlane::Send(FunctionRuntime* src, Buffer* buffer) {
   const std::optional<MessageHeader> header = ReadMessage(*buffer);
   if (!header.has_value()) {
-    m_drops_->Increment();
+    m_drops_.Increment();
     return false;
   }
-  m_sends_->Increment();
+  m_sends_.Increment();
   const NodeId dst_node = routing_->NodeOf(header->dst);
   if (dst_node == kInvalidNode) {
-    m_drops_->Increment();
+    m_drops_.Increment();
     return false;
   }
   if (dst_node == src->node()->id()) {
     const auto it = functions_.find(header->dst);
     if (it == functions_.end()) {
-      m_drops_->Increment();
+      m_drops_.Increment();
       return false;
     }
     return SendIntraNode(src, it->second, buffer);
@@ -107,10 +107,10 @@ bool NadinoDataPlane::SendIntraNode(FunctionRuntime* src, FunctionRuntime* dst,
   // Token passing (section 3.5.1): exclusive ownership moves producer ->
   // consumer; the sem_post cost rides on the producer's core.
   if (!pool->Transfer(buffer, src->owner_id(), dst->owner_id())) {
-    m_drops_->Increment();
+    m_drops_.Increment();
     return false;
   }
-  m_intra_node_->Increment();
+  m_intra_node_.Increment();
   src->core()->Consume(env().cost().token_post_cost);
   const BufferDescriptor desc = pool->MakeDescriptor(*buffer, dst->id());
   const bool sent = skmsg_.Send(
@@ -127,7 +127,7 @@ bool NadinoDataPlane::SendIntraNode(FunctionRuntime* src, FunctionRuntime* dst,
     // buffer was already handed to `dst` — move ownership back to the sender
     // ("false ⇒ caller still owns it") so the caller's recycle conserves.
     pool->Transfer(buffer, dst->owner_id(), src->owner_id());
-    m_drops_->Increment();
+    m_drops_.Increment();
     return false;
   }
   return true;
@@ -136,19 +136,19 @@ bool NadinoDataPlane::SendIntraNode(FunctionRuntime* src, FunctionRuntime* dst,
 bool NadinoDataPlane::SendInterNode(FunctionRuntime* src, Buffer* buffer, FunctionId dst) {
   NetworkEngine* engine = EngineAt(src->node()->id());
   if (engine == nullptr) {
-    m_drops_->Increment();
+    m_drops_.Increment();
     return false;
   }
   BufferPool* pool = src->pool();
   if (!pool->Transfer(buffer, src->owner_id(), engine->owner_id())) {
-    m_drops_->Increment();
+    m_drops_.Increment();
     return false;
   }
-  m_inter_node_->Increment();
+  m_inter_node_.Increment();
   if (!engine->SendFromFunction(src, pool->MakeDescriptor(*buffer, dst))) {
     // IPC entry drop: the engine moved ownership back to `src`; the caller
     // still owns the buffer and recycles it.
-    m_drops_->Increment();
+    m_drops_.Increment();
     return false;
   }
   return true;

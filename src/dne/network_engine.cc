@@ -51,22 +51,22 @@ NetworkEngine::NetworkEngine(Env& env, Node* node, RoutingTable* routing, const 
   MetricLabels labels = MetricLabels::Node(node_->id());
   labels.engine = static_cast<int64_t>(config_.engine_id);
   MetricsRegistry& reg = env_->metrics();
-  m_tx_messages_ = &reg.Counter("engine_tx_messages", labels);
-  m_rx_messages_ = &reg.Counter("engine_rx_messages", labels);
-  m_send_completions_ = &reg.Counter("engine_send_completions", labels);
-  m_unroutable_ = &reg.Counter("engine_unroutable", labels);
-  m_replenish_failures_ = &reg.Counter("engine_replenish_failures", labels);
-  m_rbr_hits_ = &reg.Counter("engine_rbr_hits", labels);
+  m_tx_messages_ = reg.ResolveCounter("engine_tx_messages", labels);
+  m_rx_messages_ = reg.ResolveCounter("engine_rx_messages", labels);
+  m_send_completions_ = reg.ResolveCounter("engine_send_completions", labels);
+  m_unroutable_ = reg.ResolveCounter("engine_unroutable", labels);
+  m_replenish_failures_ = reg.ResolveCounter("engine_replenish_failures", labels);
+  m_rbr_hits_ = reg.ResolveCounter("engine_rbr_hits", labels);
 }
 
 NetworkEngine::Stats NetworkEngine::stats() const {
   Stats s;
-  s.tx_messages = m_tx_messages_->value();
-  s.rx_messages = m_rx_messages_->value();
-  s.send_completions = m_send_completions_->value();
-  s.unroutable = m_unroutable_->value();
-  s.replenish_failures = m_replenish_failures_->value();
-  s.rbr_hits = m_rbr_hits_->value();
+  s.tx_messages = m_tx_messages_.value();
+  s.rx_messages = m_rx_messages_.value();
+  s.send_completions = m_send_completions_.value();
+  s.unroutable = m_unroutable_.value();
+  s.replenish_failures = m_replenish_failures_.value();
+  s.rbr_hits = m_rbr_hits_.value();
   return s;
 }
 
@@ -192,7 +192,7 @@ void NetworkEngine::IngestTx(const BufferDescriptor& desc, SimDuration ingest_co
   BufferPool* pool = node_->tenants().PoolById(desc.pool);
   Buffer* buffer = pool == nullptr ? nullptr : pool->Resolve(desc);
   if (buffer == nullptr || !(buffer->owner == owner_id())) {
-    m_unroutable_->Increment();
+    m_unroutable_.Increment();
     return;
   }
   TxItem item;
@@ -257,12 +257,12 @@ void NetworkEngine::ExecuteTx(const TxItem& item) {
   BufferPool* pool = node_->tenants().PoolById(item.desc.pool);
   Buffer* buffer = pool == nullptr ? nullptr : pool->Resolve(item.desc);
   if (buffer == nullptr) {
-    m_unroutable_->Increment();
+    m_unroutable_.Increment();
     return;
   }
   const NodeId dst_node = routing_->NodeOf(item.desc.dst_function);
   if (dst_node == kInvalidNode) {
-    m_unroutable_->Increment();
+    m_unroutable_.Increment();
     pool->Put(buffer, owner_id());
     return;
   }
@@ -274,7 +274,7 @@ void NetworkEngine::ExecuteTx(const TxItem& item) {
   }
   const ConnectionManager::Acquired acquired = connections_.Acquire(dst_node, item.tenant);
   if (acquired.qp == 0) {
-    m_unroutable_->Increment();
+    m_unroutable_.Increment();
     pool->Put(buffer, owner_id());
     return;
   }
@@ -310,13 +310,13 @@ void NetworkEngine::ExecuteTx(const TxItem& item) {
 
 void NetworkEngine::PostToRnic(const TxItem& item, Buffer* buffer, BufferPool* pool, QpNum qp) {
   if (!pool->Transfer(buffer, owner_id(), OwnerId::Rnic(node_->id()))) {
-    m_unroutable_->Increment();
+    m_unroutable_.Increment();
     return;
   }
   const uint64_t wr_id = next_wr_id_++;
   in_flight_[wr_id] = InFlightSend{buffer, pool, qp, item};
   node_->rnic().PostSend(qp, *buffer, wr_id, item.desc.dst_function);
-  m_tx_messages_->Increment();
+  m_tx_messages_.Increment();
   if (tracer_ != nullptr) {
     tracer_->Record(TraceCategory::kEngine, config_.engine_id, "tx_post",
                     item.desc.dst_function, buffer->length);
@@ -339,7 +339,7 @@ void NetworkEngine::OnCompletion(const Completion& cqe) {
       const InFlightSend inflight = it->second;
       in_flight_.erase(it);
       connections_.NoteIdle(inflight.qp);
-      m_send_completions_->Increment();
+      m_send_completions_.Increment();
       if (cqe.status != WrStatus::kSuccess) {
         // Transport NACK ("counted not hung": an injected RNIC loss completes
         // the WR with an error while the QP stays usable). Reclaim the buffer
@@ -358,19 +358,33 @@ void NetworkEngine::OnCompletion(const Completion& cqe) {
   }
 }
 
+NetworkEngine::RetryHandles& NetworkEngine::RetryHandlesFor(TenantId tenant) {
+  const auto it = retry_handles_.find(tenant);
+  if (it != retry_handles_.end()) {
+    return it->second;
+  }
+  // Created lazily on the tenant's first retry event so unfaulted runs keep
+  // byte-identical snapshots (bench goldens); resolved once, bumped through
+  // raw-word handles on every later retry.
+  const MetricLabels labels = MetricLabels::Tenant(static_cast<int64_t>(tenant));
+  MetricsRegistry& reg = env_->metrics();
+  RetryHandles handles;
+  handles.attempts = reg.ResolveCounter("retry_attempts", labels);
+  handles.exhausted = reg.ResolveCounter("retry_exhausted", labels);
+  handles.budget_denied = reg.ResolveCounter("retry_budget_denied", labels);
+  return retry_handles_.emplace(tenant, handles).first->second;
+}
+
 bool NetworkEngine::ScheduleTxRetry(const TxItem& item, const char* stage) {
   SloRegistry& slos = env_->slos();
   const RetryPolicy* policy = slos.RetryPolicyOf(item.tenant);
   if (policy == nullptr) {
     return false;  // No policy: terminal, exactly the pre-SLO behaviour.
   }
-  // Metrics are created lazily on the first retry event so unfaulted runs
-  // keep byte-identical snapshots (bench goldens).
-  const MetricLabels labels = MetricLabels::Tenant(static_cast<int64_t>(item.tenant));
-  MetricsRegistry& reg = env_->metrics();
   SloObject* slo = slos.OfTenant(item.tenant);
+  RetryHandles& retry = RetryHandlesFor(item.tenant);
   if (item.attempt >= policy->max_attempts) {
-    reg.Counter("retry_exhausted", labels).Increment();
+    retry.exhausted.Increment();
     env_->Trace(TraceCategory::kEngine, config_.engine_id, "retry_exhausted", item.tenant,
                 item.attempt);
     if (slo != nullptr) {
@@ -381,13 +395,13 @@ bool NetworkEngine::ScheduleTxRetry(const TxItem& item, const char* stage) {
   if (slo != nullptr && !slo->TryConsumeRetryToken()) {
     // Retry budget capped by the error budget: a tenant that burned its
     // window cannot amplify load with further retries.
-    reg.Counter("retry_budget_denied", labels).Increment();
+    retry.budget_denied.Increment();
     env_->Trace(TraceCategory::kEngine, config_.engine_id, "retry_budget_denied", item.tenant,
                 item.attempt);
     return false;
   }
   const SimDuration backoff = policy->BackoffFor(item.attempt, slos.jitter_rng());
-  reg.Counter("retry_attempts", labels).Increment();
+  retry.attempts.Increment();
   env_->Trace(TraceCategory::kEngine, config_.engine_id, stage, item.tenant, item.attempt);
   sim().Schedule(backoff, [this, desc = item.desc, attempt = item.attempt + 1]() {
     IngestTx(desc, 0, attempt);
@@ -398,18 +412,18 @@ bool NetworkEngine::ScheduleTxRetry(const TxItem& item, const char* stage) {
 void NetworkEngine::HandleRecvCompletion(const Completion& cqe) {
   Buffer* registered = rbr_.Consume(cqe.wr_id, cqe.tenant);
   if (registered == nullptr || registered != cqe.buffer) {
-    m_unroutable_->Increment();
+    m_unroutable_.Increment();
     return;
   }
-  m_rbr_hits_->Increment();
-  m_rx_messages_->Increment();
+  m_rbr_hits_.Increment();
+  m_rx_messages_.Increment();
   if (tracer_ != nullptr) {
     tracer_->Record(TraceCategory::kEngine, config_.engine_id, "rx_deliver", cqe.imm,
                     cqe.byte_len);
   }
   const auto pool_it = tenant_pools_.find(cqe.tenant);
   if (pool_it == tenant_pools_.end()) {
-    m_unroutable_->Increment();
+    m_unroutable_.Increment();
     return;
   }
   BufferPool* pool = pool_it->second;
@@ -453,7 +467,7 @@ void NetworkEngine::HandleRecvCompletion(const Completion& cqe) {
 void NetworkEngine::DeliverLocal(FunctionId fn, Buffer* buffer, BufferPool* pool) {
   const auto it = endpoints_.find(fn);
   if (it == endpoints_.end()) {
-    m_unroutable_->Increment();
+    m_unroutable_.Increment();
     pool->Put(buffer, owner_id());
     return;
   }
@@ -512,13 +526,13 @@ uint64_t NetworkEngine::PostRecvBuffers(TenantId tenant, uint64_t count) {
   for (uint64_t i = 0; i < count; ++i) {
     Buffer* buffer = pool->Get(owner_id());
     if (buffer == nullptr) {
-      m_replenish_failures_->Increment();
+      m_replenish_failures_.Increment();
       return i;
     }
     const uint64_t wr_id = next_wr_id_++;
     if (!node_->rnic().PostRecvBuffer(pool, buffer, owner_id(), wr_id)) {
       pool->Put(buffer, owner_id());
-      m_replenish_failures_->Increment();
+      m_replenish_failures_.Increment();
       return i;
     }
     rbr_.Insert(wr_id, buffer, tenant);

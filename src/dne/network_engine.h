@@ -23,6 +23,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <unordered_map>
 
 #include "src/core/env.h"
 #include "src/core/types.h"
@@ -213,13 +214,25 @@ class NetworkEngine {
   uint64_t next_wr_id_ = 1;
   bool tx_scheduled_ = false;
   bool started_ = false;
-  // Registry-backed counters (labels: {engine, node}). See Stats.
-  CounterMetric* m_tx_messages_;
-  CounterMetric* m_rx_messages_;
-  CounterMetric* m_send_completions_;
-  CounterMetric* m_unroutable_;
-  CounterMetric* m_replenish_failures_;
-  CounterMetric* m_rbr_hits_;
+  // Registry-backed counters (labels: {engine, node}), resolved once at
+  // construction into raw-word handles — the TX/RX stages bump these per
+  // message. See Stats.
+  CounterHandle m_tx_messages_;
+  CounterHandle m_rx_messages_;
+  CounterHandle m_send_completions_;
+  CounterHandle m_unroutable_;
+  CounterHandle m_replenish_failures_;
+  CounterHandle m_rbr_hits_;
+  // Retry-path counters, resolved lazily on a tenant's first retry event so
+  // unfaulted runs keep byte-identical snapshots (bench goldens), then bumped
+  // through handles (no per-retry string assembly).
+  struct RetryHandles {
+    CounterHandle attempts;
+    CounterHandle exhausted;
+    CounterHandle budget_denied;
+  };
+  RetryHandles& RetryHandlesFor(TenantId tenant);
+  std::unordered_map<TenantId, RetryHandles> retry_handles_;
 };
 
 }  // namespace nadino

@@ -1,5 +1,7 @@
 #include "src/dne/scheduler.h"
 
+#include <utility>
+
 namespace nadino {
 
 void FcfsScheduler::SetWeight(TenantId tenant, uint32_t weight) {
@@ -15,30 +17,71 @@ bool FcfsScheduler::Dequeue(TxItem* out) {
   }
   *out = std::move(queue_.front());
   queue_.pop_front();
-  ++served_[out->tenant];
+  const TenantId tenant = out->tenant;
+  if (tenant < kDirectTenantLimit) {
+    if (tenant >= served_direct_.size()) {
+      served_direct_.resize(tenant + 1, 0);
+    }
+    ++served_direct_[tenant];
+  } else {
+    ++served_overflow_[tenant];
+  }
   return true;
 }
 
 uint64_t FcfsScheduler::Served(TenantId tenant) const {
-  const auto it = served_.find(tenant);
-  return it == served_.end() ? 0 : it->second;
+  if (tenant < kDirectTenantLimit) {
+    return tenant < served_direct_.size() ? served_direct_[tenant] : 0;
+  }
+  const auto it = served_overflow_.find(tenant);
+  return it == served_overflow_.end() ? 0 : it->second;
 }
 
-DwrrScheduler::TenantState& DwrrScheduler::StateOf(TenantId tenant) { return tenants_[tenant]; }
+uint32_t DwrrScheduler::IndexOf(TenantId tenant) {
+  if (tenant < kDirectTenantLimit) {
+    if (tenant >= direct_index_.size()) {
+      direct_index_.resize(tenant + 1, kNoState);
+    }
+    uint32_t& slot = direct_index_[tenant];
+    if (slot == kNoState) {
+      slot = static_cast<uint32_t>(states_.size());
+      states_.emplace_back();
+      states_.back().tenant = tenant;
+    }
+    return slot;
+  }
+  const auto it = overflow_index_.find(tenant);
+  if (it != overflow_index_.end()) {
+    return it->second;
+  }
+  const uint32_t index = static_cast<uint32_t>(states_.size());
+  states_.emplace_back();
+  states_.back().tenant = tenant;
+  overflow_index_.emplace(tenant, index);
+  return index;
+}
+
+uint32_t DwrrScheduler::FindIndex(TenantId tenant) const {
+  if (tenant < kDirectTenantLimit) {
+    return tenant < direct_index_.size() ? direct_index_[tenant] : kNoState;
+  }
+  const auto it = overflow_index_.find(tenant);
+  return it == overflow_index_.end() ? kNoState : it->second;
+}
 
 void DwrrScheduler::SetWeight(TenantId tenant, uint32_t weight) {
   StateOf(tenant).weight = weight == 0 ? 1 : weight;
 }
 
 void DwrrScheduler::Enqueue(TxItem item) {
-  TenantState& state = StateOf(item.tenant);
-  const TenantId tenant = item.tenant;
+  const uint32_t index = IndexOf(item.tenant);
+  TenantState& state = states_[index];
   state.queue.push_back(std::move(item));
   ++pending_;
   if (!state.in_active_list) {
     state.in_active_list = true;
     state.fresh_visit = true;
-    active_.push_back(tenant);
+    active_.push_back(index);
   }
 }
 
@@ -59,8 +102,8 @@ bool DwrrScheduler::Dequeue(TxItem* out) {
     if (active_.empty()) {
       return false;
     }
-    const TenantId tenant = active_.front();
-    TenantState& state = StateOf(tenant);
+    const uint32_t index = active_.front();
+    TenantState& state = states_[index];
     if (state.queue.empty()) {
       state.in_active_list = false;
       state.deficit = 0;
@@ -73,7 +116,7 @@ bool DwrrScheduler::Dequeue(TxItem* out) {
       // the configured base weight.
       uint32_t weight = state.weight;
       if (advisor_) {
-        weight = advisor_(tenant, weight);
+        weight = advisor_(state.tenant, weight);
         if (weight == 0) {
           weight = 1;
         }
@@ -84,7 +127,7 @@ bool DwrrScheduler::Dequeue(TxItem* out) {
     if (state.deficit < static_cast<int64_t>(state.queue.front().bytes)) {
       // Quantum exhausted: yield the round to the next tenant.
       active_.pop_front();
-      active_.push_back(tenant);
+      active_.push_back(index);
       state.fresh_visit = true;
       continue;
     }
@@ -104,13 +147,13 @@ bool DwrrScheduler::Dequeue(TxItem* out) {
 }
 
 uint64_t DwrrScheduler::Served(TenantId tenant) const {
-  const auto it = tenants_.find(tenant);
-  return it == tenants_.end() ? 0 : it->second.served;
+  const uint32_t index = FindIndex(tenant);
+  return index == kNoState ? 0 : states_[index].served;
 }
 
 int64_t DwrrScheduler::DeficitOf(TenantId tenant) const {
-  const auto it = tenants_.find(tenant);
-  return it == tenants_.end() ? 0 : it->second.deficit;
+  const uint32_t index = FindIndex(tenant);
+  return index == kNoState ? 0 : states_[index].deficit;
 }
 
 }  // namespace nadino

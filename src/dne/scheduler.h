@@ -11,8 +11,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <list>
 #include <map>
+#include <vector>
 
 #include "src/core/types.h"
 #include "src/mem/buffer.h"
@@ -69,7 +69,11 @@ class FcfsScheduler : public TxScheduler {
 
  private:
   std::deque<TxItem> queue_;
-  std::map<TenantId, uint64_t> served_;
+  // Served counts indexed directly by tenant id (experiments use small dense
+  // ids); rare large ids overflow into the map so any TenantId stays correct.
+  static constexpr uint32_t kDirectTenantLimit = 1024;
+  std::vector<uint64_t> served_direct_;
+  std::map<TenantId, uint64_t> served_overflow_;
 };
 
 // Classic DWRR (Shreedhar & Varghese): each tenant has a deficit counter
@@ -90,6 +94,7 @@ class DwrrScheduler : public TxScheduler {
 
  private:
   struct TenantState {
+    TenantId tenant = kInvalidTenant;
     uint32_t weight = 1;
     int64_t deficit = 0;
     bool in_active_list = false;
@@ -100,13 +105,24 @@ class DwrrScheduler : public TxScheduler {
     uint64_t served = 0;
   };
 
-  TenantState& StateOf(TenantId tenant);
+  static constexpr uint32_t kDirectTenantLimit = 1024;
+  static constexpr uint32_t kNoState = 0xFFFFFFFFu;
+
+  // Dense per-packet lookup: small tenant ids (every experiment) index the
+  // direct table in O(1) with no hashing or tree walk; rare large ids fall
+  // back to the overflow map. States live in `states_` and never move their
+  // index, so the active ring holds plain indices.
+  uint32_t IndexOf(TenantId tenant);             // Allocates on first use.
+  uint32_t FindIndex(TenantId tenant) const;     // kNoState when absent.
+  TenantState& StateOf(TenantId tenant) { return states_[IndexOf(tenant)]; }
 
   uint32_t quantum_;
   WeightAdvisor advisor_;
   size_t pending_ = 0;
-  std::map<TenantId, TenantState> tenants_;
-  std::list<TenantId> active_;  // Round-robin order over backlogged tenants.
+  std::vector<TenantState> states_;
+  std::vector<uint32_t> direct_index_;           // tenant id -> states_ index.
+  std::map<TenantId, uint32_t> overflow_index_;  // ids >= kDirectTenantLimit.
+  std::deque<uint32_t> active_;  // Round-robin order over backlogged tenants.
 };
 
 }  // namespace nadino

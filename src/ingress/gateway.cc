@@ -35,11 +35,11 @@ IngressGateway::IngressGateway(Env& env, Node* ingress_node, RoutingTable* routi
   MetricLabels labels = MetricLabels::Node(node_->id());
   labels.engine = static_cast<int64_t>(options_.engine_id);
   MetricsRegistry& reg = env_->metrics();
-  m_requests_ = &reg.Counter("gateway_requests", labels);
-  m_responses_ = &reg.Counter("gateway_responses", labels);
-  m_http_errors_ = &reg.Counter("gateway_http_errors", labels);
-  m_scale_ups_ = &reg.Counter("gateway_scale_ups", labels);
-  m_scale_downs_ = &reg.Counter("gateway_scale_downs", labels);
+  m_requests_ = reg.ResolveCounter("gateway_requests", labels);
+  m_responses_ = reg.ResolveCounter("gateway_responses", labels);
+  m_http_errors_ = reg.ResolveCounter("gateway_http_errors", labels);
+  m_scale_ups_ = reg.ResolveCounter("gateway_scale_ups", labels);
+  m_scale_downs_ = reg.ResolveCounter("gateway_scale_downs", labels);
   master_core_ = node_->AllocateCore();
   for (int i = 0; i < options_.initial_workers; ++i) {
     StartWorker(i);
@@ -51,11 +51,11 @@ IngressGateway::IngressGateway(Env& env, Node* ingress_node, RoutingTable* routi
 
 IngressGateway::Stats IngressGateway::stats() const {
   Stats s;
-  s.requests = m_requests_->value();
-  s.responses = m_responses_->value();
-  s.http_errors = m_http_errors_->value();
-  s.scale_ups = m_scale_ups_->value();
-  s.scale_downs = m_scale_downs_->value();
+  s.requests = m_requests_.value();
+  s.responses = m_responses_.value();
+  s.http_errors = m_http_errors_.value();
+  s.scale_ups = m_scale_ups_.value();
+  s.scale_downs = m_scale_downs_.value();
   return s;
 }
 
@@ -92,7 +92,7 @@ void IngressGateway::AddRoute(const std::string& path, ChainId chain,
   size_t consumed = 0;
   if (HttpCodec::ParseRequest(wire, &parsed, &consumed) != HttpParseResult::kOk ||
       parsed.target != path) {
-    m_http_errors_->Increment();
+    m_http_errors_.Increment();
     return;
   }
   routes_[path] = Route{chain, entry_function};
@@ -188,7 +188,7 @@ void IngressGateway::SubmitRequest(uint32_t client_id, const std::string& path,
   const auto route_it = routes_.find(path);
   Worker* worker = PickWorker(client_id);
   if (route_it == routes_.end() || worker == nullptr) {
-    m_http_errors_->Increment();
+    m_http_errors_.Increment();
     sim().Schedule(0, std::move(done));
     return;
   }
@@ -200,11 +200,11 @@ void IngressGateway::SubmitRequest(uint32_t client_id, const std::string& path,
   const FaultDecision transport_fault = env_->faults().Intercept(
       FaultSite::kTransport, FaultScope{options_.tenant, node_->id()});
   if (transport_fault.action == FaultAction::kDrop) {
-    m_http_errors_->Increment();
+    m_http_errors_.Increment();
     sim().Schedule(0, std::move(done));
     return;
   }
-  m_requests_->Increment();
+  m_requests_.Increment();
   if (tracer_ != nullptr) {
     tracer_->Record(TraceCategory::kIngress, static_cast<uint32_t>(worker->index),
                     "http_request", client_id, payload_bytes);
@@ -233,7 +233,7 @@ void IngressGateway::NadinoHandleRequest(Worker* worker, const Route& route,
                                          uint32_t payload_bytes, uint64_t request_id) {
   Buffer* buffer = pool_->Get(owner_id());
   if (buffer == nullptr) {
-    m_http_errors_->Increment();
+    m_http_errors_.Increment();
     FinishResponse(worker, request_id, 0);
     return;
   }
@@ -245,7 +245,7 @@ void IngressGateway::NadinoHandleRequest(Worker* worker, const Route& route,
   header.request_id = request_id;
   if (!WriteMessage(buffer, header)) {
     pool_->Put(buffer, owner_id());
-    m_http_errors_->Increment();
+    m_http_errors_.Increment();
     FinishResponse(worker, request_id, 0);
     return;
   }
@@ -254,7 +254,7 @@ void IngressGateway::NadinoHandleRequest(Worker* worker, const Route& route,
       worker->connections->Acquire(dst_node, options_.tenant);
   if (acquired.qp == 0) {
     pool_->Put(buffer, owner_id());
-    m_http_errors_->Increment();
+    m_http_errors_.Increment();
     FinishResponse(worker, request_id, 0);
     return;
   }
@@ -307,7 +307,7 @@ void IngressGateway::OnRnicCompletion(const Completion& cqe) {
 void IngressGateway::NadinoHandleResponse(Worker* worker, Buffer* buffer) {
   const std::optional<MessageHeader> header = ReadMessage(*buffer);
   if (!header.has_value()) {
-    m_http_errors_->Increment();
+    m_http_errors_.Increment();
     pool_->Put(buffer, owner_id());
     return;
   }
@@ -340,7 +340,7 @@ void IngressGateway::ProxyHandleRequest(Worker* worker, const Route& route,
   const FunctionId portal_fn = kPortalFnBase + dst_node;
   const auto portal_it = portal_nodes_.find(portal_fn);
   if (portal_it == portal_nodes_.end()) {
-    m_http_errors_->Increment();
+    m_http_errors_.Increment();
     FinishResponse(worker, request_id, 0);
     return;
   }
@@ -372,7 +372,7 @@ void IngressGateway::ProxyHandleRequest(Worker* worker, const Route& route,
                                              request_id]() {
             Buffer* buffer = portal->pool()->Get(portal->owner_id());
             if (buffer == nullptr) {
-              m_http_errors_->Increment();
+              m_http_errors_.Increment();
               return;
             }
             MessageHeader header;
@@ -383,7 +383,7 @@ void IngressGateway::ProxyHandleRequest(Worker* worker, const Route& route,
             header.request_id = request_id;
             if (!WriteMessage(buffer, header) || !dataplane_->Send(portal, buffer)) {
               portal->pool()->Put(buffer, portal->owner_id());
-              m_http_errors_->Increment();
+              m_http_errors_.Increment();
             }
           });
         },
@@ -395,7 +395,7 @@ void IngressGateway::PortalDeliver(FunctionRuntime* portal, Buffer* buffer) {
   const std::optional<MessageHeader> header = ReadMessage(*buffer);
   if (!header.has_value()) {
     portal->pool()->Put(buffer, portal->owner_id());
-    m_http_errors_->Increment();
+    m_http_errors_.Increment();
     return;
   }
   const uint64_t request_id = header->request_id;
@@ -403,7 +403,7 @@ void IngressGateway::PortalDeliver(FunctionRuntime* portal, Buffer* buffer) {
   portal->pool()->Put(buffer, portal->owner_id());
   const auto pending_it = pending_.find(request_id);
   if (pending_it == pending_.end()) {
-    m_http_errors_->Increment();
+    m_http_errors_.Increment();
     return;
   }
   Worker* worker = workers_[static_cast<size_t>(pending_it->second.worker)].get();
@@ -442,7 +442,7 @@ void IngressGateway::FinishResponse(Worker* worker, uint64_t request_id,
   const SimDuration tx_cost = ingress_stack_.TxCost(wire_bytes) + ingress_stack_.IrqCost();
   worker->core->Submit(tx_cost, [this, worker, body_bytes,
                                  done = std::move(pending.done)]() mutable {
-    m_responses_->Increment();
+    m_responses_.Increment();
     if (tracer_ != nullptr) {
       tracer_->Record(TraceCategory::kIngress, static_cast<uint32_t>(worker->index),
                       "http_response", 0, body_bytes);
@@ -501,7 +501,7 @@ void IngressGateway::AutoscaleTick() {
     StartWorker(active_workers());
     // Worker-process restart briefly interrupts service (Fig. 14 dips).
     paused_until_ = sim().now() + env_->cost().ingress_worker_restart;
-    m_scale_ups_->Increment();
+    m_scale_ups_.Increment();
   } else if (util < env_->cost().ingress_scale_down_util && active_workers() > 1) {
     // Drain the highest-index active worker.
     for (auto it = workers_.rbegin(); it != workers_.rend(); ++it) {
@@ -510,7 +510,7 @@ void IngressGateway::AutoscaleTick() {
         break;
       }
     }
-    m_scale_downs_->Increment();
+    m_scale_downs_.Increment();
   }
   ResetUtilizationWindows();
   sim().Schedule(env_->cost().ingress_autoscale_period, [this]() { AutoscaleTick(); });

@@ -168,12 +168,13 @@ class IngressGateway {
   uint64_t next_wr_id_ = 1;
   uint64_t next_request_id_ = 1;
   // Registry-backed counters (labels: {engine, node}) covering the request
-  // lifecycle. See Stats.
-  CounterMetric* m_requests_;
-  CounterMetric* m_responses_;
-  CounterMetric* m_http_errors_;
-  CounterMetric* m_scale_ups_;
-  CounterMetric* m_scale_downs_;
+  // lifecycle, resolved once at construction into raw-word handles
+  // (metrics.h). See Stats.
+  CounterHandle m_requests_;
+  CounterHandle m_responses_;
+  CounterHandle m_http_errors_;
+  CounterHandle m_scale_ups_;
+  CounterHandle m_scale_downs_;
 };
 
 }  // namespace nadino

@@ -12,20 +12,20 @@ ConnectionManager::ConnectionManager(Env& env, RdmaEngine* local, int max_active
       congestion_threshold_(congestion_threshold) {
   const MetricLabels labels = MetricLabels::Node(local->node());
   MetricsRegistry& reg = env_->metrics();
-  m_connects_ = &reg.Counter("connmgr_connects", labels);
-  m_activations_ = &reg.Counter("connmgr_activations", labels);
-  m_deactivations_ = &reg.Counter("connmgr_deactivations", labels);
-  m_acquires_ = &reg.Counter("connmgr_acquires", labels);
-  m_repairs_ = &reg.Counter("connmgr_repairs", labels);
+  m_connects_ = reg.ResolveCounter("connmgr_connects", labels);
+  m_activations_ = reg.ResolveCounter("connmgr_activations", labels);
+  m_deactivations_ = reg.ResolveCounter("connmgr_deactivations", labels);
+  m_acquires_ = reg.ResolveCounter("connmgr_acquires", labels);
+  m_repairs_ = reg.ResolveCounter("connmgr_repairs", labels);
 }
 
 ConnectionManager::Stats ConnectionManager::stats() const {
   Stats s;
-  s.connects = m_connects_->value();
-  s.activations = m_activations_->value();
-  s.deactivations = m_deactivations_->value();
-  s.acquires = m_acquires_->value();
-  s.repairs = m_repairs_->value();
+  s.connects = m_connects_.value();
+  s.activations = m_activations_.value();
+  s.deactivations = m_deactivations_.value();
+  s.acquires = m_acquires_.value();
+  s.repairs = m_repairs_.value();
   return s;
 }
 
@@ -41,9 +41,9 @@ void ConnectionManager::Prewarm(RdmaEngine* peer, TenantId tenant, int count) {
     const bool active = static_cast<int>(pool.size()) < max_active_per_peer_;
     pool.push_back(Pooled{local_qp, active});
     qp_index_[local_qp] = key;
-    m_connects_->Increment();
+    m_connects_.Increment();
     if (active) {
-      m_activations_->Increment();
+      m_activations_.Increment();
     } else {
       local_->qp_cache().Evict(local_qp);
     }
@@ -51,7 +51,7 @@ void ConnectionManager::Prewarm(RdmaEngine* peer, TenantId tenant, int count) {
 }
 
 ConnectionManager::Acquired ConnectionManager::Acquire(NodeId peer, TenantId tenant) {
-  m_acquires_->Increment();
+  m_acquires_.Increment();
   const auto it = pools_.find(PeerKey{peer, tenant});
   if (it == pools_.end() || it->second.empty()) {
     return {};
@@ -83,14 +83,14 @@ ConnectionManager::Acquired ConnectionManager::Acquire(NodeId peer, TenantId ten
   if ((best == nullptr || best_outstanding > congestion_threshold_) && inactive != nullptr &&
       active_count < max_active_per_peer_) {
     inactive->active = true;
-    m_activations_->Increment();
+    m_activations_.Increment();
     return {inactive->qp, env_->cost().qp_activate_cost};
   }
   if (best == nullptr) {
     // Nothing active yet (e.g. everything was deactivated): activate one.
     if (inactive != nullptr) {
       inactive->active = true;
-      m_activations_->Increment();
+      m_activations_.Increment();
       return {inactive->qp, env_->cost().qp_activate_cost};
     }
     return {};
@@ -115,7 +115,7 @@ void ConnectionManager::NoteIdle(QpNum qp) {
     if (p.qp == qp && p.active && local_->Outstanding(qp) == 0) {
       p.active = false;
       local_->qp_cache().Evict(qp);
-      m_deactivations_->Increment();
+      m_deactivations_.Increment();
       return;
     }
   }
@@ -126,7 +126,7 @@ void ConnectionManager::Repair(QpNum qp, RdmaEngine* peer) {
   if (idx == qp_index_.end()) {
     return;
   }
-  m_repairs_->Increment();
+  m_repairs_.Increment();
   // The handshake runs off the data path; the QP re-enters service when it
   // completes (real recovery would also resync the peer's QP state).
   sim().Schedule(env_->cost().rc_connect_cost, [this, qp, peer]() {

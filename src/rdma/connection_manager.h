@@ -90,11 +90,11 @@ class ConnectionManager {
   std::map<PeerKey, std::vector<Pooled>> pools_;
   std::map<QpNum, PeerKey> qp_index_;
   // Registry-backed counters (labels: node of the local engine).
-  CounterMetric* m_connects_;
-  CounterMetric* m_activations_;
-  CounterMetric* m_deactivations_;
-  CounterMetric* m_acquires_;
-  CounterMetric* m_repairs_;
+  CounterHandle m_connects_;
+  CounterHandle m_activations_;
+  CounterHandle m_deactivations_;
+  CounterHandle m_acquires_;
+  CounterHandle m_repairs_;
 };
 
 }  // namespace nadino

@@ -12,12 +12,12 @@ DistributedLockService::DistributedLockService(Env& env, RdmaNetwork* network, N
                                                FifoResource* manager_core)
     : env_(&env), network_(network), home_(home), manager_core_(manager_core) {
   const MetricLabels labels = MetricLabels::Node(home);
-  m_acquires_ = &env_->metrics().Counter("dlock_acquires", labels);
-  m_contended_ = &env_->metrics().Counter("dlock_contended_acquires", labels);
+  m_acquires_ = env_->metrics().ResolveCounter("dlock_acquires", labels);
+  m_contended_ = env_->metrics().ResolveCounter("dlock_contended_acquires", labels);
 }
 
 void DistributedLockService::Acquire(NodeId requester, uint64_t lock_id, Granted granted) {
-  m_acquires_->Increment();
+  m_acquires_.Increment();
   if (requester == home_) {
     // Local acquires still pay manager processing but skip the fabric.
     manager_core_->Submit(env_->cost().dlock_manager_op,
@@ -39,7 +39,7 @@ void DistributedLockService::Acquire(NodeId requester, uint64_t lock_id, Granted
 void DistributedLockService::ManagerAcquire(NodeId requester, uint64_t lock_id, Granted granted) {
   LockState& state = locks_[lock_id];
   if (state.held) {
-    m_contended_->Increment();
+    m_contended_.Increment();
     state.waiters.emplace_back(requester, std::move(granted));
     return;
   }

@@ -41,8 +41,8 @@ class DistributedLockService {
   // Releases `lock_id`; the next waiter (if any) is granted.
   void Release(NodeId requester, uint64_t lock_id);
 
-  uint64_t acquires() const { return m_acquires_->value(); }
-  uint64_t contended_acquires() const { return m_contended_->value(); }
+  uint64_t acquires() const { return m_acquires_.value(); }
+  uint64_t contended_acquires() const { return m_contended_.value(); }
 
  private:
   struct LockState {
@@ -62,8 +62,8 @@ class DistributedLockService {
   FifoResource* manager_core_;
   std::map<uint64_t, LockState> locks_;
   // Registry-backed counters (labels: the manager's home node).
-  CounterMetric* m_acquires_;
-  CounterMetric* m_contended_;
+  CounterHandle m_acquires_;
+  CounterHandle m_contended_;
 };
 
 }  // namespace nadino

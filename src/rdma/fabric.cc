@@ -9,30 +9,36 @@ namespace nadino {
 Fabric::Fabric(Env& env) : env_(&env) {}
 
 void Fabric::AttachNode(NodeId node) {
-  if (ports_.count(node) > 0) {
+  // Single-probe insert: the node's slot is claimed (or found) once instead
+  // of a count() walk followed by an emplace() walk.
+  const auto [it, inserted] = ports_.try_emplace(node);
+  if (!inserted) {
     return;
   }
   const CostModel& cost = env_->cost();
-  Port port;
-  port.up = std::make_unique<Link>(&env_->sim(), "up:" + std::to_string(node), cost.fabric_gbps,
-                                   cost.link_propagation, &env_->faults(), node);
-  port.down = std::make_unique<Link>(&env_->sim(), "down:" + std::to_string(node),
-                                     cost.fabric_gbps, cost.link_propagation, &env_->faults(),
-                                     node);
-  ports_.emplace(node, std::move(port));
+  it->second.up = std::make_unique<Link>(&env_->sim(), "up:" + std::to_string(node),
+                                         cost.fabric_gbps, cost.link_propagation,
+                                         &env_->faults(), node);
+  it->second.down = std::make_unique<Link>(&env_->sim(), "down:" + std::to_string(node),
+                                           cost.fabric_gbps, cost.link_propagation,
+                                           &env_->faults(), node);
 }
 
 void Fabric::Send(NodeId src, NodeId dst, uint64_t payload_bytes, Delivery delivered,
                   TenantId tenant) {
-  assert(ports_.count(src) > 0 && ports_.count(dst) > 0);
+  // One lookup per port on this per-packet path (the old code paid a count()
+  // probe in the assert plus a checked at() walk for each endpoint).
+  const auto src_it = ports_.find(src);
+  const auto dst_it = ports_.find(dst);
+  assert(src_it != ports_.end() && dst_it != ports_.end());
   const FaultDecision fault =
       env_->faults().Intercept(FaultSite::kFabric, FaultScope{tenant, src});
   if (fault.action == FaultAction::kDrop) {
     return;  // Lost in transit; the FaultPlane counted it.
   }
   const uint64_t wire_bytes = payload_bytes + kWireHeaderBytes;
-  Link* up = ports_.at(src).up.get();
-  Link* down = ports_.at(dst).down.get();
+  Link* up = src_it->second.up.get();
+  Link* down = dst_it->second.down.get();
   auto transit = [this, up, down, wire_bytes, tenant](Delivery done) {
     up->Transfer(
         wire_bytes,

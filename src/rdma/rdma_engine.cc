@@ -28,15 +28,15 @@ RdmaEngine::RdmaEngine(Env& env, NodeId node, RdmaNetwork* network)
   network_->Attach(this);
   MetricsRegistry& m = env_->metrics();
   const MetricLabels labels = MetricLabels::Node(node_);
-  m_sends_ = &m.Counter("rnic_sends", labels);
-  m_writes_ = &m.Counter("rnic_writes", labels);
-  m_reads_ = &m.Counter("rnic_reads", labels);
-  m_recv_completions_ = &m.Counter("rnic_recv_completions", labels);
-  m_rnr_events_ = &m.Counter("rnic_rnr_events", labels);
-  m_rnr_failures_ = &m.Counter("rnic_rnr_failures", labels);
-  m_bytes_tx_ = &m.Counter("rnic_bytes_tx", labels);
-  m_bytes_rx_ = &m.Counter("rnic_bytes_rx", labels);
-  m_oblivious_overwrites_ = &m.Counter("rnic_oblivious_overwrites", labels);
+  m_sends_ = m.ResolveCounter("rnic_sends", labels);
+  m_writes_ = m.ResolveCounter("rnic_writes", labels);
+  m_reads_ = m.ResolveCounter("rnic_reads", labels);
+  m_recv_completions_ = m.ResolveCounter("rnic_recv_completions", labels);
+  m_rnr_events_ = m.ResolveCounter("rnic_rnr_events", labels);
+  m_rnr_failures_ = m.ResolveCounter("rnic_rnr_failures", labels);
+  m_bytes_tx_ = m.ResolveCounter("rnic_bytes_tx", labels);
+  m_bytes_rx_ = m.ResolveCounter("rnic_bytes_rx", labels);
+  m_oblivious_overwrites_ = m.ResolveCounter("rnic_oblivious_overwrites", labels);
   // RNIC ICM-cache behaviour surfaces through the registry too (sections
   // 2.1/3.3): sampled at snapshot time from the cache's own counters.
   m.RegisterCallback("rnic_qp_cache_hits", labels, [this]() { return qp_cache_.hits(); });
@@ -45,17 +45,32 @@ RdmaEngine::RdmaEngine(Env& env, NodeId node, RdmaNetwork* network)
                      [this]() { return static_cast<uint64_t>(qp_cache_.resident()); });
 }
 
+CounterHandle& RdmaEngine::AckTimeoutHandleFor(TenantId tenant) {
+  const auto it = ack_timeout_handles_.find(tenant);
+  if (it != ack_timeout_handles_.end()) {
+    return it->second;
+  }
+  // Created lazily on the first timeout so unfaulted runs keep byte-identical
+  // snapshots; resolved once per (node, tenant), bumped through the handle.
+  MetricLabels labels = MetricLabels::Node(node_);
+  if (tenant != kInvalidTenant) {
+    labels.tenant = static_cast<int64_t>(tenant);
+  }
+  const CounterHandle handle = env_->metrics().ResolveCounter("rnic_ack_timeouts", labels);
+  return ack_timeout_handles_.emplace(tenant, handle).first->second;
+}
+
 RdmaEngine::Stats RdmaEngine::stats() const {
   Stats s;
-  s.sends = m_sends_->value();
-  s.writes = m_writes_->value();
-  s.reads = m_reads_->value();
-  s.recv_completions = m_recv_completions_->value();
-  s.rnr_events = m_rnr_events_->value();
-  s.rnr_failures = m_rnr_failures_->value();
-  s.bytes_tx = m_bytes_tx_->value();
-  s.bytes_rx = m_bytes_rx_->value();
-  s.oblivious_overwrites = m_oblivious_overwrites_->value();
+  s.sends = m_sends_.value();
+  s.writes = m_writes_.value();
+  s.reads = m_reads_.value();
+  s.recv_completions = m_recv_completions_.value();
+  s.rnr_events = m_rnr_events_.value();
+  s.rnr_failures = m_rnr_failures_.value();
+  s.bytes_tx = m_bytes_tx_.value();
+  s.bytes_rx = m_bytes_rx_.value();
+  s.oblivious_overwrites = m_oblivious_overwrites_.value();
   return s;
 }
 
@@ -214,7 +229,7 @@ void RdmaEngine::EnqueueTx(Packet pkt, SimDuration extra_cost) {
     service += env_->cost().rnic_wr_tx +
                static_cast<SimDuration>(static_cast<double>(bytes) * env_->cost().rnic_per_byte_ns);
   }
-  m_bytes_tx_->Add(bytes);
+  m_bytes_tx_.Add(bytes);
   if (pkt.tenant != kInvalidTenant && pkt.kind != Packet::Kind::kAck) {
     const auto [it, inserted] = tenant_bytes_tx_.try_emplace(pkt.tenant, 0);
     if (inserted) {
@@ -251,7 +266,7 @@ bool RdmaEngine::PostSend(QpNum qp, const Buffer& src, uint64_t wr_id, uint32_t 
     return false;
   }
   ++q->outstanding;
-  m_sends_->Increment();
+  m_sends_.Increment();
   Packet pkt;
   pkt.kind = Packet::Kind::kSend;
   pkt.src = node_;
@@ -275,7 +290,7 @@ bool RdmaEngine::PostWrite(QpNum qp, const Buffer& src, PoolId remote_pool, uint
     return false;
   }
   ++q->outstanding;
-  m_writes_->Increment();
+  m_writes_.Increment();
   Packet pkt;
   pkt.kind = Packet::Kind::kWrite;
   pkt.src = node_;
@@ -299,7 +314,7 @@ bool RdmaEngine::PostRead(QpNum qp, Buffer* dst, PoolId remote_pool, uint32_t re
     return false;
   }
   ++q->outstanding;
-  m_reads_->Increment();
+  m_reads_.Increment();
   Packet pkt;
   pkt.kind = Packet::Kind::kReadReq;
   pkt.src = node_;
@@ -366,7 +381,7 @@ void RdmaEngine::DeliverReceived(Packet pkt, SimDuration extra_cost) {
   }
   service += QpTouchCost(pkt.dst_qp);
   rx_pipe_.Submit(service, [this, pkt = std::move(pkt)]() mutable {
-    m_bytes_rx_->Add(pkt.payload.size());
+    m_bytes_rx_.Add(pkt.payload.size());
     switch (pkt.kind) {
       case Packet::Kind::kSend:
         HandleSend(std::move(pkt));
@@ -393,9 +408,9 @@ void RdmaEngine::HandleSend(Packet pkt) {
   Buffer* buffer = recv.buffer;
   if (buffer == nullptr) {
     // Receiver not ready: back off and retry delivery, as RC RNR NAK does.
-    m_rnr_events_->Increment();
+    m_rnr_events_.Increment();
     if (++pkt.rnr_attempts > kMaxRnrRetries) {
-      m_rnr_failures_->Increment();
+      m_rnr_failures_.Increment();
       SendAck(pkt, RdmaOpcode::kSend, WrStatus::kRnrRetryExceeded, 0);
       return;
     }
@@ -407,7 +422,7 @@ void RdmaEngine::HandleSend(Packet pkt) {
       static_cast<uint32_t>(std::min(pkt.payload.size(), buffer->data.size()));
   std::memcpy(buffer->data.data(), pkt.payload.data(), len);  // The DMA write.
   buffer->length = len;
-  m_recv_completions_->Increment();
+  m_recv_completions_.Increment();
   SendAck(pkt, RdmaOpcode::kSend, WrStatus::kSuccess, len);
   Completion cqe;
   cqe.wr_id = recv.wr_id;  // The *receiver's* posted WR id, per verbs semantics.
@@ -434,7 +449,7 @@ void RdmaEngine::HandleWrite(Packet pkt) {
     // The receiver-oblivious hazard (section 2.1): the writer cannot know a
     // local function currently owns this buffer. The write proceeds anyway —
     // exactly the data race one-sided RDMA permits.
-    m_oblivious_overwrites_->Increment();
+    m_oblivious_overwrites_.Increment();
   }
   const auto len =
       static_cast<uint32_t>(std::min(pkt.payload.size(), buffer->data.size()));
@@ -558,12 +573,7 @@ void RdmaEngine::OnAckTimeout(AckKey key) {
   if (q != nullptr && q->outstanding > 0) {
     --q->outstanding;
   }
-  // Created lazily so unfaulted runs keep byte-identical snapshots.
-  MetricLabels labels = MetricLabels::Node(node_);
-  if (info.tenant != kInvalidTenant) {
-    labels.tenant = static_cast<int64_t>(info.tenant);
-  }
-  env_->metrics().Counter("rnic_ack_timeouts", labels).Increment();
+  AckTimeoutHandleFor(info.tenant).Increment();
   env_->Trace(TraceCategory::kRdma, static_cast<uint32_t>(node_), "ack_timeout", key.second,
               static_cast<uint64_t>(info.tenant));
   Completion cqe;

@@ -241,16 +241,21 @@ class RdmaEngine {
   std::map<uint64_t, Buffer*> pending_reads_;  // wr_id -> destination buffer.
   std::map<AckKey, PendingAck> pending_acks_;
   std::map<PoolId, WriteArrivalHook> write_hooks_;
-  // Registry-backed counters (labels: node). See Stats for field meanings.
-  CounterMetric* m_sends_;
-  CounterMetric* m_writes_;
-  CounterMetric* m_reads_;
-  CounterMetric* m_recv_completions_;
-  CounterMetric* m_rnr_events_;
-  CounterMetric* m_rnr_failures_;
-  CounterMetric* m_bytes_tx_;
-  CounterMetric* m_bytes_rx_;
-  CounterMetric* m_oblivious_overwrites_;
+  // Registry-backed counters (labels: node), resolved once at construction
+  // into raw-word handles (metrics.h). See Stats for field meanings.
+  CounterHandle m_sends_;
+  CounterHandle m_writes_;
+  CounterHandle m_reads_;
+  CounterHandle m_recv_completions_;
+  CounterHandle m_rnr_events_;
+  CounterHandle m_rnr_failures_;
+  CounterHandle m_bytes_tx_;
+  CounterHandle m_bytes_rx_;
+  CounterHandle m_oblivious_overwrites_;
+  // rnic_ack_timeouts handles, created lazily on the first timeout for a
+  // (node, tenant) pair so unfaulted runs keep byte-identical snapshots.
+  CounterHandle& AckTimeoutHandleFor(TenantId tenant);
+  std::map<TenantId, CounterHandle> ack_timeout_handles_;
 };
 
 }  // namespace nadino

@@ -142,10 +142,7 @@ void ChainExecutor::HandleResponse(FunctionRuntime& fn, Buffer* buffer,
       // The answer to an attempt that already timed out: a retry (or its
       // terminal failure) superseded it. Recycle quietly — counting it as an
       // error would double-charge the timeout.
-      env_->metrics()
-          .Counter("retry_stale_responses", MetricLabels::Tenant(static_cast<int64_t>(
-                                                TenantOf(header.chain))))
-          .Increment();
+      RetryHandlesFor(TenantOf(header.chain)).stale_responses.Increment();
       fn.pool()->Put(buffer, fn.owner_id());
       return;
     }
@@ -284,25 +281,41 @@ void ChainExecutor::OnCallTimeout(uint64_t call_id) {
   PendingCall ctx = it->second;
   pending_.erase(it);
   stale_ids_.insert(call_id);
-  const MetricLabels labels = MetricLabels::Tenant(static_cast<int64_t>(ctx.tenant));
-  env_->metrics().Counter("retry_timeouts", labels).Increment();
+  RetryHandles& retry = RetryHandlesFor(ctx.tenant);
+  retry.timeouts.Increment();
   env_->Trace(TraceCategory::kApp, ctx.caller, "call_timeout", call_id, ctx.attempt);
   const RetryPolicy* policy = env_->slos().RetryPolicyOf(ctx.tenant);
   SloObject* slo = env_->slos().OfTenant(ctx.tenant);
   if (policy == nullptr || ctx.attempt >= policy->max_attempts) {
-    env_->metrics().Counter("retry_exhausted", labels).Increment();
+    retry.exhausted.Increment();
     FailAttempt(ctx);
     return;
   }
   if (slo != nullptr && !slo->TryConsumeRetryToken()) {
-    env_->metrics().Counter("retry_budget_denied", labels).Increment();
+    retry.budget_denied.Increment();
     FailAttempt(ctx);
     return;
   }
   const SimDuration backoff = policy->BackoffFor(ctx.attempt, env_->slos().jitter_rng());
   ctx.attempt += 1;
-  env_->metrics().Counter("retry_attempts", labels).Increment();
+  retry.attempts.Increment();
   sim().Schedule(backoff, [this, ctx]() { ReissueCall(ctx); });
+}
+
+ChainExecutor::RetryHandles& ChainExecutor::RetryHandlesFor(TenantId tenant) {
+  const auto it = retry_handles_.find(tenant);
+  if (it != retry_handles_.end()) {
+    return it->second;
+  }
+  const MetricLabels labels = MetricLabels::Tenant(static_cast<int64_t>(tenant));
+  MetricsRegistry& reg = env_->metrics();
+  RetryHandles handles;
+  handles.timeouts = reg.ResolveCounter("retry_timeouts", labels);
+  handles.exhausted = reg.ResolveCounter("retry_exhausted", labels);
+  handles.budget_denied = reg.ResolveCounter("retry_budget_denied", labels);
+  handles.attempts = reg.ResolveCounter("retry_attempts", labels);
+  handles.stale_responses = reg.ResolveCounter("retry_stale_responses", labels);
+  return retry_handles_.emplace(tenant, handles).first->second;
 }
 
 void ChainExecutor::ReissueCall(PendingCall ctx) {

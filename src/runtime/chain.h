@@ -138,6 +138,18 @@ class ChainExecutor {
   // SLO budget, and (for fan-out members) lets the group converge degraded.
   void FailAttempt(const PendingCall& ctx);
 
+  // Per-tenant retry_* counter handles, resolved lazily on the tenant's first
+  // retry event so runs without policies keep byte-identical snapshots
+  // (bench goldens), then bumped through raw-word handles (metrics.h).
+  struct RetryHandles {
+    CounterHandle timeouts;
+    CounterHandle exhausted;
+    CounterHandle budget_denied;
+    CounterHandle attempts;
+    CounterHandle stale_responses;
+  };
+  RetryHandles& RetryHandlesFor(TenantId tenant);
+
   Simulator& sim() const { return env_->sim(); }
 
   Env* env_;
@@ -148,6 +160,7 @@ class ChainExecutor {
   // Correlation ids whose attempt timed out; their late responses are
   // recycled without counting an error.
   std::set<uint64_t> stale_ids_;
+  std::map<TenantId, RetryHandles> retry_handles_;
   uint64_t next_fanout_group_ = 1;
   uint64_t next_request_id_ = 1;
   uint64_t errors_ = 0;

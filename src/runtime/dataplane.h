@@ -32,11 +32,11 @@ class DataPlane {
 
   explicit DataPlane(Env& env)
       : env_(&env),
-        m_sends_(&env.metrics().Counter("dataplane_sends")),
-        m_intra_node_(&env.metrics().Counter("dataplane_intra_node")),
-        m_inter_node_(&env.metrics().Counter("dataplane_inter_node")),
-        m_drops_(&env.metrics().Counter("dataplane_drops")),
-        m_payload_copies_(&env.metrics().Counter("dataplane_payload_copies")) {}
+        m_sends_(env.metrics().ResolveCounter("dataplane_sends")),
+        m_intra_node_(env.metrics().ResolveCounter("dataplane_intra_node")),
+        m_inter_node_(env.metrics().ResolveCounter("dataplane_inter_node")),
+        m_drops_(env.metrics().ResolveCounter("dataplane_drops")),
+        m_payload_copies_(env.metrics().ResolveCounter("dataplane_payload_copies")) {}
 
   virtual ~DataPlane() = default;
 
@@ -55,11 +55,11 @@ class DataPlane {
   // existing `stats().sends`-style call sites compile unchanged.
   Stats stats() const {
     Stats s;
-    s.sends = m_sends_->value();
-    s.intra_node = m_intra_node_->value();
-    s.inter_node = m_inter_node_->value();
-    s.drops = m_drops_->value();
-    s.payload_copies = m_payload_copies_->value();
+    s.sends = m_sends_.value();
+    s.intra_node = m_intra_node_.value();
+    s.inter_node = m_inter_node_.value();
+    s.drops = m_drops_.value();
+    s.payload_copies = m_payload_copies_.value();
     return s;
   }
 
@@ -67,12 +67,13 @@ class DataPlane {
   Env& env() const { return *env_; }
 
   Env* env_;
-  // Registry-backed counters (one data plane per experiment Env).
-  CounterMetric* m_sends_;
-  CounterMetric* m_intra_node_;
-  CounterMetric* m_inter_node_;
-  CounterMetric* m_drops_;
-  CounterMetric* m_payload_copies_;
+  // Registry-backed counters (one data plane per experiment Env), resolved
+  // once at construction into raw-word handles (metrics.h).
+  CounterHandle m_sends_;
+  CounterHandle m_intra_node_;
+  CounterHandle m_inter_node_;
+  CounterHandle m_drops_;
+  CounterHandle m_payload_copies_;
 };
 
 }  // namespace nadino

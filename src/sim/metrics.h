@@ -12,6 +12,7 @@
 #ifndef SRC_SIM_METRICS_H_
 #define SRC_SIM_METRICS_H_
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -49,6 +50,7 @@ class CounterMetric {
   uint64_t value() const { return value_; }
 
  private:
+  friend class MetricsRegistry;  // Hands out raw-word handles (below).
   uint64_t value_ = 0;
 };
 
@@ -60,7 +62,82 @@ class GaugeMetric {
   double value() const { return value_; }
 
  private:
+  friend class MetricsRegistry;
   double value_ = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// Fast-path handles (DESIGN.md §3c). MetricsRegistry::Resolve*() pays the
+// string+labels key construction and map walk exactly once; the returned
+// handle is a raw pointer into the registry's stable storage (entries live in
+// node-based map values and never move), so a hot-path bump is a single
+// indirect add with no hashing, no string assembly, and no allocation.
+// Handles stay valid for the registry's lifetime. A default-constructed
+// handle is unresolved; bumping it is a programming error (asserted).
+// ---------------------------------------------------------------------------
+
+class CounterHandle {
+ public:
+  CounterHandle() = default;
+
+  void Add(uint64_t n = 1) {
+    assert(value_ != nullptr);
+    *value_ += n;
+  }
+  void Increment() {
+    assert(value_ != nullptr);
+    ++*value_;
+  }
+  uint64_t value() const {
+    assert(value_ != nullptr);
+    return *value_;
+  }
+  bool resolved() const { return value_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit CounterHandle(uint64_t* value) : value_(value) {}
+  uint64_t* value_ = nullptr;
+};
+
+class GaugeHandle {
+ public:
+  GaugeHandle() = default;
+
+  void Set(double v) {
+    assert(value_ != nullptr);
+    *value_ = v;
+  }
+  void Add(double d) {
+    assert(value_ != nullptr);
+    *value_ += d;
+  }
+  double value() const {
+    assert(value_ != nullptr);
+    return *value_;
+  }
+  bool resolved() const { return value_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit GaugeHandle(double* value) : value_(value) {}
+  double* value_ = nullptr;
+};
+
+class HistogramMetric;
+
+class HistogramHandle {
+ public:
+  HistogramHandle() = default;
+
+  inline void Record(int64_t value);
+  const HistogramMetric* get() const { return histogram_; }
+  bool resolved() const { return histogram_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit HistogramHandle(HistogramMetric* histogram) : histogram_(histogram) {}
+  HistogramMetric* histogram_ = nullptr;
 };
 
 // Fixed-bucket histogram over int64 samples (latencies in nanoseconds, byte
@@ -94,6 +171,11 @@ class HistogramMetric {
   int64_t max_ = 0;
 };
 
+inline void HistogramHandle::Record(int64_t value) {
+  assert(histogram_ != nullptr);
+  histogram_->Record(value);
+}
+
 // Default histogram bounds for simulated durations, in nanoseconds: 1 us to
 // 1 s, roughly 1-2-5 per decade.
 const std::vector<int64_t>& DefaultDurationBoundsNs();
@@ -120,6 +202,23 @@ class MetricsRegistry {
   GaugeMetric& Gauge(const std::string& name, const MetricLabels& labels = {});
   HistogramMetric& Histogram(const std::string& name, const MetricLabels& labels = {},
                              const std::vector<int64_t>& bounds = DefaultDurationBoundsNs());
+
+  // Handle resolution: same registration semantics as the reference getters
+  // above (first call creates the instrument, later calls return the same
+  // entry), but the result is a raw-word handle for hot paths. The string API
+  // and a handle resolved for the same (name, labels) observe the same
+  // underlying value — asserted by tests/metrics_test.cc.
+  CounterHandle ResolveCounter(const std::string& name, const MetricLabels& labels = {}) {
+    return CounterHandle(&Counter(name, labels).value_);
+  }
+  GaugeHandle ResolveGauge(const std::string& name, const MetricLabels& labels = {}) {
+    return GaugeHandle(&Gauge(name, labels).value_);
+  }
+  HistogramHandle ResolveHistogram(const std::string& name, const MetricLabels& labels = {},
+                                   const std::vector<int64_t>& bounds =
+                                       DefaultDurationBoundsNs()) {
+    return HistogramHandle(&Histogram(name, labels, bounds));
+  }
 
   // Registers (or replaces) a callback sampled at snapshot time; rendered
   // like a counter.

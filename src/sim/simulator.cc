@@ -1,69 +1,151 @@
 #include "src/sim/simulator.h"
 
-#include <utility>
+#include <limits>
 
 namespace nadino {
 
-EventId Simulator::Schedule(SimDuration delay, Callback cb) {
-  if (delay < 0) {
-    delay = 0;
+namespace {
+constexpr SimTime kNoDeadline = std::numeric_limits<SimTime>::max();
+}  // namespace
+
+Simulator::~Simulator() = default;
+
+uint32_t Simulator::AllocSlot() {
+  if (free_head_ != kNoFreeSlot) {
+    const uint32_t index = free_head_;
+    free_head_ = SlotAt(index).next_free;
+    return index;
   }
-  return ScheduleAt(now_ + delay, std::move(cb));
+  if ((slot_count_ >> kChunkShift) == chunks_.size()) {
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+  }
+  return slot_count_++;
 }
 
-EventId Simulator::ScheduleAt(SimTime when, Callback cb) {
-  if (when < now_) {
-    when = now_;
+void Simulator::FreeSlot(uint32_t index) {
+  Slot& slot = SlotAt(index);
+  slot.state = SlotState::kFree;
+  // Tag the next tenancy of this slot; skip 0 on wrap so MakeId(0, gen) can
+  // never collide with kInvalidEventId.
+  if (++slot.generation == 0) {
+    slot.generation = 1;
   }
-  EventId id = next_id_++;
-  queue_.push(Event{when, id, std::move(cb)});
-  pending_.insert(id);
-  return id;
+  slot.next_free = free_head_;
+  free_head_ = index;
 }
 
-bool Simulator::Cancel(EventId id) { return pending_.erase(id) > 0; }
-
-void Simulator::SkipCancelled() {
-  while (!queue_.empty() && pending_.count(queue_.top().id) == 0) {
-    queue_.pop();
-  }
-}
-
-bool Simulator::PopAndRun() {
-  SkipCancelled();
-  if (queue_.empty()) {
+bool Simulator::Cancel(EventId id) {
+  const uint32_t index = static_cast<uint32_t>(id >> 32);
+  const uint32_t generation = static_cast<uint32_t>(id);
+  if (index >= slot_count_) {
     return false;
   }
-  // The callback may schedule new events; move it out before popping.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  pending_.erase(ev.id);
-  now_ = ev.when;
-  ++events_processed_;
-  ev.cb();
+  Slot& slot = SlotAt(index);
+  if (slot.state != SlotState::kLive || slot.generation != generation) {
+    return false;
+  }
+  slot.state = SlotState::kCancelled;
+  --live_count_;
   return true;
+}
+
+// Hole-based sift-up: the new entry rides down in a register while parents
+// shift into the hole, halving the memory traffic of swap-based sifting.
+void Simulator::HeapPush(HeapEntry entry) {
+  heap_.push_back(entry);
+  size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!Earlier(entry, heap_[parent])) {
+      break;
+    }
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+// Hole-based sift-down of the displaced last element.
+void Simulator::HeapPopTop() {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const size_t n = heap_.size();
+  if (n == 0) {
+    return;
+  }
+  size_t i = 0;
+  for (;;) {
+    const size_t left = 2 * i + 1;
+    if (left >= n) {
+      break;
+    }
+    size_t child = left;
+    const size_t right = left + 1;
+    if (right < n && Earlier(heap_[right], heap_[left])) {
+      child = right;
+    }
+    if (!Earlier(heap_[child], last)) {
+      break;
+    }
+    heap_[i] = heap_[child];
+    i = child;
+  }
+  heap_[i] = last;
+}
+
+bool Simulator::PopAndRunBefore(SimTime deadline) {
+  for (;;) {
+    if (heap_.empty()) {
+      return false;
+    }
+    // Copy the POD top out; the heap is never mutated through a const ref.
+    const HeapEntry top = heap_.front();
+    Slot& slot = SlotAt(top.slot);
+    if (slot.state == SlotState::kCancelled) {
+      // Lazy removal: the only place cancelled entries are skipped.
+      HeapPopTop();
+      slot.cb.Reset();
+      FreeSlot(top.slot);
+      continue;
+    }
+    assert(slot.state == SlotState::kLive && "heap entry points at a freed slot");
+    if (top.when > deadline) {
+      return false;
+    }
+    HeapPopTop();
+    now_ = top.when;
+    ++events_processed_;
+    --live_count_;
+    // Invoke in place: kRunning keeps the slot out of the free list (a
+    // callback scheduling new events can never be handed its own slot) and
+    // out of Cancel's reach (cancelling an already-firing id returns false,
+    // as the old pending_-erase-before-call order guaranteed).
+    slot.state = SlotState::kRunning;
+    slot.cb.Invoke();
+    slot.cb.Reset();
+    FreeSlot(top.slot);
+    return true;
+  }
 }
 
 void Simulator::Run() {
   stopped_ = false;
-  while (!stopped_ && PopAndRun()) {
+  while (!stopped_ && PopAndRunBefore(kNoDeadline)) {
   }
 }
 
 void Simulator::RunUntil(SimTime deadline) {
   stopped_ = false;
-  while (!stopped_) {
-    SkipCancelled();
-    if (queue_.empty() || queue_.top().when > deadline) {
-      break;
-    }
-    PopAndRun();
+  while (!stopped_ && PopAndRunBefore(deadline)) {
   }
   if (now_ < deadline) {
     now_ = deadline;
   }
 }
 
-bool Simulator::Step() { return PopAndRun(); }
+bool Simulator::Step() {
+  stopped_ = false;
+  return PopAndRunBefore(kNoDeadline);
+}
 
 }  // namespace nadino

@@ -1,18 +1,36 @@
 // Deterministic discrete-event simulation core.
 //
-// The simulator owns a priority queue of (time, sequence, callback) events.
-// Components schedule callbacks at future virtual times; Run() drains the
-// queue in (time, sequence) order, so two events scheduled for the same
-// instant fire in scheduling order. This total order plus a seeded PRNG makes
-// every experiment in this repository exactly reproducible.
+// The simulator owns a slab of intrusive event records plus a binary heap of
+// small POD entries ordered by (time, sequence). Components schedule
+// callbacks at future virtual times; Run() drains the heap in that order, so
+// two events scheduled for the same instant fire in scheduling order. This
+// total order plus a seeded PRNG makes every experiment in this repository
+// exactly reproducible.
+//
+// Hot-path design (DESIGN.md §3c):
+//  - Event callbacks live inline in slab slots (small-buffer optimization,
+//    kInlineBytes of capture storage); only oversized captures fall back to
+//    the heap, so a steady-state event costs zero allocations.
+//  - The heap holds 24-byte {when, seq, slot} PODs — sift operations move
+//    trivially-copyable values, never callbacks.
+//  - Slots are recycled through a free list; EventIds carry a per-slot
+//    generation tag, making Cancel() an O(1) slot probe (no hash set) with
+//    stale-id safety across slot reuse.
+//  - Cancelled slots are discarded lazily when their heap entry surfaces,
+//    exactly once per pop (the single PopAndRunBefore() path).
 
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/sim/time.h"
@@ -20,30 +38,152 @@
 namespace nadino {
 
 // Identifies a scheduled event so it can be cancelled before it fires.
+// Encodes (slot index << 32 | generation); generations start at 1, so no
+// valid id ever equals kInvalidEventId.
 using EventId = uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
+namespace internal {
+
+// Dispatch table for one erased callable type. Kept at namespace scope so the
+// per-type instances can be inline constexpr (one per translation unit fold).
+struct EventCallbackOps {
+  void (*invoke)(void* storage);
+  void (*move_construct)(void* dst, void* src);  // src is destroyed.
+  void (*destroy)(void* storage);
+};
+
+// Fixed-capacity type-erased callable. Captures up to kInlineBytes (and
+// alignment <= max_align_t, nothrow-movable) are stored inline in the event
+// slot; anything bigger degrades to one heap allocation, preserving
+// correctness for rare giant captures without taxing the common case.
+class EventCallback {
+ public:
+  static constexpr size_t kInlineBytes = 96;
+
+  EventCallback() = default;
+  ~EventCallback() { Reset(); }
+  EventCallback(EventCallback&& other) noexcept { MoveFrom(other); }
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  template <typename F>
+  void Emplace(F&& f);
+
+  // Requires engaged(). The callable stays constructed after the call (the
+  // destructor or Reset() releases it), matching pre-slab semantics where the
+  // moved-out std::function died at end of the pop scope.
+  void Invoke() { ops_->invoke(storage_); }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  bool engaged() const { return ops_ != nullptr; }
+
+ private:
+  void MoveFrom(EventCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->move_construct(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  const EventCallbackOps* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+};
+
+template <typename Fn>
+struct InlineCallbackOps {
+  static void Invoke(void* storage) { (*std::launder(reinterpret_cast<Fn*>(storage)))(); }
+  static void MoveConstruct(void* dst, void* src) {
+    Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+    ::new (dst) Fn(std::move(*from));
+    from->~Fn();
+  }
+  static void Destroy(void* storage) { std::launder(reinterpret_cast<Fn*>(storage))->~Fn(); }
+  inline static constexpr EventCallbackOps kOps{&Invoke, &MoveConstruct, &Destroy};
+};
+
+template <typename Fn>
+struct HeapCallbackOps {
+  static Fn*& Ptr(void* storage) { return *std::launder(reinterpret_cast<Fn**>(storage)); }
+  static void Invoke(void* storage) { (*Ptr(storage))(); }
+  static void MoveConstruct(void* dst, void* src) { std::memcpy(dst, src, sizeof(Fn*)); }
+  static void Destroy(void* storage) { delete Ptr(storage); }
+  inline static constexpr EventCallbackOps kOps{&Invoke, &MoveConstruct, &Destroy};
+};
+
+template <typename F>
+void EventCallback::Emplace(F&& f) {
+  using Fn = std::decay_t<F>;
+  static_assert(std::is_invocable_r_v<void, Fn&>, "event callbacks take no args");
+  assert(ops_ == nullptr && "Emplace into an engaged callback");
+  if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+                std::is_nothrow_move_constructible_v<Fn>) {
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    ops_ = &InlineCallbackOps<Fn>::kOps;
+  } else {
+    ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+    ops_ = &HeapCallbackOps<Fn>::kOps;
+  }
+}
+
+}  // namespace internal
+
 class Simulator {
  public:
+  // Kept for call sites that name their callback type; Schedule itself is a
+  // template and stores the callable directly (no std::function wrapping).
   using Callback = std::function<void()>;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
 
   // Current virtual time. Only advances inside Run*/Step.
   SimTime now() const { return now_; }
 
-  // Schedules `cb` to run `delay` nanoseconds from now. Negative delays clamp
+  // Schedules `f` to run `delay` nanoseconds from now. Negative delays clamp
   // to zero (fire this instant, after already-queued same-instant events).
-  EventId Schedule(SimDuration delay, Callback cb);
+  template <typename F>
+  EventId Schedule(SimDuration delay, F&& f) {
+    if (delay < 0) {
+      delay = 0;
+    }
+    return ScheduleAt(now_ + delay, std::forward<F>(f));
+  }
 
-  // Schedules `cb` at an absolute virtual time (clamped to >= now()).
-  EventId ScheduleAt(SimTime when, Callback cb);
+  // Schedules `f` at an absolute virtual time (clamped to >= now()).
+  template <typename F>
+  EventId ScheduleAt(SimTime when, F&& f) {
+    if (when < now_) {
+      when = now_;
+    }
+    const uint32_t slot_index = AllocSlot();
+    Slot& slot = SlotAt(slot_index);
+    slot.state = SlotState::kLive;
+    slot.cb.Emplace(std::forward<F>(f));
+    HeapPush(HeapEntry{when, next_seq_++, slot_index});
+    ++live_count_;
+    return MakeId(slot_index, slot.generation);
+  }
 
   // Cancels a pending event. Returns false if the event already fired, was
-  // already cancelled, or never existed. Cancellation is O(1); the queue slot
-  // is lazily discarded when popped.
+  // already cancelled, or never existed. O(1): decodes the id into a slot
+  // probe; the heap entry is lazily discarded when it reaches the top.
   bool Cancel(EventId id);
 
   // Runs until the event queue is empty or Stop() is called.
@@ -56,7 +196,8 @@ class Simulator {
   // Convenience: RunUntil(now() + span).
   void RunFor(SimDuration span) { RunUntil(now_ + span); }
 
-  // Executes the single next event, if any. Returns false when idle.
+  // Executes the single next event, if any. Returns false when idle. Clears
+  // a prior Stop(), consistently with Run()/RunUntil().
   bool Step();
 
   // Makes Run()/RunUntil() return after the current event completes.
@@ -67,38 +208,78 @@ class Simulator {
   uint64_t events_processed() const { return events_processed_; }
 
   // Number of live (not-yet-fired, not-cancelled) events.
-  size_t pending_events() const { return pending_.size(); }
+  size_t pending_events() const { return live_count_; }
+
+  // Slab occupancy introspection for tests: total slots ever allocated. A
+  // steady-state workload reuses slots through the free list, so this stays
+  // flat once the working set is warm (asserted by the allocation test).
+  size_t slab_slots() const { return slot_count_; }
 
  private:
-  struct Event {
-    SimTime when = 0;
-    EventId id = kInvalidEventId;
-    Callback cb;
+  enum class SlotState : uint8_t { kFree, kLive, kCancelled, kRunning };
+
+  // One slab record. The callback's capture storage is inline, so scheduling
+  // a small-capture event touches no allocator; `generation` tags recycled
+  // slots so stale EventIds can never cancel an unrelated event.
+  struct Slot {
+    internal::EventCallback cb;
+    uint32_t generation = 1;
+    uint32_t next_free = 0;
+    SlotState state = SlotState::kFree;
   };
 
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) {
-        return a.when > b.when;
-      }
-      return a.id > b.id;
+  // What the binary heap actually moves: a trivially-copyable 24-byte record.
+  // `seq` is the monotonic scheduling sequence — the same tie-break the old
+  // priority_queue used as its event id — so the (when, seq) total order (and
+  // with it every metric snapshot) is byte-identical to the pre-slab core.
+  struct HeapEntry {
+    SimTime when;
+    uint64_t seq;
+    uint32_t slot;
+  };
+  static_assert(std::is_trivially_copyable_v<HeapEntry>,
+                "heap sifts must never run user code (the pop path mutates no "
+                "const refs — the old const_cast<Event&> move is gone)");
+
+  static bool Earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) {
+      return a.when < b.when;
     }
-  };
+    return a.seq < b.seq;
+  }
 
-  // Pops and runs the next live event. Returns false when no live event.
-  bool PopAndRun();
+  static EventId MakeId(uint32_t slot, uint32_t generation) {
+    return (static_cast<EventId>(slot) << 32) | generation;
+  }
 
-  // Drops cancelled entries from the queue head.
-  void SkipCancelled();
+  static constexpr uint32_t kChunkShift = 10;
+  static constexpr uint32_t kChunkSize = 1u << kChunkShift;  // Slots per slab chunk.
+  static constexpr uint32_t kNoFreeSlot = 0xFFFFFFFFu;
+
+  Slot& SlotAt(uint32_t index) {
+    return chunks_[index >> kChunkShift][index & (kChunkSize - 1)];
+  }
+
+  uint32_t AllocSlot();
+  void FreeSlot(uint32_t index);
+
+  void HeapPush(HeapEntry entry);
+  void HeapPopTop();
+
+  // The single pop path: skips cancelled entries (exactly once per pop), then
+  // runs the next live event if its timestamp is <= `deadline`. Returns false
+  // when idle or the next live event is beyond the deadline.
+  bool PopAndRunBefore(SimTime deadline);
 
   SimTime now_ = 0;
-  EventId next_id_ = 1;
+  uint64_t next_seq_ = 1;
   uint64_t events_processed_ = 0;
+  size_t live_count_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-  // Live event ids. An id absent from `pending_` but present in the queue is a
-  // cancelled slot awaiting lazy removal.
-  std::unordered_set<EventId> pending_;
+  std::vector<HeapEntry> heap_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  uint32_t slot_count_ = 0;
+  uint32_t free_head_ = kNoFreeSlot;
 };
 
 }  // namespace nadino

@@ -110,6 +110,66 @@ TEST(MetricsRegistryTest, SnapshotJsonContainsTypedEntries) {
   EXPECT_NE(json.find("\"gauge\""), std::string::npos);
 }
 
+// Handle fast path (DESIGN.md §3c): a handle resolved for (name, labels) and
+// the string-API getter for the same key must observe the same underlying
+// instrument, in both directions.
+TEST(MetricsRegistryTest, CounterHandleAliasesStringApi) {
+  MetricsRegistry registry;
+  const MetricLabels labels = MetricLabels::Tenant(7);
+  CounterHandle handle = registry.ResolveCounter("handled", labels);
+  ASSERT_TRUE(handle.resolved());
+  EXPECT_FALSE(CounterHandle{}.resolved());
+
+  handle.Increment();
+  handle.Add(4);
+  EXPECT_EQ(registry.Counter("handled", labels).value(), 5u);
+  EXPECT_EQ(registry.ValueOf("handled", labels), 5u);
+
+  // And string-API writes are visible through the handle.
+  registry.Counter("handled", labels).Add(10);
+  EXPECT_EQ(handle.value(), 15u);
+
+  // Resolving the same key again aliases the same word; a different label set
+  // resolves a distinct instrument.
+  CounterHandle again = registry.ResolveCounter("handled", labels);
+  again.Increment();
+  EXPECT_EQ(handle.value(), 16u);
+  CounterHandle other = registry.ResolveCounter("handled", MetricLabels::Tenant(8));
+  other.Increment();
+  EXPECT_EQ(handle.value(), 16u);
+  EXPECT_EQ(other.value(), 1u);
+}
+
+TEST(MetricsRegistryTest, GaugeAndHistogramHandlesAliasStringApi) {
+  MetricsRegistry registry;
+  GaugeHandle gauge = registry.ResolveGauge("depth");
+  gauge.Set(2.5);
+  gauge.Add(0.5);
+  EXPECT_DOUBLE_EQ(registry.Gauge("depth").value(), 3.0);
+  EXPECT_DOUBLE_EQ(registry.GaugeValueOf("depth"), 3.0);
+
+  HistogramHandle histogram = registry.ResolveHistogram("lat");
+  histogram.Record(1000);
+  histogram.Record(3000);
+  EXPECT_EQ(registry.Histogram("lat").count(), 2u);
+  EXPECT_EQ(registry.Histogram("lat").sum(), 4000);
+  EXPECT_EQ(histogram.get()->count(), 2u);
+}
+
+// Handles survive later registrations: map entries are node-stable, so a
+// handle resolved early still points at its instrument after the registry
+// grows by hundreds of keys.
+TEST(MetricsRegistryTest, HandlesStayValidAsRegistryGrows) {
+  MetricsRegistry registry;
+  CounterHandle early = registry.ResolveCounter("early");
+  early.Increment();
+  for (int i = 0; i < 500; ++i) {
+    registry.Counter("filler_" + std::to_string(i)).Increment();
+  }
+  early.Add(2);
+  EXPECT_EQ(registry.Counter("early").value(), 3u);
+}
+
 TEST(EnvTest, RngIsSeedDeterministic) {
   Simulator sim_a;
   Simulator sim_b;

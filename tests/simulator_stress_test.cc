@@ -1,0 +1,188 @@
+// Slab/heap stress for the rewritten simulator core (DESIGN.md §3c): millions
+// of schedule/cancel/fire operations from a seeded RNG, asserting the
+// invariants the hot-path rewrite must preserve — the (when, seq) total
+// order, pending_events() accuracy under churn, and generation-tagged id
+// safety across slot reuse.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace nadino {
+namespace {
+
+// ~1.2M schedule ops + ~400k cancels + fires, interleaved with bursts of
+// Run/RunFor so the free list and heap cycle through many shapes.
+TEST(SimulatorStressTest, MillionOpChurnPreservesInvariants) {
+  Simulator sim;
+  Rng prng(0xdeadbeefULL);
+  uint64_t scheduled = 0;
+  uint64_t fired = 0;
+  uint64_t cancelled = 0;
+  uint64_t expected_fires = 0;
+  SimTime last_fire_time = 0;
+  uint64_t last_fire_seq = 0;
+  uint64_t next_seq_tag = 1;
+  bool order_ok = true;
+
+  std::vector<EventId> open_ids;
+  open_ids.reserve(4096);
+
+  constexpr int kRounds = 300;
+  constexpr int kBatch = 4000;  // 300 * 4000 = 1.2M scheduled events.
+  for (int round = 0; round < kRounds; ++round) {
+    for (int i = 0; i < kBatch; ++i) {
+      const SimDuration delay = static_cast<SimDuration>(prng.NextU64() % 5000);
+      const uint64_t tag = next_seq_tag++;
+      const EventId id = sim.Schedule(delay, [&, tag]() {
+        // Events must fire in non-decreasing time; at equal times, in
+        // scheduling order (tag is monotonic in scheduling order, but
+        // events scheduled later can legally fire earlier at earlier
+        // times, so only compare tags within one timestamp).
+        const SimTime now = sim.now();
+        if (now < last_fire_time) {
+          order_ok = false;
+        } else if (now == last_fire_time && tag <= last_fire_seq) {
+          order_ok = false;
+        }
+        last_fire_time = now;
+        last_fire_seq = tag;
+        ++fired;
+      });
+      EXPECT_NE(id, kInvalidEventId);
+      open_ids.push_back(id);
+      ++scheduled;
+    }
+    // Cancel a pseudo-random third of the still-open ids.
+    uint64_t round_cancels = 0;
+    std::vector<EventId> keep;
+    keep.reserve(open_ids.size());
+    for (const EventId id : open_ids) {
+      if (prng.NextU64() % 3 == 0) {
+        if (sim.Cancel(id)) {
+          ++round_cancels;
+        }
+      } else {
+        keep.push_back(id);
+      }
+    }
+    cancelled += round_cancels;
+    open_ids.swap(keep);
+    // Fire roughly half the horizon; the rest carries into the next round.
+    sim.RunFor(2500);
+    open_ids.clear();  // Fired or stale by now — either way not re-cancelled.
+  }
+  sim.Run();
+  expected_fires = scheduled - cancelled;
+  EXPECT_TRUE(order_ok) << "events fired out of (when, seq) order";
+  EXPECT_EQ(fired, expected_fires);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_GE(scheduled, 1'000'000u);
+}
+
+// pending_events() must track live (scheduled - fired - cancelled) exactly
+// through arbitrary interleavings.
+TEST(SimulatorStressTest, PendingCountStaysExact) {
+  Simulator sim;
+  Rng prng(42);
+  uint64_t live = 0;
+  std::vector<EventId> ids;
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 500; ++i) {
+      ids.push_back(sim.Schedule(static_cast<SimDuration>(prng.NextU64() % 1000),
+                                 [&live]() { --live; }));
+      ++live;
+    }
+    for (size_t i = 0; i < ids.size(); i += 4) {
+      if (sim.Cancel(ids[i])) {
+        --live;
+      }
+    }
+    ids.clear();
+    EXPECT_EQ(sim.pending_events(), live);
+    sim.RunFor(500);
+    EXPECT_EQ(sim.pending_events(), live);
+  }
+  sim.Run();
+  EXPECT_EQ(live, 0u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+// Generation tags: an EventId kept past its event's death must never cancel
+// the slot's next tenant, even after tens of thousands of reuse cycles.
+TEST(SimulatorStressTest, StaleIdsNeverCancelReusedSlots) {
+  Simulator sim;
+  uint64_t fired = 0;
+  std::vector<EventId> stale;
+  // Phase 1: build up a pile of ids, then let them all fire (every slot is
+  // recycled, every kept id is stale).
+  for (int i = 0; i < 20000; ++i) {
+    stale.push_back(sim.Schedule(1, [&fired]() { ++fired; }));
+  }
+  sim.Run();
+  ASSERT_EQ(fired, 20000u);
+  // Phase 2: refill the recycled slots with fresh events, then throw every
+  // stale id at Cancel. All must bounce off the generation check.
+  uint64_t second_fired = 0;
+  for (int i = 0; i < 20000; ++i) {
+    sim.Schedule(1, [&second_fired]() { ++second_fired; });
+  }
+  for (const EventId id : stale) {
+    EXPECT_FALSE(sim.Cancel(id));
+  }
+  EXPECT_EQ(sim.pending_events(), 20000u);
+  sim.Run();
+  EXPECT_EQ(second_fired, 20000u);
+}
+
+// Cancelling an id twice, cancelling after the fire, and cancelling inside
+// the firing callback all return false without disturbing other events.
+TEST(SimulatorStressTest, CancelEdgeCases) {
+  Simulator sim;
+  int fired = 0;
+  const EventId a = sim.Schedule(10, [&fired]() { ++fired; });
+  EXPECT_TRUE(sim.Cancel(a));
+  EXPECT_FALSE(sim.Cancel(a));  // Double-cancel.
+
+  EventId self = kInvalidEventId;
+  self = sim.Schedule(20, [&]() {
+    ++fired;
+    EXPECT_FALSE(sim.Cancel(self));  // Cancelling the firing event itself.
+  });
+  const EventId b = sim.Schedule(30, [&fired]() { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.Cancel(b));  // Cancel after fire.
+  EXPECT_FALSE(sim.Cancel(kInvalidEventId));
+}
+
+// Steady-state churn reuses slab slots through the free list: once the
+// working set is warm, slab_slots() must stay flat no matter how many more
+// events cycle through (the no-allocation property's structural half; the
+// operator-new half is asserted by simulator_alloc_test.cc).
+TEST(SimulatorStressTest, SlabStaysFlatInSteadyState) {
+  Simulator sim;
+  Rng prng(7);
+  auto churn = [&](int rounds) {
+    for (int r = 0; r < rounds; ++r) {
+      for (int i = 0; i < 256; ++i) {
+        sim.Schedule(static_cast<SimDuration>(prng.NextU64() % 100), []() {});
+      }
+      sim.RunFor(200);
+    }
+  };
+  churn(50);  // Warm-up: the slab grows to the working-set size.
+  sim.Run();
+  const size_t warm_slots = sim.slab_slots();
+  churn(500);  // 10x more churn...
+  sim.Run();
+  EXPECT_EQ(sim.slab_slots(), warm_slots);  // ...zero slab growth.
+}
+
+}  // namespace
+}  // namespace nadino
