@@ -15,7 +15,7 @@ using namespace nadino;
 
 namespace {
 
-void RunOne(const char* name, IngressMode mode) {
+void RunOne(const char* name, IngressMode mode, std::string* golden_json = nullptr) {
   IngressEchoOptions options;
   options.mode = mode;
   options.clients = 8;
@@ -38,6 +38,9 @@ void RunOne(const char* name, IngressMode mode) {
               static_cast<unsigned long>(result.scale_ups),
               static_cast<unsigned long>(result.scale_downs), result.final_workers,
               result.mean_latency_us);
+  if (golden_json != nullptr) {
+    *golden_json = result.metrics_json;
+  }
 }
 
 }  // namespace
@@ -45,9 +48,11 @@ void RunOne(const char* name, IngressMode mode) {
 int main() {
   bench::Title("Fig. 14 — horizontal scaling of the ingress",
                "section 4.1.3: +1 client per interval; CPU usage & RPS time series");
-  RunOne("NADINO ingress (autoscaled busy-poll + RDMA)", IngressMode::kNadino);
+  std::string golden_nadino;  // Representative snapshot for the bench gate.
+  RunOne("NADINO ingress (autoscaled busy-poll + RDMA)", IngressMode::kNadino, &golden_nadino);
   RunOne("F-Ingress (autoscaled busy-poll, deferred conversion)", IngressMode::kFIngress);
   RunOne("K-Ingress (interrupt-driven kernel stack)", IngressMode::kKIngress);
+  bench::WriteMetricsJson("fig14_nadino_ramp", golden_nadino);
   bench::Note(
       "paper shape: NADINO matches load with few busy-poll workers (brief RPS "
       "dips at scale-up restarts); K-Ingress burns CPU on interrupts and "

@@ -6,7 +6,7 @@
 #   scripts/check.sh                   # Release build, all tests
 #   scripts/check.sh address           # AddressSanitizer build (Debug)
 #   scripts/check.sh undefined         # UBSan build (Debug)
-#   scripts/check.sh --bench-diff      # ...then run the fig15/fig16 benches
+#   scripts/check.sh --bench-diff      # ...then run the golden bench set
 #                                      # and diff their BENCH_<name>.json
 #                                      # artifacts against bench/goldens/;
 #                                      # any drift fails the check
@@ -92,11 +92,12 @@ fi
 # them; unintended drift in calibrated costs, scheduling, or metric plumbing
 # shows up here as a diff.
 GOLDEN_DIR=bench/goldens
-GOLDEN_BENCHES=(fig06_isolation_cost fig11_offpath_onpath fig12_rdma_primitives fig13_ingress
-                fig15_multitenancy fig16_boutique)
-GOLDEN_ARTIFACTS=(BENCH_fig06_dne_4096.json BENCH_fig11_offpath_c8.json
+GOLDEN_BENCHES=(fig06_isolation_cost fig09_comch fig11_offpath_onpath fig12_rdma_primitives
+                fig13_ingress fig14_ingress_scaling fig15_multitenancy fig16_boutique)
+GOLDEN_ARTIFACTS=(BENCH_fig06_dne_4096.json BENCH_fig09_comch_e6.json BENCH_fig11_offpath_c8.json
                   BENCH_fig12_twosided_4096.json BENCH_fig13_nadino_c16.json
-                  BENCH_fig15_dwrr.json BENCH_fig15_fcfs.json BENCH_fig16_dne_home.json)
+                  BENCH_fig14_nadino_ramp.json BENCH_fig15_dwrr.json BENCH_fig15_fcfs.json
+                  BENCH_fig16_dne_home.json)
 
 RUN_DIR="$(mktemp -d)"
 trap 'rm -rf "${RUN_DIR}"' EXIT

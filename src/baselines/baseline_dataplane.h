@@ -54,6 +54,7 @@ class BaselineDataPlane : public DataPlane {
   void RegisterFunction(FunctionRuntime* function) override;
   bool Send(FunctionRuntime* src, Buffer* buffer) override;
   std::string name() const override;
+  RoutingTable* routing() override { return routing_; }
 
   BaselineSystem system() const { return system_; }
   uint64_t fuyao_copies() const { return copier_.copies(); }

@@ -1,0 +1,62 @@
+#include "src/cluster/cluster.h"
+
+#include <string>
+
+namespace nadino {
+
+Cluster::Cluster(const CostModel* cost, const ClusterConfig& config)
+    : env_(&sim_, cost, config.seed),
+      network_(env_),
+      membership_(env_, &routing_),
+      config_(config) {
+  for (int i = 0; i < config.worker_nodes; ++i) {
+    Node::Config node_config;
+    node_config.host_cores = config.host_cores_per_node;
+    node_config.with_dpu = config.workers_have_dpu;
+    node_config.dpu_cores = config.dpu_cores;
+    AddWorkerNode(node_config);
+  }
+  if (config.with_ingress_node) {
+    Node::Config node_config;
+    node_config.host_cores = config.ingress_cores;
+    node_config.with_dpu = false;
+    ingress_ = std::make_unique<Node>(env_, kIngressNodeId, &network_, node_config);
+    membership_.AddNode(kIngressNodeId, NodeRole::kIngress);
+  }
+}
+
+Node* Cluster::AddWorkerNode(const Node::Config& config) {
+  const NodeId id = static_cast<NodeId>(workers_.size() + 1);
+  workers_.push_back(std::make_unique<Node>(env_, id, &network_, config));
+  membership_.AddNode(id, NodeRole::kWorker);
+  return workers_.back().get();
+}
+
+void Cluster::CreateTenantPools(TenantId tenant, size_t buffers, size_t buffer_size) {
+  for (auto& worker : workers_) {
+    worker->tenants().CreatePool(tenant, "tenant_" + std::to_string(tenant),
+                                 TenantRegistry::PoolConfig{buffers, buffer_size});
+  }
+}
+
+void Cluster::StartHealthMonitor(const HealthMonitorOptions& options) {
+  if (health_ == nullptr) {
+    const NodeId monitor_node =
+        ingress_ != nullptr ? ingress_->id() : workers_.front()->id();
+    health_ = std::make_unique<HealthMonitor>(env_, &membership_, &network_.fabric(),
+                                              monitor_node);
+  }
+  health_->Start(options);
+}
+
+int Cluster::SeverNode(NodeId node, SimTime at, SimTime until) {
+  FaultSpec spec;
+  spec.site = FaultSite::kNodePartition;
+  spec.action = FaultAction::kDrop;
+  spec.node = node;
+  spec.window_start = at;
+  spec.window_end = until;
+  return env_.faults().Install(spec);
+}
+
+}  // namespace nadino

@@ -1,0 +1,94 @@
+// The first-class cluster layer: node assembly (NodeId allocation, fabric
+// attachment, ingress/worker roles), the versioned routing table, the
+// membership roster, and the opt-in heartbeat health monitor. Mirrors the
+// paper's testbed (section 4): worker nodes with BlueField-2 DPUs, an ingress
+// node with plain RNICs, all on one 200 Gbps switch — but as an N-node
+// system where whole-node failure is a scenario, not a segfault.
+//
+// Experiments construct a Cluster and build data planes / gateways against
+// its Env; chaos tests additionally SeverNode() (a node_partition FaultSpec)
+// and StartHealthMonitor() to drive membership epochs and failover.
+
+#ifndef SRC_CLUSTER_CLUSTER_H_
+#define SRC_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cluster/health_monitor.h"
+#include "src/cluster/membership.h"
+#include "src/core/calibration.h"
+#include "src/core/env.h"
+#include "src/rdma/rdma_engine.h"
+#include "src/runtime/node.h"
+#include "src/runtime/routing_table.h"
+#include "src/sim/simulator.h"
+
+namespace nadino {
+
+// Worker NodeIds are allocated densely from 1; the ingress node sits in its
+// own id range so worker indices and NodeIds stay visually distinct in
+// traces and metric labels.
+inline constexpr NodeId kIngressNodeId = 50;
+
+struct ClusterConfig {
+  int worker_nodes = 2;
+  int host_cores_per_node = 12;
+  bool workers_have_dpu = true;
+  int dpu_cores = 8;
+  bool with_ingress_node = true;
+  int ingress_cores = 12;
+  // Seeds the cluster Env's PRNG; equal seeds reproduce runs bit-for-bit,
+  // including the metrics snapshot (tests/determinism_test.cc).
+  uint64_t seed = kDefaultSeed;
+};
+
+class Cluster {
+ public:
+  Cluster(const CostModel* cost, const ClusterConfig& config);
+
+  // The unified context every component is constructed against. The cluster
+  // owns it: one experiment, one metric namespace, one random stream.
+  Env& env() { return env_; }
+  MetricsRegistry& metrics() { return env_.metrics(); }
+
+  Simulator& sim() { return sim_; }
+  RdmaNetwork& network() { return network_; }
+  RoutingTable& routing() { return routing_; }
+  Membership& membership() { return membership_; }
+  const CostModel& cost() const { return env_.cost(); }
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+  Node* worker(int i) { return workers_.at(static_cast<size_t>(i)).get(); }
+  Node* ingress() { return ingress_.get(); }
+
+  // Adds one more worker node after construction (scale-out paths); takes
+  // the next dense worker NodeId and joins membership as alive.
+  Node* AddWorkerNode(const Node::Config& config);
+
+  // Creates `tenant`'s unified pool on every worker node.
+  void CreateTenantPools(TenantId tenant, size_t buffers = 8192, size_t buffer_size = 16384);
+
+  // Opt-in seeded heartbeats (see health_monitor.h). The monitor probes from
+  // the ingress node when present, else from worker 0.
+  void StartHealthMonitor(const HealthMonitorOptions& options = {});
+  HealthMonitor* health() { return health_.get(); }
+
+  // Installs a node_partition FaultSpec severing `node` for [at, until)
+  // (until == 0 ⇒ never heals). Returns the FaultPlane spec index.
+  int SeverNode(NodeId node, SimTime at, SimTime until = 0);
+
+ private:
+  Simulator sim_;
+  Env env_;  // After sim_: constructed against it.
+  RdmaNetwork network_;
+  RoutingTable routing_;
+  Membership membership_;  // After routing_: bumps its epoch on transitions.
+  std::vector<std::unique_ptr<Node>> workers_;
+  std::unique_ptr<Node> ingress_;
+  std::unique_ptr<HealthMonitor> health_;
+  ClusterConfig config_;
+};
+
+}  // namespace nadino
+
+#endif  // SRC_CLUSTER_CLUSTER_H_

@@ -1,0 +1,81 @@
+// Seeded-heartbeat health monitor: a control-plane prober on one cluster node
+// that round-trips a small probe over the fabric to every other member each
+// period. A node inside a node_partition window drops the probe (both legs
+// cross Fabric::Send, the partition chokepoint), so consecutive misses drive
+// the member suspect -> dead through Membership, bumping the routing epoch;
+// the first successful probe after the window heals marks it alive again —
+// within one heartbeat period of the heal (the ISSUE acceptance bound).
+//
+// Determinism: the monitor is OPT-IN (Cluster::StartHealthMonitor) and owns a
+// private Rng decorrelated from Env's workload stream, so experiments that
+// never start it are byte-identical to builds without it, and equal seeds
+// reproduce probe schedules bit-for-bit.
+
+#ifndef SRC_CLUSTER_HEALTH_MONITOR_H_
+#define SRC_CLUSTER_HEALTH_MONITOR_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/cluster/membership.h"
+#include "src/core/env.h"
+#include "src/rdma/fabric.h"
+#include "src/sim/random.h"
+
+namespace nadino {
+
+struct HealthMonitorOptions {
+  SimDuration period = 2 * kMillisecond;         // One probe round per period.
+  SimDuration probe_timeout = 1 * kMillisecond;  // Must be < period.
+  uint32_t probe_bytes = 64;                     // Wire size of each leg.
+  int suspect_after = 1;                         // Consecutive misses.
+  int dead_after = 2;
+  // Per-probe launch stagger upper bound (seeded; avoids a thundering herd
+  // of same-tick probes without perturbing the workload's random stream).
+  SimDuration max_jitter = 10 * kMicrosecond;
+};
+
+class HealthMonitor {
+ public:
+  HealthMonitor(Env& env, Membership* membership, Fabric* fabric, NodeId monitor_node);
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  // Schedules the first probe round; idempotent.
+  void Start(const HealthMonitorOptions& options);
+
+  bool started() const { return started_; }
+  const HealthMonitorOptions& options() const { return options_; }
+  uint64_t rounds() const { return rounds_; }
+  uint64_t probes_sent() const { return probes_sent_; }
+  uint64_t probes_missed() const { return probes_missed_; }
+
+ private:
+  struct PeerState {
+    int consecutive_misses = 0;
+  };
+
+  void Tick();
+  void Probe(NodeId target);
+  void OnProbeResult(NodeId target, bool acked);
+
+  Env* env_;
+  Membership* membership_;
+  Fabric* fabric_;
+  NodeId monitor_node_;
+  HealthMonitorOptions options_;
+  Rng rng_;
+  std::map<NodeId, PeerState> peers_;
+  bool started_ = false;
+  uint64_t rounds_ = 0;
+  uint64_t probes_sent_ = 0;
+  uint64_t probes_missed_ = 0;
+  // Resolved in Start(): only monitored runs carry heartbeat instruments.
+  CounterHandle m_probes_;
+  CounterHandle m_misses_;
+};
+
+}  // namespace nadino
+
+#endif  // SRC_CLUSTER_HEALTH_MONITOR_H_

@@ -11,38 +11,8 @@
 namespace nadino {
 
 namespace {
-constexpr NodeId kIngressNodeId = 50;
 constexpr TenantId kEchoTenant = 1;
 }  // namespace
-
-// ---------------------------------------------------------------------------
-// Cluster
-// ---------------------------------------------------------------------------
-
-Cluster::Cluster(const CostModel* cost, const ClusterConfig& config)
-    : env_(&sim_, cost, config.seed), network_(env_) {
-  for (int i = 0; i < config.worker_nodes; ++i) {
-    Node::Config node_config;
-    node_config.host_cores = config.host_cores_per_node;
-    node_config.with_dpu = config.workers_have_dpu;
-    node_config.dpu_cores = config.dpu_cores;
-    workers_.push_back(std::make_unique<Node>(env_, static_cast<NodeId>(i + 1), &network_,
-                                              node_config));
-  }
-  if (config.with_ingress_node) {
-    Node::Config node_config;
-    node_config.host_cores = config.ingress_cores;
-    node_config.with_dpu = false;
-    ingress_ = std::make_unique<Node>(env_, kIngressNodeId, &network_, node_config);
-  }
-}
-
-void Cluster::CreateTenantPools(TenantId tenant, size_t buffers, size_t buffer_size) {
-  for (auto& worker : workers_) {
-    worker->tenants().CreatePool(tenant, "tenant_" + std::to_string(tenant),
-                                 TenantRegistry::PoolConfig{buffers, buffer_size});
-  }
-}
 
 // ---------------------------------------------------------------------------
 // Shared echo-driver plumbing
@@ -540,6 +510,7 @@ ComchBenchResult RunComchBench(const CostModel& cost, const ComchBenchOptions& o
   result.descriptor_rps =
       static_cast<double>(completed - measured_from) / ToSeconds(sim.now() - measure_start);
   result.metrics_text = cluster.metrics().SnapshotText();
+  result.metrics_json = cluster.metrics().SnapshotJson();
   return result;
 }
 
@@ -551,9 +522,19 @@ IngressEchoResult RunIngressEcho(const CostModel& cost, const IngressEchoOptions
   ClusterConfig config;
   config.worker_nodes = 1;
   config.with_ingress_node = true;
+  config.seed = options.seed;
   Cluster cluster(&cost, config);
   cluster.CreateTenantPools(kEchoTenant);
   Simulator& sim = cluster.sim();
+  for (const FaultSpec& spec : options.faults) {
+    cluster.env().faults().Install(spec);
+  }
+  for (const auto& [tenant, target] : options.slos) {
+    cluster.env().slos().Register(tenant, target);
+  }
+  for (const auto& [tenant, policy] : options.retries) {
+    cluster.env().slos().SetRetryPolicy(tenant, policy);
+  }
 
   NadinoDataPlane::Options dp_options;
   NadinoDataPlane dataplane(cluster.env(), &cluster.routing(), dp_options);

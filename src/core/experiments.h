@@ -13,6 +13,7 @@
 
 #include "src/apps/boutique.h"
 #include "src/baselines/baseline_dataplane.h"
+#include "src/cluster/cluster.h"
 #include "src/core/calibration.h"
 #include "src/core/env.h"
 #include "src/dne/nadino_dataplane.h"
@@ -27,52 +28,8 @@
 
 namespace nadino {
 
-// ---------------------------------------------------------------------------
-// Cluster: nodes + fabric + routing, mirroring the paper's testbed (section
-// 4): worker nodes with BlueField-2 DPUs, an ingress node with plain RNICs,
-// all on one 200 Gbps switch.
-// ---------------------------------------------------------------------------
-
-struct ClusterConfig {
-  int worker_nodes = 2;
-  int host_cores_per_node = 12;
-  bool workers_have_dpu = true;
-  int dpu_cores = 8;
-  bool with_ingress_node = true;
-  int ingress_cores = 12;
-  // Seeds the cluster Env's PRNG; equal seeds reproduce runs bit-for-bit,
-  // including the metrics snapshot (tests/determinism_test.cc).
-  uint64_t seed = kDefaultSeed;
-};
-
-class Cluster {
- public:
-  Cluster(const CostModel* cost, const ClusterConfig& config);
-
-  // The unified context every component is constructed against. The cluster
-  // owns it: one experiment, one metric namespace, one random stream.
-  Env& env() { return env_; }
-  MetricsRegistry& metrics() { return env_.metrics(); }
-
-  Simulator& sim() { return sim_; }
-  RdmaNetwork& network() { return network_; }
-  RoutingTable& routing() { return routing_; }
-  const CostModel& cost() const { return env_.cost(); }
-  int worker_count() const { return static_cast<int>(workers_.size()); }
-  Node* worker(int i) { return workers_.at(static_cast<size_t>(i)).get(); }
-  Node* ingress() { return ingress_.get(); }
-
-  // Creates `tenant`'s unified pool on every worker node.
-  void CreateTenantPools(TenantId tenant, size_t buffers = 8192, size_t buffer_size = 16384);
-
- private:
-  Simulator sim_;
-  Env env_;  // After sim_: constructed against it.
-  RdmaNetwork network_;
-  RoutingTable routing_;
-  std::vector<std::unique_ptr<Node>> workers_;
-  std::unique_ptr<Node> ingress_;
-};
+// Cluster assembly (nodes + fabric + routing + membership) lives in
+// src/cluster/cluster.h; experiments build on it unchanged.
 
 // ---------------------------------------------------------------------------
 // Echo microbenchmarks (Figs. 6, 11, 12)
@@ -142,6 +99,7 @@ struct ComchBenchResult {
   double mean_rtt_us = 0.0;
   double descriptor_rps = 0.0;
   std::string metrics_text;
+  std::string metrics_json;
 };
 ComchBenchResult RunComchBench(const CostModel& cost, const ComchBenchOptions& options);
 
@@ -161,6 +119,14 @@ struct IngressEchoOptions {
   // Fig. 14 ramp: add one client every `ramp_interval` until `clients`.
   SimDuration ramp_interval = 0;
   SimDuration sample_period = kSecond;
+  uint64_t seed = kDefaultSeed;
+  // Same install-before-workload contract as MultiTenantOptions: faults into
+  // the FaultPlane, SLO targets / retry policies into the SloRegistry (the
+  // gateway tenant is tenant 1). Equal seed + equal specs reproduce the run
+  // bit-for-bit.
+  std::vector<FaultSpec> faults;
+  std::map<TenantId, SloTarget> slos;
+  std::map<TenantId, RetryPolicy> retries;
 };
 struct IngressEchoResult {
   double mean_latency_us = 0.0;

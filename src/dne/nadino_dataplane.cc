@@ -61,7 +61,7 @@ std::string NadinoDataPlane::name() const {
 }
 
 void NadinoDataPlane::RegisterFunction(FunctionRuntime* function) {
-  functions_[function->id()] = function;
+  functions_[function->id()][function->node()->id()] = function;
   routing_->Place(function->id(), function->node()->id());
   NetworkEngine* engine = EngineAt(function->node()->id());
   if (engine == nullptr) {
@@ -96,7 +96,12 @@ bool NadinoDataPlane::Send(FunctionRuntime* src, Buffer* buffer) {
       m_drops_.Increment();
       return false;
     }
-    return SendIntraNode(src, it->second, buffer);
+    const auto replica_it = it->second.find(dst_node);
+    if (replica_it == it->second.end()) {
+      m_drops_.Increment();
+      return false;
+    }
+    return SendIntraNode(src, replica_it->second, buffer);
   }
   return SendInterNode(src, buffer, header->dst);
 }

@@ -47,7 +47,7 @@ class NadinoDataPlane : public DataPlane {
   std::string name() const override;
 
   NetworkEngine* EngineAt(NodeId node);
-  RoutingTable* routing() { return routing_; }
+  RoutingTable* routing() override { return routing_; }
 
  private:
   bool SendIntraNode(FunctionRuntime* src, FunctionRuntime* dst, Buffer* buffer);
@@ -57,7 +57,10 @@ class NadinoDataPlane : public DataPlane {
   Options options_;
   SkMsgChannel skmsg_;
   std::map<NodeId, std::unique_ptr<NetworkEngine>> engines_;
-  std::map<FunctionId, FunctionRuntime*> functions_;
+  // Keyed per (function, node): a function replicated on several workers for
+  // failover registers one runtime per node (the routing table orders them
+  // primary-first).
+  std::map<FunctionId, std::map<NodeId, FunctionRuntime*>> functions_;
   std::vector<std::pair<TenantId, uint32_t>> tenants_;
   uint32_t next_engine_id_ = 1000;
 };

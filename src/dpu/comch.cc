@@ -93,8 +93,10 @@ bool ComchServer::SendToDpu(FunctionId fn, const BufferDescriptor& desc) {
   // resolve/ownership checks downstream must reject it (no silent corruption).
   BufferDescriptor crossing = desc;
   auto wire = crossing.Encode();
-  const FaultDecision fault = env_->faults().Intercept(
-      FaultSite::kComch, FaultScope{TenantOf(fn), node_}, wire.data(), wire.size());
+  // InterceptPair with peer == node_: a node_partition window severing this
+  // node kills its Comch descriptor channel too (DESIGN.md §3d).
+  const FaultDecision fault = env_->faults().InterceptPair(
+      FaultSite::kComch, FaultScope{TenantOf(fn), node_}, node_, wire.data(), wire.size());
   if (fault.action == FaultAction::kDrop) {
     CountDrop(fn);
     return false;
@@ -134,8 +136,10 @@ bool ComchServer::SendToHost(FunctionId fn, const BufferDescriptor& desc) {
   }
   BufferDescriptor crossing = desc;
   auto wire = crossing.Encode();
-  const FaultDecision fault = env_->faults().Intercept(
-      FaultSite::kComch, FaultScope{TenantOf(fn), node_}, wire.data(), wire.size());
+  // InterceptPair with peer == node_: a node_partition window severing this
+  // node kills its Comch descriptor channel too (DESIGN.md §3d).
+  const FaultDecision fault = env_->faults().InterceptPair(
+      FaultSite::kComch, FaultScope{TenantOf(fn), node_}, node_, wire.data(), wire.size());
   if (fault.action == FaultAction::kDrop) {
     CountDrop(fn);
     return false;

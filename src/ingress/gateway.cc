@@ -249,21 +249,28 @@ void IngressGateway::NadinoHandleRequest(Worker* worker, const Route& route,
     FinishResponse(worker, request_id, 0);
     return;
   }
+  // Resolved per request under the current routing epoch, so new requests
+  // land only on live workers; kInvalidNode = no surviving placement.
   const NodeId dst_node = routing_->NodeOf(route.entry);
   const ConnectionManager::Acquired acquired =
-      worker->connections->Acquire(dst_node, options_.tenant);
+      dst_node == kInvalidNode ? ConnectionManager::Acquired{}
+                               : worker->connections->Acquire(dst_node, options_.tenant);
   if (acquired.qp == 0) {
     pool_->Put(buffer, owner_id());
     m_http_errors_.Increment();
     FinishResponse(worker, request_id, 0);
     return;
   }
-  auto post = [this, worker, buffer, route, qp = acquired.qp]() {
+  auto post = [this, worker, buffer, route, request_id, qp = acquired.qp]() {
     pool_->Transfer(buffer, owner_id(), OwnerId::Rnic(node_->id()));
     const uint64_t wr_id = next_wr_id_++;
-    in_flight_sends_[wr_id] = buffer;
+    InFlightSend& send = in_flight_sends_[wr_id];
+    send.buffer = buffer;
+    send.request_id = request_id;
+    send.chain = route.chain;
+    send.entry = route.entry;
+    send.worker = worker->index;
     node_->rnic().PostSend(qp, *buffer, wr_id, route.entry);
-    (void)worker;
   };
   if (acquired.control_cost > 0) {
     worker->core->Submit(acquired.control_cost, std::move(post));
@@ -275,10 +282,19 @@ void IngressGateway::NadinoHandleRequest(Worker* worker, const Route& route,
 void IngressGateway::OnRnicCompletion(const Completion& cqe) {
   if (cqe.opcode == RdmaOpcode::kSend) {
     const auto it = in_flight_sends_.find(cqe.wr_id);
-    if (it != in_flight_sends_.end()) {
-      pool_->Put(it->second, OwnerId::Rnic(node_->id()));
-      in_flight_sends_.erase(it);
+    if (it == in_flight_sends_.end()) {
+      return;
     }
+    InFlightSend send = it->second;
+    in_flight_sends_.erase(it);
+    if (cqe.status != WrStatus::kSuccess) {
+      // ACK timeout / transport error — typically the worker node went into
+      // a partition window mid-request. Fail over or fail closed; never
+      // leave the client's pending entry hanging.
+      HandleSendFailure(std::move(send));
+      return;
+    }
+    pool_->Put(send.buffer, OwnerId::Rnic(node_->id()));
     return;
   }
   if (cqe.opcode != RdmaOpcode::kRecv) {
@@ -315,6 +331,49 @@ void IngressGateway::NadinoHandleResponse(Worker* worker, Buffer* buffer) {
   const uint32_t body_bytes = header->payload_length;
   pool_->Put(buffer, owner_id());
   FinishResponse(worker, request_id, body_bytes);
+}
+
+void IngressGateway::HandleSendFailure(InFlightSend send) {
+  Worker* worker = workers_[static_cast<size_t>(send.worker)].get();
+  // Re-resolve under the current routing epoch: when membership moved the
+  // entry function onto a surviving replica, one failover attempt re-places
+  // the buffered request there (reusing the in-flight buffer — it never left
+  // the RNIC's ownership).
+  const NodeId dst_node = routing_->NodeOf(send.entry);
+  if (dst_node != kInvalidNode && send.attempt < 2) {
+    const ConnectionManager::Acquired acquired =
+        worker->connections->Acquire(dst_node, options_.tenant);
+    if (acquired.qp != 0) {
+      if (!m_failover_attempts_.resolved()) {
+        MetricLabels labels = MetricLabels::Node(node_->id());
+        labels.engine = static_cast<int64_t>(options_.engine_id);
+        m_failover_attempts_ =
+            env_->metrics().ResolveCounter("cluster_failover_attempts", labels);
+      }
+      m_failover_attempts_.Increment();
+      env_->Trace(TraceCategory::kCluster, node_->id(), "gateway_failover",
+                  send.request_id, dst_node);
+      send.attempt += 1;
+      const uint64_t wr_id = next_wr_id_++;
+      Buffer* buffer = send.buffer;
+      const FunctionId entry = send.entry;
+      in_flight_sends_[wr_id] = send;
+      auto post = [this, buffer, wr_id, entry, qp = acquired.qp]() {
+        node_->rnic().PostSend(qp, *buffer, wr_id, entry);
+      };
+      if (acquired.control_cost > 0) {
+        worker->core->Submit(acquired.control_cost, std::move(post));
+      } else {
+        post();
+      }
+      return;
+    }
+  }
+  // No surviving placement (or the failover attempt also died): terminate
+  // the request with an HTTP error rather than hanging the client.
+  pool_->Put(send.buffer, OwnerId::Rnic(node_->id()));
+  m_http_errors_.Increment();
+  FinishResponse(worker, send.request_id, 0);
 }
 
 void IngressGateway::PostIngressRecvBuffers(uint64_t count) {
@@ -497,11 +556,30 @@ void IngressGateway::ResetUtilizationWindows() {
 
 void IngressGateway::AutoscaleTick() {
   const double util = AverageUsefulUtilization();
-  if (util > env_->cost().ingress_scale_up_util && active_workers() < options_.max_workers) {
+  // SLO burn feedback: while the gateway tenant is consuming error budget,
+  // scale up at the lower burn threshold — queueing is already costing the
+  // tenant its SLO, so capacity arrives earlier than pure-utilization
+  // hysteresis would add it. Tenants without a registered SLO (and runs
+  // whose budget never burns) see the base threshold, unchanged.
+  const SloObject* slo = env_->slos().OfTenant(options_.tenant);
+  const bool burning = slo != nullptr && slo->Burning();
+  const double up_util =
+      burning ? env_->cost().ingress_burn_scale_up_util : env_->cost().ingress_scale_up_util;
+  if (util > up_util && active_workers() < options_.max_workers) {
     StartWorker(active_workers());
     // Worker-process restart briefly interrupts service (Fig. 14 dips).
     paused_until_ = sim().now() + env_->cost().ingress_worker_restart;
     m_scale_ups_.Increment();
+    if (burning && util <= env_->cost().ingress_scale_up_util) {
+      // This scale-up exists only because of the burn feedback; counted
+      // separately (lazily — see the golden-preservation note in gateway.h).
+      if (!m_burn_scale_ups_.resolved()) {
+        MetricLabels labels = MetricLabels::Node(node_->id());
+        labels.engine = static_cast<int64_t>(options_.engine_id);
+        m_burn_scale_ups_ = env_->metrics().ResolveCounter("gateway_burn_scale_ups", labels);
+      }
+      m_burn_scale_ups_.Increment();
+    }
   } else if (util < env_->cost().ingress_scale_down_util && active_workers() > 1) {
     // Drain the highest-index active worker.
     for (auto it = workers_.rbegin(); it != workers_.rend(); ++it) {

@@ -161,8 +161,25 @@ class IngressGateway {
   std::map<FunctionId, int> fn_to_worker_;
   std::vector<std::unique_ptr<FunctionRuntime>> portals_;
   std::map<FunctionId, NodeId> portal_nodes_;
+  // One RDMA send toward a worker engine, held until its completion. The
+  // route/request context rides along so an error completion (e.g. ACK
+  // timeout into a node_partition window) can re-place the request on a
+  // surviving worker node instead of hanging the client.
+  struct InFlightSend {
+    Buffer* buffer = nullptr;
+    uint64_t request_id = 0;
+    ChainId chain = 0;
+    FunctionId entry = kInvalidFunction;
+    int worker = 0;
+    uint32_t attempt = 1;
+  };
+
+  // Error-completion path: retry toward the current routing resolution (one
+  // failover attempt) or fail the pending request closed.
+  void HandleSendFailure(InFlightSend send);
+
   RbrTable rbr_;
-  std::map<uint64_t, Buffer*> in_flight_sends_;
+  std::map<uint64_t, InFlightSend> in_flight_sends_;
   SimTime paused_until_ = 0;
   Tracer* tracer_ = nullptr;
   uint64_t next_wr_id_ = 1;
@@ -175,6 +192,10 @@ class IngressGateway {
   CounterHandle m_http_errors_;
   CounterHandle m_scale_ups_;
   CounterHandle m_scale_downs_;
+  // Lazily resolved on first use (golden-preservation: runs that never burn
+  // SLO budget or fail over keep byte-identical snapshots).
+  CounterHandle m_burn_scale_ups_;
+  CounterHandle m_failover_attempts_;
 };
 
 }  // namespace nadino

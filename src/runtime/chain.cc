@@ -1,5 +1,7 @@
 #include "src/runtime/chain.h"
 
+#include "src/runtime/routing_table.h"
+
 namespace nadino {
 
 namespace {
@@ -113,7 +115,8 @@ void ChainExecutor::IssueCall(FunctionRuntime& fn, Buffer* buffer, const Pending
   }
   const CallSpec& call = behavior->calls[ctx.call_index];
   const uint64_t call_id = next_request_id_++;
-  pending_[call_id] = ctx;
+  PendingCall& stored = pending_[call_id] = ctx;
+  stored.target_node = ResolveNode(call.callee);
 
   MessageHeader out;
   out.chain = ctx.chain;
@@ -151,6 +154,10 @@ void ChainExecutor::HandleResponse(FunctionRuntime& fn, Buffer* buffer,
   }
   PendingCall ctx = it->second;
   pending_.erase(it);
+  if (ctx.failed_over) {
+    // The re-placed attempt answered from the surviving node.
+    FailoverHandlesFor(ctx.tenant).recovered.Increment();
+  }
   if (ctx.fanout_group != 0) {
     HandleFanoutResponse(fn, buffer, ctx);
     return;
@@ -162,6 +169,7 @@ void ChainExecutor::HandleResponse(FunctionRuntime& fn, Buffer* buffer,
   }
   ++ctx.call_index;
   ctx.attempt = 1;  // The next sequential call starts its own attempt count.
+  ctx.failed_over = false;
   if (ctx.call_index < behavior->calls.size()) {
     IssueCall(fn, buffer, ctx);
     return;
@@ -198,6 +206,7 @@ void ChainExecutor::IssueFanout(FunctionRuntime& fn, Buffer* buffer,
     ctx.caller = fn.id();
     ctx.call_index = i;
     ctx.fanout_group = group;
+    ctx.target_node = ResolveNode(call.callee);
     pending_[call_id] = ctx;
     MessageHeader out_header;
     out_header.chain = header.chain;
@@ -318,12 +327,52 @@ ChainExecutor::RetryHandles& ChainExecutor::RetryHandlesFor(TenantId tenant) {
   return retry_handles_.emplace(tenant, handles).first->second;
 }
 
+ChainExecutor::FailoverHandles& ChainExecutor::FailoverHandlesFor(TenantId tenant) {
+  const auto it = failover_handles_.find(tenant);
+  if (it != failover_handles_.end()) {
+    return it->second;
+  }
+  const MetricLabels labels = MetricLabels::Tenant(static_cast<int64_t>(tenant));
+  MetricsRegistry& reg = env_->metrics();
+  FailoverHandles handles;
+  handles.attempts = reg.ResolveCounter("cluster_failover_attempts", labels);
+  handles.recovered = reg.ResolveCounter("cluster_failover_recovered", labels);
+  return failover_handles_.emplace(tenant, handles).first->second;
+}
+
+NodeId ChainExecutor::ResolveNode(FunctionId callee) const {
+  RoutingTable* routing = dataplane_->routing();
+  return routing == nullptr ? kInvalidNode : routing->NodeOf(callee);
+}
+
 void ChainExecutor::ReissueCall(PendingCall ctx) {
   FunctionRuntime* fn = ctx.issuer;
   const FunctionBehavior* behavior = BehaviorOf(ctx.chain, ctx.caller);
   if (fn == nullptr || behavior == nullptr || ctx.call_index >= behavior->calls.size()) {
     FailAttempt(ctx);
     return;
+  }
+  const CallSpec& call = behavior->calls[ctx.call_index];
+  // Cluster failover (DESIGN.md §3d): re-resolve under the CURRENT routing
+  // epoch. A different live node means membership moved the callee off the
+  // node the timed-out attempt targeted — re-place the call there. No live
+  // replica at all fails closed immediately instead of burning the rest of
+  // the retry budget against a severed destination.
+  if (ctx.target_node != kInvalidNode) {
+    const NodeId now_node = ResolveNode(call.callee);
+    if (now_node == kInvalidNode) {
+      env_->Trace(TraceCategory::kCluster, ctx.caller, "failover_unroutable",
+                  ctx.parent_request, ctx.attempt);
+      FailAttempt(ctx);
+      return;
+    }
+    if (now_node != ctx.target_node) {
+      FailoverHandlesFor(ctx.tenant).attempts.Increment();
+      env_->Trace(TraceCategory::kCluster, ctx.caller, "failover_reissue", call.callee,
+                  now_node);
+      ctx.failed_over = true;
+      ctx.target_node = now_node;
+    }
   }
   Buffer* buffer = fn->pool()->Get(fn->owner_id());
   if (buffer == nullptr) {
@@ -332,7 +381,6 @@ void ChainExecutor::ReissueCall(PendingCall ctx) {
     FailAttempt(ctx);
     return;
   }
-  const CallSpec& call = behavior->calls[ctx.call_index];
   const uint64_t call_id = next_request_id_++;
   pending_[call_id] = ctx;
   MessageHeader out;

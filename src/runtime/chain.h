@@ -76,6 +76,12 @@ class ChainExecutor {
   uint64_t errors() const { return errors_; }
   uint64_t requests_handled() const { return requests_handled_; }
 
+  // In-flight state, for "never hung" chaos assertions: after a partition
+  // plus drained retries, both must be zero (every call terminated via
+  // failover, response, or budget-exhausted error).
+  size_t pending_calls() const { return pending_.size(); }
+  size_t open_fanouts() const { return fanouts_.size(); }
+
  private:
   struct PendingCall {
     ChainId chain = 0;
@@ -90,6 +96,11 @@ class ChainExecutor {
     size_t call_index = 0;
     uint64_t fanout_group = 0;  // Nonzero: member of a parallel fan-out.
     uint32_t attempt = 1;       // Bounded by the tenant's RetryPolicy.
+    // Node the callee resolved to when the attempt was issued. A retry that
+    // resolves elsewhere is a cluster failover: the routing epoch moved
+    // (membership marked the node dead) between attempts.
+    NodeId target_node = kInvalidNode;
+    bool failed_over = false;  // Re-placed at least once; response = recovery.
   };
 
   // A parallel fan-out in flight: the reply fires when `remaining` hits zero.
@@ -150,6 +161,17 @@ class ChainExecutor {
   };
   RetryHandles& RetryHandlesFor(TenantId tenant);
 
+  // Per-tenant cluster_failover_* handles, same lazy contract as RetryHandles.
+  struct FailoverHandles {
+    CounterHandle attempts;
+    CounterHandle recovered;
+  };
+  FailoverHandles& FailoverHandlesFor(TenantId tenant);
+
+  // Current routing resolution for `callee`, or kInvalidNode when the data
+  // plane has no routing table (fixed-wiring planes opt out of failover).
+  NodeId ResolveNode(FunctionId callee) const;
+
   Simulator& sim() const { return env_->sim(); }
 
   Env* env_;
@@ -161,6 +183,7 @@ class ChainExecutor {
   // recycled without counting an error.
   std::set<uint64_t> stale_ids_;
   std::map<TenantId, RetryHandles> retry_handles_;
+  std::map<TenantId, FailoverHandles> failover_handles_;
   uint64_t next_fanout_group_ = 1;
   uint64_t next_request_id_ = 1;
   uint64_t errors_ = 0;

@@ -18,6 +18,8 @@
 
 namespace nadino {
 
+class RoutingTable;
+
 class DataPlane {
  public:
   struct Stats {
@@ -50,6 +52,12 @@ class DataPlane {
   virtual bool Send(FunctionRuntime* src, Buffer* buffer) = 0;
 
   virtual std::string name() const = 0;
+
+  // The cluster routing table this plane resolves destinations against, or
+  // nullptr for planes with fixed wiring. The chain executor consults it to
+  // notice when a retry would land on a different (surviving) node —
+  // cluster failover accounting (DESIGN.md §3d).
+  virtual RoutingTable* routing() { return nullptr; }
 
   // Thin shim over the MetricsRegistry counters (see metrics.h); kept so
   // existing `stats().sends`-style call sites compile unchanged.

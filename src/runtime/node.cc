@@ -21,6 +21,20 @@ Node::Node(Env& env, NodeId id, RdmaNetwork* network, const Config& config)
 FifoResource* Node::AllocateCore() {
   FifoResource* core = cores_.at(static_cast<size_t>(next_core_)).get();
   next_core_ = (next_core_ + 1) % static_cast<int>(cores_.size());
+  ++allocated_cores_;
+  if (allocated_cores_ > static_cast<int>(cores_.size())) {
+    // The allocator wrapped: this "dedicated" core is already owned by an
+    // earlier function/engine. Record it — silent sharing skews per-core
+    // utilization readings and the autoscaler signals built on them.
+    if (!m_oversubscribed_.resolved()) {
+      m_oversubscribed_ = env_->metrics().ResolveCounter("node_core_oversubscribed",
+                                                         MetricLabels::Node(id_));
+    }
+    m_oversubscribed_.Increment();
+    env_->Trace(TraceCategory::kCluster, id_, "core_oversubscribed",
+                static_cast<uint64_t>(allocated_cores_),
+                static_cast<uint64_t>(cores_.size()));
+  }
   return core;
 }
 

@@ -37,8 +37,14 @@ class Node {
 
   // Assigns the next unassigned host core (functions and engines each get a
   // dedicated core, as in the paper's experiments). Wraps around when all
-  // cores are taken (over-subscription, e.g. NightCore's single-node setup).
+  // cores are taken (over-subscription, e.g. NightCore's single-node setup);
+  // each wrapped allocation is recorded in node_core_oversubscribed{node} and
+  // traced, so experiments that silently share cores are visible.
   FifoResource* AllocateCore();
+
+  // Host-core allocations so far; values above host_core_count() mean the
+  // allocator wrapped and cores are shared.
+  int allocated_cores() const { return allocated_cores_; }
 
   // Aggregate useful-work CPU utilization across host cores (sum of per-core
   // utilizations, in "cores", like `top`'s 100%-per-core convention).
@@ -57,6 +63,10 @@ class Node {
   NodeId id_;
   std::vector<std::unique_ptr<FifoResource>> cores_;
   int next_core_ = 0;
+  int allocated_cores_ = 0;
+  // Lazily resolved on the first wrapped allocation (golden-preservation:
+  // runs that never over-subscribe keep byte-identical metric snapshots).
+  CounterHandle m_oversubscribed_;
   std::unique_ptr<Dpu> dpu_;
   std::unique_ptr<RdmaEngine> rnic_;
   TenantRegistry tenants_;

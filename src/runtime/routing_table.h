@@ -1,11 +1,23 @@
 // Cluster-wide function placement: the inter-node routing table consulted by
 // the unified I/O library (intra- vs inter-node decision) and by the DNE TX
 // stage to pick the destination node (paper sections 3.2, 3.5).
+//
+// The table is cluster-owned and VERSIONED: every membership change (a node
+// marked dead or rejoining, see src/cluster/membership.h) bumps `epoch()`.
+// Functions may be placed on several nodes — the first registration is the
+// primary, later ones are failover replicas in registration order — and
+// NodeOf() resolves to the first placement on a live node, so routing
+// "rebuilds" on each membership epoch without touching the placement lists.
+// Readers that captured an epoch can detect staleness with NodeOfAt(), which
+// fails closed (kInvalidNode) instead of routing on outdated membership.
 
 #ifndef SRC_RUNTIME_ROUTING_TABLE_H_
 #define SRC_RUNTIME_ROUTING_TABLE_H_
 
+#include <cstdint>
 #include <map>
+#include <set>
+#include <vector>
 
 #include "src/core/types.h"
 
@@ -13,11 +25,39 @@ namespace nadino {
 
 class RoutingTable {
  public:
-  void Place(FunctionId function, NodeId node) { placement_[function] = node; }
+  // Records a placement. Idempotent per (function, node); a second node for
+  // the same function becomes a failover replica, not a replacement.
+  void Place(FunctionId function, NodeId node) {
+    std::vector<NodeId>& nodes = placement_[function];
+    for (const NodeId existing : nodes) {
+      if (existing == node) {
+        return;
+      }
+    }
+    nodes.push_back(node);
+  }
 
+  // First placement on a live node; kInvalidNode when the function is
+  // unknown or every replica is on a dead node (fail closed — callers
+  // surface an unroutable error rather than targeting a severed node).
   NodeId NodeOf(FunctionId function) const {
     const auto it = placement_.find(function);
-    return it == placement_.end() ? kInvalidNode : it->second;
+    if (it == placement_.end()) {
+      return kInvalidNode;
+    }
+    for (const NodeId node : it->second) {
+      if (NodeLive(node)) {
+        return node;
+      }
+    }
+    return kInvalidNode;
+  }
+
+  // Epoch-checked lookup: a reader holding a stale epoch gets kInvalidNode
+  // and must re-read under the current epoch (see tests/cluster_routing_
+  // epoch_test.cc for the retry-or-fail-closed contract).
+  NodeId NodeOfAt(FunctionId function, uint64_t expected_epoch) const {
+    return expected_epoch == epoch_ ? NodeOf(function) : kInvalidNode;
   }
 
   bool SameNode(FunctionId a, FunctionId b) const {
@@ -27,8 +67,30 @@ class RoutingTable {
 
   size_t size() const { return placement_.size(); }
 
+  const std::vector<NodeId>* PlacementsOf(FunctionId function) const {
+    const auto it = placement_.find(function);
+    return it == placement_.end() ? nullptr : &it->second;
+  }
+
+  // --- Membership integration (cluster-owned; see src/cluster/) -------------
+
+  uint64_t epoch() const { return epoch_; }
+  void BumpEpoch() { ++epoch_; }
+
+  bool NodeLive(NodeId node) const { return dead_.find(node) == dead_.end(); }
+
+  // Marks a node routable / unroutable and bumps the epoch on any change.
+  void SetNodeLive(NodeId node, bool live) {
+    const bool changed = live ? dead_.erase(node) > 0 : dead_.insert(node).second;
+    if (changed) {
+      ++epoch_;
+    }
+  }
+
  private:
-  std::map<FunctionId, NodeId> placement_;
+  std::map<FunctionId, std::vector<NodeId>> placement_;
+  std::set<NodeId> dead_;  // Empty in steady state: NodeLive is one probe.
+  uint64_t epoch_ = 1;
 };
 
 }  // namespace nadino

@@ -18,6 +18,8 @@ const char* TraceCategoryName(TraceCategory category) {
       return "app";
     case TraceCategory::kFault:
       return "fault";
+    case TraceCategory::kCluster:
+      return "cluster";
   }
   return "?";
 }

@@ -26,6 +26,7 @@ enum class TraceCategory : uint8_t {
   kIngress,  // Gateway request/response lifecycle.
   kApp,      // Function-level events.
   kFault,    // FaultPlane injections (site/action, scope in args).
+  kCluster,  // Membership transitions, heartbeats, failover re-routes.
 };
 
 const char* TraceCategoryName(TraceCategory category);

@@ -1,0 +1,182 @@
+// Chain-executor failover re-routing: when membership marks a call's target
+// node dead between attempts, the retry re-resolves routing and lands on a
+// surviving replica (cluster_failover_attempts / _recovered); when no live
+// replica exists the attempt fails closed immediately (never re-sent into a
+// black hole). Membership is driven directly here — the heartbeat-driven
+// end-to-end path is tests/cluster_partition_chaos_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/experiments.h"
+#include "src/core/slo.h"
+#include "src/runtime/chain.h"
+#include "src/runtime/message_header.h"
+
+namespace nadino {
+namespace {
+
+constexpr TenantId kTenant = 1;
+constexpr FunctionId kClientFn = 99;
+constexpr FunctionId kEntryFn = 100;
+constexpr FunctionId kLeafFn = 101;
+
+// Client + entry on worker 0 (node 1); the leaf primary on worker 1 (node 2)
+// with an optional replica on worker 2 (node 3).
+struct Harness {
+  explicit Harness(bool with_replica) {
+    cluster_config.worker_nodes = with_replica ? 3 : 2;
+    cluster_config.with_ingress_node = false;
+    cluster = std::make_unique<Cluster>(&cost, cluster_config);
+    cluster->CreateTenantPools(kTenant, 2048, 8192);
+    cluster->env().slos().Register(kTenant, SloTarget{});
+    RetryPolicy policy;
+    policy.max_attempts = 5;
+    policy.timeout = 2 * kMillisecond;
+    cluster->env().slos().SetRetryPolicy(kTenant, policy);
+
+    dp = std::make_unique<NadinoDataPlane>(cluster->env(), &cluster->routing(),
+                                           NadinoDataPlane::Options{});
+    for (int i = 0; i < cluster_config.worker_nodes; ++i) {
+      dp->AddWorkerNode(cluster->worker(i));
+    }
+    dp->AttachTenant(kTenant, 1);
+    dp->Start();
+
+    ChainSpec spec;
+    spec.id = 1;
+    spec.tenant = kTenant;
+    spec.entry = kEntryFn;
+    FunctionBehavior entry;
+    entry.compute = 5 * kMicrosecond;
+    entry.calls.push_back(CallSpec{kLeafFn, 512});
+    spec.behaviors[kEntryFn] = entry;
+    FunctionBehavior leaf;
+    leaf.compute = 5 * kMicrosecond;
+    spec.behaviors[kLeafFn] = leaf;
+
+    executor = std::make_unique<ChainExecutor>(cluster->env(), dp.get());
+    executor->RegisterChain(spec);
+
+    AddFunction(kEntryFn, 0);
+    AddFunction(kLeafFn, 1);  // Primary placement.
+    if (with_replica) {
+      AddFunction(kLeafFn, 2);  // Failover replica (registration order).
+    }
+    client = std::make_unique<FunctionRuntime>(kClientFn, kTenant, "client",
+                                               cluster->worker(0),
+                                               cluster->worker(0)->AllocateCore(),
+                                               cluster->worker(0)->tenants().PoolOfTenant(kTenant));
+    dp->RegisterFunction(client.get());
+    client->SetHandler([this](FunctionRuntime& fn, Buffer* buffer) {
+      const auto header = ReadMessage(*buffer);
+      if (header.has_value() && header->is_response()) {
+        ++completed;
+      }
+      fn.pool()->Put(buffer, fn.owner_id());
+    });
+  }
+
+  void AddFunction(FunctionId id, int worker) {
+    Node* node = cluster->worker(worker);
+    functions.push_back(std::make_unique<FunctionRuntime>(
+        id, kTenant, "fn" + std::to_string(id) + "@" + std::to_string(node->id()), node,
+        node->AllocateCore(), node->tenants().PoolOfTenant(kTenant)));
+    dp->RegisterFunction(functions.back().get());
+    executor->AttachFunction(functions.back().get());
+  }
+
+  void SubmitAt(SimTime at) {
+    cluster->sim().ScheduleAt(at, [this]() {
+      Buffer* request = client->pool()->Get(client->owner_id());
+      ASSERT_NE(request, nullptr);
+      MessageHeader header;
+      header.chain = 1;
+      header.src = kClientFn;
+      header.dst = kEntryFn;
+      header.payload_length = 256;
+      header.request_id = executor->NextRequestId();
+      WriteMessage(request, header);
+      if (!dp->Send(client.get(), request)) {
+        client->pool()->Put(request, client->owner_id());
+      }
+    });
+  }
+
+  uint64_t Failovers() const {
+    return cluster->metrics().ValueOf("cluster_failover_attempts", MetricLabels::Tenant(kTenant));
+  }
+  uint64_t Recovered() const {
+    return cluster->metrics().ValueOf("cluster_failover_recovered", MetricLabels::Tenant(kTenant));
+  }
+
+  CostModel cost = CostModel::Default();
+  ClusterConfig cluster_config;
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<NadinoDataPlane> dp;
+  std::unique_ptr<ChainExecutor> executor;
+  std::vector<std::unique_ptr<FunctionRuntime>> functions;
+  std::unique_ptr<FunctionRuntime> client;
+  int completed = 0;
+};
+
+TEST(ClusterFailoverTest, RetryReRoutesToSurvivingReplicaAfterMarkDead) {
+  Harness h(/*with_replica=*/true);
+  // Sever the leaf's primary node forever; membership learns at 4 ms (driven
+  // directly — the monitor path is covered by the chaos test).
+  ASSERT_GE(h.cluster->SeverNode(2, 1 * kMillisecond, 0), 0);
+  h.cluster->sim().ScheduleAt(4 * kMillisecond, [&h]() { h.cluster->membership().MarkDead(2); });
+
+  h.SubmitAt(2 * kMillisecond);   // In flight toward node 2 when it dies.
+  h.SubmitAt(10 * kMillisecond);  // Issued after death: routed to node 3.
+  h.cluster->sim().RunFor(100 * kMillisecond);
+
+  EXPECT_EQ(h.completed, 2);
+  EXPECT_EQ(h.executor->pending_calls(), 0u);
+  EXPECT_GE(h.Failovers(), 1u) << "the in-flight call must re-place onto node 3";
+  EXPECT_EQ(h.Recovered(), h.Failovers()) << "every failed-over call completed";
+  // The post-death submit resolves the replica directly — no failover, no
+  // retry, just routing under the new epoch.
+  EXPECT_EQ(h.cluster->routing().NodeOf(kLeafFn), 3u);
+}
+
+TEST(ClusterFailoverTest, NoLiveReplicaFailsClosedWithoutSpinning) {
+  Harness h(/*with_replica=*/false);
+  ASSERT_GE(h.cluster->SeverNode(2, 1 * kMillisecond, 0), 0);
+  h.cluster->sim().ScheduleAt(4 * kMillisecond, [&h]() { h.cluster->membership().MarkDead(2); });
+
+  h.SubmitAt(2 * kMillisecond);
+  h.cluster->sim().RunFor(100 * kMillisecond);
+
+  EXPECT_EQ(h.completed, 0);
+  EXPECT_EQ(h.executor->pending_calls(), 0u) << "unroutable calls terminate, never hang";
+  EXPECT_EQ(h.Failovers(), 0u) << "nothing to fail over to";
+  EXPECT_GT(h.executor->errors(), 0u);
+  // The first reissue after death observed kInvalidNode and stopped; retry
+  // attempts stay far below the policy cap.
+  EXPECT_LE(h.cluster->metrics().ValueOf("retry_attempts", MetricLabels::Tenant(kTenant)), 2u);
+  EXPECT_EQ(h.cluster->routing().NodeOf(kLeafFn), kInvalidNode);
+}
+
+TEST(ClusterFailoverTest, HealedPrimaryTakesNewInvocationsBack) {
+  Harness h(/*with_replica=*/true);
+  ASSERT_GE(h.cluster->SeverNode(2, 1 * kMillisecond, 20 * kMillisecond), 0);
+  h.cluster->sim().ScheduleAt(4 * kMillisecond, [&h]() { h.cluster->membership().MarkDead(2); });
+  h.cluster->sim().ScheduleAt(21 * kMillisecond, [&h]() { h.cluster->membership().MarkAlive(2); });
+
+  h.SubmitAt(10 * kMillisecond);  // During the outage: replica serves it.
+  h.SubmitAt(30 * kMillisecond);  // After rejoin: primary again.
+  h.cluster->sim().RunFor(100 * kMillisecond);
+
+  EXPECT_EQ(h.completed, 2);
+  EXPECT_EQ(h.cluster->routing().NodeOf(kLeafFn), 2u) << "primary restored after rejoin";
+  // functions[1] is the primary leaf on node 2, functions[2] the replica.
+  EXPECT_GE(h.functions[2]->messages_received(), 1u) << "outage request served by replica";
+  EXPECT_GE(h.functions[1]->messages_received(), 1u) << "post-heal request back on primary";
+}
+
+}  // namespace
+}  // namespace nadino
