@@ -1,0 +1,66 @@
+// Node-scale sweep — throughput and p99 latency of replica-spread pipeline
+// chains as the cluster grows from the paper's node pair to 8/16/64 workers
+// (DESIGN.md §3e). Each tenant runs a 3-stage pipeline placed by the
+// locality-aware ChainPlacer with 2 replicas per stage; the weighted spreader
+// rotates requests across live replicas, and the per-node resolution counts
+// printed below are the direct evidence of spreading (skew <= 1.5x asserted
+// by tests/node_scale_spread_test.cc).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/experiments.h"
+
+using namespace nadino;
+
+namespace {
+
+NodeScaleOptions Scenario(int nodes) {
+  NodeScaleOptions options;
+  options.nodes = nodes;
+  options.replicas = 2;
+  options.tenants = 2;
+  options.stages = 3;
+  options.requests_per_tenant = 400;
+  options.spacing = 200 * kMicrosecond;
+  options.duration = 2 * kSecond;
+  options.spread = true;
+  return options;
+}
+
+void PrintRow(int nodes, const NodeScaleResult& result) {
+  std::printf("%6d %12.0f %12.2f %12.2f %10llu %8llu %10d %10.2f\n", nodes, result.rps,
+              result.mean_latency_us, result.p99_latency_us,
+              static_cast<unsigned long long>(result.completed),
+              static_cast<unsigned long long>(result.errors), result.chain_crossing_score,
+              result.replica_skew);
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("Node scale — replica-aware placement across N workers",
+               "DESIGN.md §3e: weighted spreading + locality-aware chain placement");
+  const CostModel& cost = CostModel::Default();
+  std::printf("%6s %12s %12s %12s %10s %8s %10s %10s\n", "nodes", "rps", "mean_us",
+              "p99_us", "completed", "errors", "crossings", "skew");
+  NodeScaleResult sixteen;
+  for (const int nodes : {2, 8, 16, 64}) {
+    const NodeScaleResult result = RunNodeScale(cost, Scenario(nodes));
+    PrintRow(nodes, result);
+    if (nodes == 16) {
+      sixteen = result;
+    }
+  }
+  std::printf("\n16-node entry resolutions by node:");
+  for (const auto& [node, count] : sixteen.entry_resolved) {
+    std::printf(" n%u=%llu", node, static_cast<unsigned long long>(count));
+  }
+  std::printf("\n");
+  bench::Note(
+      "replicas double as capacity: per-stage resolutions stay within 1.5x "
+      "across the pair, and crossings stay flat as nodes grow because the "
+      "placer keeps adjacent stages colocated until the slot budget fills.");
+  bench::WriteMetricsJson("node_scale_16", sixteen.metrics_json);
+  return 0;
+}

@@ -113,7 +113,13 @@ bool BaselineDataPlane::Send(FunctionRuntime* src, Buffer* buffer) {
     return false;
   }
   m_sends_.Increment();
-  const NodeId dst_node = routing_->NodeOf(header->dst);
+  // Committing resolution: baselines have no later TX re-resolve stage, so
+  // the policy pick (and per-replica served accounting) lands here. Replies
+  // are pinned to the first-live placement — they target the caller, not
+  // fresh capacity — and never advance the policy rotor.
+  const NodeId dst_node = header->is_response()
+                              ? routing_->NodeOf(header->dst)
+                              : routing_->ResolveFor(header->dst, src->node()->id());
   if (dst_node == kInvalidNode) {
     m_drops_.Increment();
     return false;

@@ -29,6 +29,9 @@ Node* Cluster::AddWorkerNode(const Node::Config& config) {
   const NodeId id = static_cast<NodeId>(workers_.size() + 1);
   workers_.push_back(std::make_unique<Node>(env_, id, &network_, config));
   membership_.AddNode(id, NodeRole::kWorker);
+  if (placement_ != nullptr) {
+    placement_->AddWorker(workers_.back().get());
+  }
   return workers_.back().get();
 }
 
@@ -47,6 +50,17 @@ void Cluster::StartHealthMonitor(const HealthMonitorOptions& options) {
                                               monitor_node);
   }
   health_->Start(options);
+}
+
+PlacementManager* Cluster::EnablePlacement(const PlacementOptions& options) {
+  if (placement_ == nullptr) {
+    placement_ = std::make_unique<PlacementManager>(env_, &routing_, options, config_.seed);
+    for (auto& worker : workers_) {
+      placement_->AddWorker(worker.get());
+    }
+    placement_->Start();
+  }
+  return placement_.get();
 }
 
 int Cluster::SeverNode(NodeId node, SimTime at, SimTime until) {

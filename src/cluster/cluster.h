@@ -17,6 +17,7 @@
 
 #include "src/cluster/health_monitor.h"
 #include "src/cluster/membership.h"
+#include "src/cluster/placement.h"
 #include "src/core/calibration.h"
 #include "src/core/env.h"
 #include "src/rdma/rdma_engine.h"
@@ -77,6 +78,13 @@ class Cluster {
   // (until == 0 ⇒ never heals). Returns the FaultPlane spec index.
   int SeverNode(NodeId node, SimTime at, SimTime until = 0);
 
+  // Opt-in placement subsystem (src/cluster/placement.h): installs the
+  // weighted spreader as the routing table's replica selector and, per
+  // options, starts the live rebalancer over this cluster's workers.
+  // Idempotent; unenabled clusters are byte-identical to builds without it.
+  PlacementManager* EnablePlacement(const PlacementOptions& options = {});
+  PlacementManager* placement() { return placement_.get(); }
+
  private:
   Simulator sim_;
   Env env_;  // After sim_: constructed against it.
@@ -86,6 +94,7 @@ class Cluster {
   std::vector<std::unique_ptr<Node>> workers_;
   std::unique_ptr<Node> ingress_;
   std::unique_ptr<HealthMonitor> health_;
+  std::unique_ptr<PlacementManager> placement_;
   ClusterConfig config_;
 };
 

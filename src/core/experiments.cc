@@ -927,4 +927,191 @@ BoutiqueResult RunBoutique(const CostModel& cost, const BoutiqueOptions& options
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// N-node scaling (DESIGN.md §3e)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Per-tenant pipeline: fn_i calls fn_{i+1}; the last stage is the leaf.
+ChainSpec BuildPipelineChain(TenantId tenant, FunctionId base, int stages,
+                             uint32_t payload) {
+  ChainSpec spec;
+  spec.id = static_cast<ChainId>(tenant);
+  spec.tenant = tenant;
+  spec.name = "pipeline_" + std::to_string(tenant);
+  spec.entry = base;
+  spec.entry_request_payload = payload;
+  for (int s = 0; s < stages; ++s) {
+    FunctionBehavior behavior;
+    behavior.compute = 5 * kMicrosecond;
+    behavior.response_payload = payload;
+    if (s + 1 < stages) {
+      behavior.calls.push_back(CallSpec{base + static_cast<FunctionId>(s) + 1, payload});
+    }
+    spec.behaviors[base + static_cast<FunctionId>(s)] = behavior;
+  }
+  return spec;
+}
+
+}  // namespace
+
+NodeScaleResult RunNodeScale(const CostModel& cost, const NodeScaleOptions& options) {
+  ClusterConfig config;
+  config.worker_nodes = options.nodes;
+  config.with_ingress_node = false;
+  config.seed = options.seed;
+  Cluster cluster(&cost, config);
+  Simulator& sim = cluster.sim();
+
+  PlacementOptions placement;
+  placement.spread = options.spread;
+  placement.utilization_weights = options.utilization_weights;
+  placement.rebalance = options.rebalance;
+  placement.rebalancer.period = options.rebalance_period;
+  cluster.EnablePlacement(placement);
+
+  NadinoDataPlane dataplane(cluster.env(), &cluster.routing(), {});
+  std::vector<NodeId> worker_ids;
+  std::map<NodeId, Node*> node_by_id;
+  for (int i = 0; i < cluster.worker_count(); ++i) {
+    Node* node = cluster.worker(i);
+    dataplane.AddWorkerNode(node);
+    worker_ids.push_back(node->id());
+    node_by_id[node->id()] = node;
+  }
+
+  std::vector<ChainSpec> chains;
+  for (int t = 0; t < options.tenants; ++t) {
+    const TenantId tenant = static_cast<TenantId>(t + 1);
+    cluster.CreateTenantPools(tenant, 4096, 8192);
+    dataplane.AttachTenant(tenant, 1);
+    chains.push_back(BuildPipelineChain(tenant, 1000 + static_cast<FunctionId>(t) * 100,
+                                        options.stages, options.payload));
+  }
+  dataplane.Start();
+
+  ChainExecutor executor(cluster.env(), &dataplane);
+  NodeScaleResult result;
+  std::vector<std::unique_ptr<FunctionRuntime>> functions;
+  std::vector<std::unique_ptr<FunctionRuntime>> clients;
+  const int replicas = std::max(1, std::min(options.replicas, options.nodes));
+  for (const ChainSpec& spec : chains) {
+    executor.RegisterChain(spec);
+    // Locality-aware primaries via the ChainPlacer, then `replicas - 1`
+    // additional placements per stage on the following nodes (dense wrap) so
+    // the spreader has live alternatives everywhere.
+    const std::map<FunctionId, NodeId> assignment =
+        ChainPlacer::PlaceChain(spec, worker_ids, options.capacity_per_node);
+    result.chain_crossing_score += ChainPlacer::ScoreAssignment(spec, assignment);
+    for (const auto& [fn_id, primary] : assignment) {
+      const size_t primary_pos = static_cast<size_t>(
+          std::find(worker_ids.begin(), worker_ids.end(), primary) - worker_ids.begin());
+      for (int r = 0; r < replicas; ++r) {
+        Node* node = node_by_id[worker_ids[(primary_pos + static_cast<size_t>(r)) %
+                                           worker_ids.size()]];
+        functions.push_back(std::make_unique<FunctionRuntime>(
+            fn_id, spec.tenant, spec.name + "_fn" + std::to_string(fn_id), node,
+            node->AllocateCore(), node->tenants().PoolOfTenant(spec.tenant)));
+        dataplane.RegisterFunction(functions.back().get());
+        executor.AttachFunction(functions.back().get());
+      }
+    }
+  }
+
+  // One open-loop client per tenant, colocated with its entry's primary.
+  LatencyHistogram latencies;
+  std::map<uint64_t, SimTime> issue_times;
+  for (const ChainSpec& spec : chains) {
+    Node* home = node_by_id[cluster.routing().NodeOf(spec.entry)];
+    clients.push_back(std::make_unique<FunctionRuntime>(
+        900 + static_cast<FunctionId>(spec.tenant), spec.tenant, "client", home,
+        home->AllocateCore(), home->tenants().PoolOfTenant(spec.tenant)));
+    FunctionRuntime* client = clients.back().get();
+    dataplane.RegisterFunction(client);
+    client->SetHandler([&, client](FunctionRuntime& fn, Buffer* buffer) {
+      const auto header = ReadMessage(*buffer);
+      if (header.has_value() && header->is_response()) {
+        const auto it = issue_times.find(header->request_id);
+        if (it != issue_times.end()) {
+          latencies.Record(cluster.env().now() - it->second);
+          issue_times.erase(it);
+        }
+        ++result.completed;
+      }
+      fn.pool()->Put(buffer, fn.owner_id());
+      (void)client;
+    });
+  }
+  for (size_t c = 0; c < clients.size(); ++c) {
+    FunctionRuntime* client = clients[c].get();
+    const ChainSpec& spec = chains[c];
+    for (int i = 0; i < options.requests_per_tenant; ++i) {
+      // Tenants stagger by a fraction of the spacing so sends interleave
+      // deterministically instead of colliding on the same tick.
+      const SimTime at = static_cast<SimTime>(i) * options.spacing +
+                         static_cast<SimTime>(c) * (options.spacing / 7 + 1);
+      sim.ScheduleAt(at, [&, client]() {
+        Buffer* request = client->pool()->Get(client->owner_id());
+        if (request == nullptr) {
+          ++result.errors;
+          return;
+        }
+        MessageHeader header;
+        header.chain = spec.id;
+        header.src = client->id();
+        header.dst = spec.entry;
+        header.payload_length = options.payload;
+        header.request_id = executor.NextRequestId();
+        WriteMessage(request, header);
+        issue_times[header.request_id] = cluster.env().now();
+        if (!dataplane.Send(client, request)) {
+          issue_times.erase(header.request_id);
+          ++result.errors;
+          client->pool()->Put(request, client->owner_id());
+        }
+      });
+    }
+  }
+
+  sim.RunFor(options.duration);
+
+  result.errors += executor.errors();
+  result.migrations = cluster.placement()->migrations();
+  result.rps = static_cast<double>(result.completed) / ToSeconds(options.duration);
+  result.mean_latency_us = latencies.MeanUs();
+  result.p99_latency_us = ToUs(latencies.Percentile(0.99));
+  for (const ChainSpec& spec : chains) {
+    for (const NodeId node : worker_ids) {
+      const uint64_t count = cluster.routing().ResolvedCount(spec.entry, node);
+      if (count > 0) {
+        result.entry_resolved[node] += count;
+      }
+    }
+    // Worst per-function imbalance over every multi-replica stage that saw
+    // meaningful traffic.
+    for (const auto& [fn_id, behavior] : spec.behaviors) {
+      (void)behavior;
+      const std::vector<NodeId>* placements = cluster.routing().PlacementsOf(fn_id);
+      if (placements == nullptr || placements->size() < 2) {
+        continue;
+      }
+      uint64_t lo = UINT64_MAX, hi = 0, total = 0;
+      for (const NodeId node : *placements) {
+        const uint64_t count = cluster.routing().ResolvedCount(fn_id, node);
+        lo = std::min(lo, count);
+        hi = std::max(hi, count);
+        total += count;
+      }
+      if (total >= 100) {
+        const double ratio = static_cast<double>(hi) / static_cast<double>(std::max<uint64_t>(lo, 1));
+        result.replica_skew = std::max(result.replica_skew, ratio);
+      }
+    }
+  }
+  result.metrics_text = cluster.metrics().SnapshotText();
+  result.metrics_json = cluster.metrics().SnapshotJson();
+  return result;
+}
+
 }  // namespace nadino

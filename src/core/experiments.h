@@ -230,6 +230,52 @@ struct BoutiqueResult {
 };
 BoutiqueResult RunBoutique(const CostModel& cost, const BoutiqueOptions& options);
 
+// ---------------------------------------------------------------------------
+// N-node scaling (DESIGN.md §3e)
+// ---------------------------------------------------------------------------
+
+// Per-tenant pipeline chains over an N-worker cluster with the placement
+// subsystem enabled: stages placed by ChainPlacer (locality-aware), each stage
+// registered on `replicas` nodes, requests spread by the weighted spreader.
+// bench/node_scale.cc sweeps `nodes` in {2, 8, 16, 64}.
+struct NodeScaleOptions {
+  int nodes = 8;
+  int replicas = 2;       // Placements per stage (1 = no spreading possible).
+  int tenants = 2;        // One pipeline chain per tenant.
+  int stages = 3;         // Functions per pipeline, entry included.
+  int requests_per_tenant = 400;
+  SimDuration spacing = 200 * kMicrosecond;  // Open-loop inter-request gap.
+  uint32_t payload = 512;
+  SimDuration duration = 2 * kSecond;  // Total run (sends + drain).
+  uint64_t seed = kDefaultSeed;
+  // Placement subsystem knobs (src/cluster/placement.h).
+  bool spread = true;
+  bool utilization_weights = false;
+  bool rebalance = false;
+  SimDuration rebalance_period = 50 * kMillisecond;
+  int capacity_per_node = 2;  // ChainPlacer slot budget per node.
+};
+struct NodeScaleResult {
+  double rps = 0.0;
+  double mean_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  uint64_t completed = 0;
+  uint64_t errors = 0;
+  uint64_t migrations = 0;
+  // Sum of ChainPlacer crossing scores across tenants (2 per cross-node
+  // call edge; the locality objective the placer minimizes).
+  int chain_crossing_score = 0;
+  // Committing resolutions of each tenant's entry function, per node —
+  // direct evidence of replica spreading.
+  std::map<NodeId, uint64_t> entry_resolved;
+  // Worst max/min resolved ratio across multi-replica functions that saw
+  // at least 100 picks (1.0 = perfectly even; tests assert <= 1.5).
+  double replica_skew = 0.0;
+  std::string metrics_text;
+  std::string metrics_json;
+};
+NodeScaleResult RunNodeScale(const CostModel& cost, const NodeScaleOptions& options);
+
 }  // namespace nadino
 
 #endif  // SRC_CORE_EXPERIMENTS_H_

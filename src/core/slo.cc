@@ -151,6 +151,16 @@ void SloRegistry::SetClamped(TenantId tenant, bool clamped) {
 
 bool SloRegistry::IsClamped(TenantId tenant) const { return clamped_.count(tenant) > 0; }
 
+bool SloRegistry::AnyBurning() const {
+  for (const auto& [tenant, object] : objects_) {
+    (void)tenant;
+    if (object->Burning()) {
+      return true;
+    }
+  }
+  return false;
+}
+
 uint32_t SloRegistry::EffectiveWeight(TenantId tenant, uint32_t base) const {
   if (base == 0) {
     base = 1;

@@ -85,7 +85,14 @@ bool NadinoDataPlane::Send(FunctionRuntime* src, Buffer* buffer) {
     return false;
   }
   m_sends_.Increment();
-  const NodeId dst_node = routing_->NodeOf(header->dst);
+  // Peek (no committing resolution) to decide intra vs inter: the inter-node
+  // path re-resolves — and commits — at the engine's TX stage, so resolving
+  // here too would double-count one message as two picks. Responses are
+  // pinned to the first-live placement: a reply targets its caller, not
+  // fresh capacity, so it never advances the policy rotor.
+  const NodeId dst_node = header->is_response()
+                              ? routing_->NodeOf(header->dst)
+                              : routing_->PeekFor(header->dst, src->node()->id());
   if (dst_node == kInvalidNode) {
     m_drops_.Increment();
     return false;
@@ -100,6 +107,11 @@ bool NadinoDataPlane::Send(FunctionRuntime* src, Buffer* buffer) {
     if (replica_it == it->second.end()) {
       m_drops_.Increment();
       return false;
+    }
+    // Commit the resolution the peek previewed (policy rotor advance +
+    // per-replica served accounting) now that delivery is local and final.
+    if (!header->is_response()) {
+      routing_->ResolveFor(header->dst, src->node()->id());
     }
     return SendIntraNode(src, replica_it->second, buffer);
   }

@@ -260,7 +260,17 @@ void NetworkEngine::ExecuteTx(const TxItem& item) {
     m_unroutable_.Increment();
     return;
   }
-  const NodeId dst_node = routing_->NodeOf(item.desc.dst_function);
+  // The committing resolution point for inter-node traffic: one message, one
+  // policy pick (NadinoDataPlane::Send only peeked). Under a rotating policy
+  // the pick may land back on this node — the short-circuit below handles it.
+  // Responses are pinned to the first-live placement instead of spread: a
+  // reply targets the caller, not fresh capacity, and must not advance the
+  // policy rotor or count as a served pick.
+  const std::optional<MessageHeader> header = ReadMessage(*buffer);
+  const bool is_response = header.has_value() && header->is_response();
+  const NodeId dst_node = is_response
+                              ? routing_->NodeOf(item.desc.dst_function)
+                              : routing_->ResolveFor(item.desc.dst_function, node_->id());
   if (dst_node == kInvalidNode) {
     m_unroutable_.Increment();
     pool->Put(buffer, owner_id());

@@ -249,9 +249,10 @@ void IngressGateway::NadinoHandleRequest(Worker* worker, const Route& route,
     FinishResponse(worker, request_id, 0);
     return;
   }
-  // Resolved per request under the current routing epoch, so new requests
-  // land only on live workers; kInvalidNode = no surviving placement.
-  const NodeId dst_node = routing_->NodeOf(route.entry);
+  // Resolved per request under the current routing epoch (committing pick —
+  // with a spreading policy installed, successive requests rotate across the
+  // entry's live replicas); kInvalidNode = no surviving placement.
+  const NodeId dst_node = routing_->ResolveFor(route.entry, node_->id());
   const ConnectionManager::Acquired acquired =
       dst_node == kInvalidNode ? ConnectionManager::Acquired{}
                                : worker->connections->Acquire(dst_node, options_.tenant);
@@ -261,7 +262,7 @@ void IngressGateway::NadinoHandleRequest(Worker* worker, const Route& route,
     FinishResponse(worker, request_id, 0);
     return;
   }
-  auto post = [this, worker, buffer, route, request_id, qp = acquired.qp]() {
+  auto post = [this, worker, buffer, route, request_id, dst_node, qp = acquired.qp]() {
     pool_->Transfer(buffer, owner_id(), OwnerId::Rnic(node_->id()));
     const uint64_t wr_id = next_wr_id_++;
     InFlightSend& send = in_flight_sends_[wr_id];
@@ -269,6 +270,7 @@ void IngressGateway::NadinoHandleRequest(Worker* worker, const Route& route,
     send.request_id = request_id;
     send.chain = route.chain;
     send.entry = route.entry;
+    send.dst_node = dst_node;
     send.worker = worker->index;
     node_->rnic().PostSend(qp, *buffer, wr_id, route.entry);
   };
@@ -335,11 +337,19 @@ void IngressGateway::NadinoHandleResponse(Worker* worker, Buffer* buffer) {
 
 void IngressGateway::HandleSendFailure(InFlightSend send) {
   Worker* worker = workers_[static_cast<size_t>(send.worker)].get();
-  // Re-resolve under the current routing epoch: when membership moved the
-  // entry function onto a surviving replica, one failover attempt re-places
-  // the buffered request there (reusing the in-flight buffer — it never left
-  // the RNIC's ownership).
-  const NodeId dst_node = routing_->NodeOf(send.entry);
+  // Re-resolve under the current routing epoch, excluding the replica that
+  // just failed: PlacementsOf/NodeOf can still name a node inside its
+  // partition window before the health monitor marks it dead, so failover
+  // must pick a DIFFERENT live placement, falling back to the primary only
+  // when the entry has no other replica. The buffered request is reused —
+  // it never left the RNIC's ownership.
+  NodeId dst_node = routing_->LiveReplicaExcluding(send.entry, send.dst_node);
+  if (dst_node == kInvalidNode) {
+    dst_node = routing_->NodeOf(send.entry);
+    if (dst_node == send.dst_node) {
+      dst_node = kInvalidNode;  // Only the failed replica remains: fail closed.
+    }
+  }
   if (dst_node != kInvalidNode && send.attempt < 2) {
     const ConnectionManager::Acquired acquired =
         worker->connections->Acquire(dst_node, options_.tenant);
@@ -395,7 +405,9 @@ void IngressGateway::PostIngressRecvBuffers(uint64_t count) {
 
 void IngressGateway::ProxyHandleRequest(Worker* worker, const Route& route,
                                         uint32_t payload_bytes, uint64_t request_id) {
-  const NodeId dst_node = routing_->NodeOf(route.entry);
+  // Committing resolution: the proxy forwards straight to the chosen node's
+  // portal, so the policy pick (and served accounting) lands here.
+  const NodeId dst_node = routing_->ResolveFor(route.entry, node_->id());
   const FunctionId portal_fn = kPortalFnBase + dst_node;
   const auto portal_it = portal_nodes_.find(portal_fn);
   if (portal_it == portal_nodes_.end()) {

@@ -170,6 +170,9 @@ class IngressGateway {
     uint64_t request_id = 0;
     ChainId chain = 0;
     FunctionId entry = kInvalidFunction;
+    // Node the send was resolved to; failover excludes it so a retry never
+    // re-targets the replica that just failed.
+    NodeId dst_node = kInvalidNode;
     int worker = 0;
     uint32_t attempt = 1;
   };

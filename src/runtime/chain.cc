@@ -116,7 +116,7 @@ void ChainExecutor::IssueCall(FunctionRuntime& fn, Buffer* buffer, const Pending
   const CallSpec& call = behavior->calls[ctx.call_index];
   const uint64_t call_id = next_request_id_++;
   PendingCall& stored = pending_[call_id] = ctx;
-  stored.target_node = ResolveNode(call.callee);
+  stored.target_node = ResolveNode(call.callee, &fn);
 
   MessageHeader out;
   out.chain = ctx.chain;
@@ -206,7 +206,7 @@ void ChainExecutor::IssueFanout(FunctionRuntime& fn, Buffer* buffer,
     ctx.caller = fn.id();
     ctx.call_index = i;
     ctx.fanout_group = group;
-    ctx.target_node = ResolveNode(call.callee);
+    ctx.target_node = ResolveNode(call.callee, &fn);
     pending_[call_id] = ctx;
     MessageHeader out_header;
     out_header.chain = header.chain;
@@ -340,9 +340,14 @@ ChainExecutor::FailoverHandles& ChainExecutor::FailoverHandlesFor(TenantId tenan
   return failover_handles_.emplace(tenant, handles).first->second;
 }
 
-NodeId ChainExecutor::ResolveNode(FunctionId callee) const {
+NodeId ChainExecutor::ResolveNode(FunctionId callee, FunctionRuntime* src) const {
   RoutingTable* routing = dataplane_->routing();
-  return routing == nullptr ? kInvalidNode : routing->NodeOf(callee);
+  if (routing == nullptr) {
+    return kInvalidNode;
+  }
+  const NodeId src_node =
+      src == nullptr || src->node() == nullptr ? kInvalidNode : src->node()->id();
+  return routing->PeekFor(callee, src_node);
 }
 
 void ChainExecutor::ReissueCall(PendingCall ctx) {
@@ -353,26 +358,28 @@ void ChainExecutor::ReissueCall(PendingCall ctx) {
     return;
   }
   const CallSpec& call = behavior->calls[ctx.call_index];
-  // Cluster failover (DESIGN.md §3d): re-resolve under the CURRENT routing
-  // epoch. A different live node means membership moved the callee off the
-  // node the timed-out attempt targeted — re-place the call there. No live
-  // replica at all fails closed immediately instead of burning the rest of
-  // the retry budget against a severed destination.
-  if (ctx.target_node != kInvalidNode) {
-    const NodeId now_node = ResolveNode(call.callee);
+  // Cluster failover (DESIGN.md §3d/§3e): decide by LIVENESS of the attempt's
+  // target, not by whether routing re-resolves to the same node — under a
+  // spreading policy successive resolutions legitimately rotate, and treating
+  // rotation as failover would miscount every retry as a cluster event. Only
+  // when the targeted placement is no longer live does the call re-place onto
+  // a different live replica; none left fails closed immediately instead of
+  // burning the rest of the retry budget against a severed destination.
+  RoutingTable* routing = dataplane_->routing();
+  if (ctx.target_node != kInvalidNode && routing != nullptr &&
+      !routing->IsLivePlacement(call.callee, ctx.target_node)) {
+    const NodeId now_node = routing->LiveReplicaExcluding(call.callee, ctx.target_node);
     if (now_node == kInvalidNode) {
       env_->Trace(TraceCategory::kCluster, ctx.caller, "failover_unroutable",
                   ctx.parent_request, ctx.attempt);
       FailAttempt(ctx);
       return;
     }
-    if (now_node != ctx.target_node) {
-      FailoverHandlesFor(ctx.tenant).attempts.Increment();
-      env_->Trace(TraceCategory::kCluster, ctx.caller, "failover_reissue", call.callee,
-                  now_node);
-      ctx.failed_over = true;
-      ctx.target_node = now_node;
-    }
+    FailoverHandlesFor(ctx.tenant).attempts.Increment();
+    env_->Trace(TraceCategory::kCluster, ctx.caller, "failover_reissue", call.callee,
+                now_node);
+    ctx.failed_over = true;
+    ctx.target_node = now_node;
   }
   Buffer* buffer = fn->pool()->Get(fn->owner_id());
   if (buffer == nullptr) {

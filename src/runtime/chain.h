@@ -168,9 +168,11 @@ class ChainExecutor {
   };
   FailoverHandles& FailoverHandlesFor(TenantId tenant);
 
-  // Current routing resolution for `callee`, or kInvalidNode when the data
-  // plane has no routing table (fixed-wiring planes opt out of failover).
-  NodeId ResolveNode(FunctionId callee) const;
+  // Current routing resolution for `callee` as seen from `src` (a pure
+  // policy peek — the data plane commits the actual pick at send time), or
+  // kInvalidNode when the data plane has no routing table (fixed-wiring
+  // planes opt out of failover).
+  NodeId ResolveNode(FunctionId callee, FunctionRuntime* src) const;
 
   Simulator& sim() const { return env_->sim(); }
 

@@ -10,47 +10,146 @@
 // "rebuilds" on each membership epoch without touching the placement lists.
 // Readers that captured an epoch can detect staleness with NodeOfAt(), which
 // fails closed (kInvalidNode) instead of routing on outdated membership.
+//
+// Replica selection is POLICY-DRIVEN (DESIGN.md §3e): an installed
+// ReplicaSelector (e.g. the weighted spreader in src/cluster/placement.h)
+// rotates traffic across the live replicas instead of hot-spotting the first
+// one. Resolution splits into a pure preview (PeekFor — what would the next
+// pick be) and a committing pick (ResolveFor — advances the policy's rotation
+// state and records the per-replica resolution count). Without a policy both
+// degrade to the first-live scan, so unconfigured runs stay byte-identical.
+//
+// Storage is a dense FunctionId-indexed slot table (the PR 4 handle idiom):
+// resolution is two array indexations instead of a std::map walk — this sits
+// on the per-message hot path of every data plane.
 
 #ifndef SRC_RUNTIME_ROUTING_TABLE_H_
 #define SRC_RUNTIME_ROUTING_TABLE_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <map>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "src/core/types.h"
 
 namespace nadino {
 
+// Replica-selection policy: picks which live replica of a function serves the
+// next request. `live` is the non-empty, registration-ordered live placement
+// list; `src_node` is the requester's node (kInvalidNode when unknown), so
+// locality-aware policies can prefer a colocated replica.
+//
+// Determinism contract: implementations draw only from seeded, salted state —
+// equal seeds must reproduce the pick sequence bit-for-bit.
+class ReplicaSelector {
+ public:
+  virtual ~ReplicaSelector() = default;
+
+  // Commits a pick: advances internal rotation/deficit state.
+  virtual NodeId Pick(FunctionId function, const std::vector<NodeId>& live,
+                      NodeId src_node) = 0;
+
+  // Pure preview of what the next Pick would return. Must not mutate state.
+  virtual NodeId Peek(FunctionId function, const std::vector<NodeId>& live,
+                      NodeId src_node) const = 0;
+
+  // The placement list of `function` changed (a migration): drop any cached
+  // per-function rotation state.
+  virtual void Invalidate(FunctionId function) = 0;
+};
+
 class RoutingTable {
  public:
   // Records a placement. Idempotent per (function, node); a second node for
-  // the same function becomes a failover replica, not a replacement.
+  // the same function becomes a replica, not a replacement.
   void Place(FunctionId function, NodeId node) {
-    std::vector<NodeId>& nodes = placement_[function];
-    for (const NodeId existing : nodes) {
+    Slot* slot = MutableSlot(function, /*create=*/true);
+    if (slot == nullptr) {
+      return;
+    }
+    for (const NodeId existing : slot->nodes) {
       if (existing == node) {
         return;
       }
     }
-    nodes.push_back(node);
+    slot->nodes.push_back(node);
+    slot->resolved.push_back(0);
   }
 
   // First placement on a live node; kInvalidNode when the function is
   // unknown or every replica is on a dead node (fail closed — callers
   // surface an unroutable error rather than targeting a severed node).
+  // Policy-independent: this is the stable "primary" view used for failover
+  // bookkeeping and by runs without a placement subsystem.
   NodeId NodeOf(FunctionId function) const {
-    const auto it = placement_.find(function);
-    if (it == placement_.end()) {
+    const Slot* slot = SlotOf(function);
+    if (slot == nullptr) {
       return kInvalidNode;
     }
-    for (const NodeId node : it->second) {
+    for (const NodeId node : slot->nodes) {
       if (NodeLive(node)) {
         return node;
       }
     }
     return kInvalidNode;
+  }
+
+  // Pure preview of the replica the next ResolveFor() would commit: the
+  // installed policy's Peek over the live replicas, or the first-live scan
+  // when no policy is installed (or only one replica survives).
+  NodeId PeekFor(FunctionId function, NodeId src_node) const {
+    const Slot* slot = SlotOf(function);
+    if (slot == nullptr) {
+      return kInvalidNode;
+    }
+    if (policy_ != nullptr) {
+      const std::vector<NodeId> live = LiveOf(*slot);
+      if (live.empty()) {
+        return kInvalidNode;
+      }
+      return live.size() == 1 ? live.front() : policy_->Peek(function, live, src_node);
+    }
+    return NodeOf(function);
+  }
+
+  // Committing resolution: picks the serving replica under the installed
+  // policy (advancing its rotation state) and records the per-replica
+  // resolution count consumed by the rebalancer's hot-function detection and
+  // the spread-skew acceptance checks. Falls back to the first-live scan
+  // when no policy is installed. This is the authoritative per-message
+  // resolution point of the data planes and the ingress gateway.
+  NodeId ResolveFor(FunctionId function, NodeId src_node) {
+    Slot* slot = MutableSlot(function, /*create=*/false);
+    if (slot == nullptr) {
+      return kInvalidNode;
+    }
+    NodeId chosen = kInvalidNode;
+    if (policy_ != nullptr) {
+      const std::vector<NodeId> live = LiveOf(*slot);
+      if (live.empty()) {
+        return kInvalidNode;
+      }
+      chosen = live.size() == 1 ? live.front() : policy_->Pick(function, live, src_node);
+    } else {
+      for (const NodeId node : slot->nodes) {
+        if (NodeLive(node)) {
+          chosen = node;
+          break;
+        }
+      }
+    }
+    if (chosen == kInvalidNode) {
+      return kInvalidNode;
+    }
+    for (size_t i = 0; i < slot->nodes.size(); ++i) {
+      if (slot->nodes[i] == chosen) {
+        ++slot->resolved[i];
+        break;
+      }
+    }
+    return chosen;
   }
 
   // Epoch-checked lookup: a reader holding a stale epoch gets kInvalidNode
@@ -60,17 +159,132 @@ class RoutingTable {
     return expected_epoch == epoch_ ? NodeOf(function) : kInvalidNode;
   }
 
-  bool SameNode(FunctionId a, FunctionId b) const {
-    const NodeId na = NodeOf(a);
-    return na != kInvalidNode && na == NodeOf(b);
+  // Policy-aware colocation: would the next resolution of `a` and `b` (from
+  // `src_node`'s perspective) land on the same node? With spreading rotating
+  // replicas this is the *resolved*-node comparison, not head-of-list.
+  bool ColocatedWith(FunctionId a, FunctionId b, NodeId src_node = kInvalidNode) const {
+    const NodeId na = PeekFor(a, src_node);
+    return na != kInvalidNode && na == PeekFor(b, src_node);
   }
 
-  size_t size() const { return placement_.size(); }
+  bool SameNode(FunctionId a, FunctionId b) const { return ColocatedWith(a, b); }
 
+  size_t size() const { return slots_.size(); }
+
+  // Raw registration-ordered placement list, dead nodes included. Failover
+  // paths must use LivePlacementsOf()/LiveReplicaExcluding() instead.
   const std::vector<NodeId>* PlacementsOf(FunctionId function) const {
-    const auto it = placement_.find(function);
-    return it == placement_.end() ? nullptr : &it->second;
+    const Slot* slot = SlotOf(function);
+    return slot == nullptr ? nullptr : &slot->nodes;
   }
+
+  // Live-filtered placement list, in registration order. The accessor the
+  // executor/gateway failover paths re-place against, so a re-send can never
+  // target a dead replica.
+  std::vector<NodeId> LivePlacementsOf(FunctionId function) const {
+    const Slot* slot = SlotOf(function);
+    return slot == nullptr ? std::vector<NodeId>{} : LiveOf(*slot);
+  }
+
+  bool IsLivePlacement(FunctionId function, NodeId node) const {
+    const Slot* slot = SlotOf(function);
+    if (slot == nullptr || !NodeLive(node)) {
+      return false;
+    }
+    for (const NodeId existing : slot->nodes) {
+      if (existing == node) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // First live placement that is not `exclude` (kInvalidNode when no other
+  // live replica exists): the failover re-placement primitive.
+  NodeId LiveReplicaExcluding(FunctionId function, NodeId exclude) const {
+    const Slot* slot = SlotOf(function);
+    if (slot == nullptr) {
+      return kInvalidNode;
+    }
+    for (const NodeId node : slot->nodes) {
+      if (node != exclude && NodeLive(node)) {
+        return node;
+      }
+    }
+    return kInvalidNode;
+  }
+
+  // Cumulative ResolveFor() picks that chose `node` for `function`. Internal
+  // accounting (not a registry metric): powers the rebalancer's hot-function
+  // detection and the per-replica spread-skew assertions without perturbing
+  // metric snapshots.
+  uint64_t ResolvedCount(FunctionId function, NodeId node) const {
+    const Slot* slot = SlotOf(function);
+    if (slot == nullptr) {
+      return 0;
+    }
+    for (size_t i = 0; i < slot->nodes.size(); ++i) {
+      if (slot->nodes[i] == node) {
+        return slot->resolved[i];
+      }
+    }
+    return 0;
+  }
+
+  // Functions with a placement on `node`, in placement order (rebalancer
+  // candidate scan; control-plane rate, not per-message).
+  std::vector<FunctionId> FunctionsOn(NodeId node) const {
+    std::vector<FunctionId> out;
+    for (const Slot& slot : slots_) {
+      for (const NodeId existing : slot.nodes) {
+        if (existing == node) {
+          out.push_back(slot.function);
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  // Live migration: removes `function`'s placement on `from` and promotes the
+  // live replica `to` to primary, bumping the routing epoch so the existing
+  // fail-closed stale-epoch machinery covers in-flight readers. Returns false
+  // (no epoch bump) unless `from` is a placement and `to` a *live* one.
+  bool Migrate(FunctionId function, NodeId from, NodeId to) {
+    Slot* slot = MutableSlot(function, /*create=*/false);
+    if (slot == nullptr || from == to || !IsLivePlacement(function, to)) {
+      return false;
+    }
+    size_t from_i = slot->nodes.size();
+    for (size_t i = 0; i < slot->nodes.size(); ++i) {
+      if (slot->nodes[i] == from) {
+        from_i = i;
+        break;
+      }
+    }
+    if (from_i == slot->nodes.size()) {
+      return false;
+    }
+    slot->nodes.erase(slot->nodes.begin() + static_cast<ptrdiff_t>(from_i));
+    slot->resolved.erase(slot->resolved.begin() + static_cast<ptrdiff_t>(from_i));
+    for (size_t i = 0; i < slot->nodes.size(); ++i) {
+      if (slot->nodes[i] == to && i != 0) {
+        std::swap(slot->nodes[0], slot->nodes[i]);
+        std::swap(slot->resolved[0], slot->resolved[i]);
+        break;
+      }
+    }
+    ++epoch_;
+    if (policy_ != nullptr) {
+      policy_->Invalidate(function);
+    }
+    return true;
+  }
+
+  // Installs (or clears, with nullptr) the replica-selection policy. The
+  // table does not own the selector; the cluster's PlacementManager does.
+  void SetPolicy(ReplicaSelector* policy) { policy_ = policy; }
+  ReplicaSelector* policy() const { return policy_; }
 
   // --- Membership integration (cluster-owned; see src/cluster/) -------------
 
@@ -88,7 +302,61 @@ class RoutingTable {
   }
 
  private:
-  std::map<FunctionId, std::vector<NodeId>> placement_;
+  struct Slot {
+    FunctionId function = kInvalidFunction;
+    std::vector<NodeId> nodes;        // Registration order; first = primary.
+    std::vector<uint64_t> resolved;   // Parallel to nodes: ResolveFor picks.
+  };
+
+  static constexpr int32_t kNoSlot = -1;
+
+  const Slot* SlotOf(FunctionId function) const {
+    if (function >= slot_of_.size() || slot_of_[function] == kNoSlot) {
+      return nullptr;
+    }
+    return &slots_[static_cast<size_t>(slot_of_[function])];
+  }
+
+  Slot* MutableSlot(FunctionId function, bool create) {
+    if (function == kInvalidFunction) {
+      return nullptr;
+    }
+    if (function >= slot_of_.size()) {
+      if (!create) {
+        return nullptr;
+      }
+      slot_of_.resize(static_cast<size_t>(function) + 1, kNoSlot);
+    }
+    int32_t index = slot_of_[function];
+    if (index == kNoSlot) {
+      if (!create) {
+        return nullptr;
+      }
+      index = static_cast<int32_t>(slots_.size());
+      slot_of_[function] = index;
+      slots_.push_back(Slot{});
+      slots_.back().function = function;
+    }
+    return &slots_[static_cast<size_t>(index)];
+  }
+
+  std::vector<NodeId> LiveOf(const Slot& slot) const {
+    std::vector<NodeId> live;
+    live.reserve(slot.nodes.size());
+    for (const NodeId node : slot.nodes) {
+      if (NodeLive(node)) {
+        live.push_back(node);
+      }
+    }
+    return live;
+  }
+
+  // Dense FunctionId -> slot index (kNoSlot when unplaced); grows to the
+  // largest placed id. Gateway pseudo-functions sit near 0xF8000, so the
+  // worst case is a few MB of int32 — cheap against a per-message map walk.
+  std::vector<int32_t> slot_of_;
+  std::vector<Slot> slots_;  // Dense, in first-placement order.
+  ReplicaSelector* policy_ = nullptr;
   std::set<NodeId> dead_;  // Empty in steady state: NodeLive is one probe.
   uint64_t epoch_ = 1;
 };

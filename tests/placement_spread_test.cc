@@ -1,0 +1,235 @@
+// WeightedSpreader + RoutingTable policy plumbing (DESIGN.md §3e):
+//   * randomized property — long-run serve proportions converge to the
+//     configured weights for any seed and any weight vector;
+//   * Peek/Pick agreement — PeekFor previews exactly what ResolveFor commits;
+//   * live-filtered accessors (the PlacementsOf-exposes-dead-nodes bugfix);
+//   * policy-aware colocation (the SameNode-compares-primaries bugfix);
+//   * Migrate() semantics — placement moves, primary promotion, epoch bump.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/cluster/placement.h"
+#include "src/runtime/routing_table.h"
+#include "src/sim/random.h"
+
+namespace nadino {
+namespace {
+
+constexpr FunctionId kFn = 7;
+
+// ---------------------------------------------------------------------------
+// Randomized weight-convergence property
+// ---------------------------------------------------------------------------
+
+class SpreadProportionTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SpreadProportionTest, ServesProportionallyToRandomWeights) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  const int replicas = static_cast<int>(rng.UniformInt(2, 5));
+  RoutingTable routing;
+  WeightedSpreader spreader(seed);
+  std::vector<NodeId> nodes;
+  std::vector<double> weights;
+  double total_weight = 0.0;
+  for (int i = 0; i < replicas; ++i) {
+    const NodeId node = static_cast<NodeId>(i + 1);
+    const double weight = rng.Uniform(0.5, 4.0);
+    routing.Place(kFn, node);
+    spreader.SetWeight(node, weight);
+    nodes.push_back(node);
+    weights.push_back(weight);
+    total_weight += weight;
+  }
+  routing.SetPolicy(&spreader);
+
+  constexpr int kPicks = 6000;
+  for (int i = 0; i < kPicks; ++i) {
+    ASSERT_NE(routing.ResolveFor(kFn, kInvalidNode), kInvalidNode);
+  }
+  for (int i = 0; i < replicas; ++i) {
+    const double expected = kPicks * weights[static_cast<size_t>(i)] / total_weight;
+    const double actual = static_cast<double>(routing.ResolvedCount(kFn, nodes[static_cast<size_t>(i)]));
+    // DWRR deficits are bounded, so convergence is tight: 2% + a few picks
+    // of slack absorbs the partial final rotation.
+    EXPECT_NEAR(actual, expected, expected * 0.02 + 8.0)
+        << "replica " << nodes[static_cast<size_t>(i)] << " under seed " << seed;
+  }
+  EXPECT_EQ(spreader.picks(), static_cast<uint64_t>(kPicks));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpreadProportionTest,
+                         ::testing::Values(0x1u, 0x2Au, 0x3Bu, 0x4Cu, 0x5Du, 0xBEEFu,
+                                           0xCAFEu, 0xD00Du));
+
+// Equal weights: two replicas alternate, so counts differ by at most one —
+// far inside the 1.5x acceptance bound.
+TEST(WeightedSpreaderTest, EqualWeightsStayWithinOnePick) {
+  RoutingTable routing;
+  WeightedSpreader spreader(42);
+  routing.Place(kFn, 1);
+  routing.Place(kFn, 2);
+  routing.SetPolicy(&spreader);
+  for (int i = 0; i < 1001; ++i) {
+    routing.ResolveFor(kFn, kInvalidNode);
+  }
+  const uint64_t a = routing.ResolvedCount(kFn, 1);
+  const uint64_t b = routing.ResolvedCount(kFn, 2);
+  EXPECT_EQ(a + b, 1001u);
+  EXPECT_LE(a > b ? a - b : b - a, 1u);
+}
+
+// The preview contract: PeekFor must name exactly the replica the next
+// ResolveFor commits, at every step of the rotation.
+TEST(WeightedSpreaderTest, PeekMatchesNextPick) {
+  RoutingTable routing;
+  WeightedSpreader spreader(0xFEEDu);
+  for (NodeId node = 1; node <= 3; ++node) {
+    routing.Place(kFn, node);
+  }
+  spreader.SetWeight(1, 1.0);
+  spreader.SetWeight(2, 2.5);
+  spreader.SetWeight(3, 0.75);
+  routing.SetPolicy(&spreader);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId preview = routing.PeekFor(kFn, kInvalidNode);
+    EXPECT_EQ(routing.ResolveFor(kFn, kInvalidNode), preview) << "step " << i;
+  }
+}
+
+// Equal seeds must reproduce the pick sequence bit-for-bit; different seeds
+// are free to start the rotor elsewhere.
+TEST(WeightedSpreaderTest, EqualSeedsReproducePickSequence) {
+  for (const uint64_t seed : {1ull, 99ull, 0xA5A5ull}) {
+    RoutingTable routing_a, routing_b;
+    WeightedSpreader spreader_a(seed), spreader_b(seed);
+    for (NodeId node = 1; node <= 4; ++node) {
+      routing_a.Place(kFn, node);
+      routing_b.Place(kFn, node);
+    }
+    routing_a.SetPolicy(&spreader_a);
+    routing_b.SetPolicy(&spreader_b);
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_EQ(routing_a.ResolveFor(kFn, kInvalidNode),
+                routing_b.ResolveFor(kFn, kInvalidNode))
+          << "diverged at step " << i << " under seed " << seed;
+    }
+  }
+}
+
+// A single live replica short-circuits: the policy is never consulted, so
+// unreplicated functions accumulate no per-function spreader state.
+TEST(WeightedSpreaderTest, SingleLiveReplicaBypassesPolicy) {
+  RoutingTable routing;
+  WeightedSpreader spreader(7);
+  routing.Place(kFn, 1);
+  routing.Place(kFn, 2);
+  routing.SetPolicy(&spreader);
+  routing.SetNodeLive(2, false);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(routing.ResolveFor(kFn, kInvalidNode), 1u);
+    EXPECT_EQ(routing.PeekFor(kFn, kInvalidNode), 1u);
+  }
+  EXPECT_EQ(spreader.picks(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Live-filtered accessors (dead-replica failover bugfix)
+// ---------------------------------------------------------------------------
+
+TEST(RoutingLivenessTest, LiveAccessorsFilterDeadNodes) {
+  RoutingTable routing;
+  routing.Place(kFn, 1);
+  routing.Place(kFn, 2);
+  routing.Place(kFn, 3);
+  routing.SetNodeLive(2, false);
+
+  // The raw list still exposes the dead replica (registration-ordered truth)…
+  const std::vector<NodeId>* raw = routing.PlacementsOf(kFn);
+  ASSERT_NE(raw, nullptr);
+  EXPECT_EQ(*raw, (std::vector<NodeId>{1, 2, 3}));
+  // …while the failover-facing accessors never name it.
+  EXPECT_EQ(routing.LivePlacementsOf(kFn), (std::vector<NodeId>{1, 3}));
+  EXPECT_TRUE(routing.IsLivePlacement(kFn, 1));
+  EXPECT_FALSE(routing.IsLivePlacement(kFn, 2));
+  EXPECT_EQ(routing.LiveReplicaExcluding(kFn, 1), 3u);
+  EXPECT_EQ(routing.LiveReplicaExcluding(kFn, kInvalidNode), 1u);
+
+  routing.SetNodeLive(1, false);
+  routing.SetNodeLive(3, false);
+  EXPECT_TRUE(routing.LivePlacementsOf(kFn).empty());
+  EXPECT_EQ(routing.LiveReplicaExcluding(kFn, 1), kInvalidNode);
+  EXPECT_EQ(routing.PeekFor(kFn, kInvalidNode), kInvalidNode);
+}
+
+// ---------------------------------------------------------------------------
+// Policy-aware colocation (SameNode bugfix)
+// ---------------------------------------------------------------------------
+
+TEST(RoutingColocationTest, ColocationFollowsResolutionNotPrimaries) {
+  RoutingTable routing;
+  // a's primary is node 1; b's primary is node 2 but it also lives on 1.
+  routing.Place(100, 1);
+  routing.Place(200, 2);
+  routing.Place(200, 1);
+  // Primaries differ -> not colocated under first-live resolution.
+  EXPECT_FALSE(routing.SameNode(100, 200));
+  // Node 2 dies: b now RESOLVES to node 1, so the pair is colocated even
+  // though the head-of-list placements still differ — the old first-placement
+  // comparison got this wrong.
+  routing.SetNodeLive(2, false);
+  EXPECT_TRUE(routing.SameNode(100, 200));
+  EXPECT_TRUE(routing.ColocatedWith(100, 200, /*src_node=*/1));
+  // An unroutable side is never "colocated".
+  routing.SetNodeLive(1, false);
+  EXPECT_FALSE(routing.SameNode(100, 200));
+}
+
+// ---------------------------------------------------------------------------
+// Migration
+// ---------------------------------------------------------------------------
+
+TEST(RoutingMigrateTest, MigratePromotesTargetAndBumpsEpoch) {
+  RoutingTable routing;
+  routing.Place(kFn, 1);
+  routing.Place(kFn, 2);
+  routing.Place(kFn, 3);
+  const uint64_t epoch_before = routing.epoch();
+
+  EXPECT_TRUE(routing.Migrate(kFn, 1, 3));
+  EXPECT_EQ(routing.epoch(), epoch_before + 1);
+  EXPECT_EQ(routing.NodeOf(kFn), 3u) << "migration target promoted to primary";
+  EXPECT_EQ(*routing.PlacementsOf(kFn), (std::vector<NodeId>{3, 2}));
+
+  // Invalid migrations: unknown placement, dead target, self-move — all
+  // rejected without an epoch bump.
+  const uint64_t epoch_after = routing.epoch();
+  EXPECT_FALSE(routing.Migrate(kFn, 1, 2)) << "1 is no longer a placement";
+  EXPECT_FALSE(routing.Migrate(kFn, 3, 3));
+  routing.SetNodeLive(2, false);
+  const uint64_t epoch_dead = routing.epoch();  // SetNodeLive bumped it.
+  EXPECT_FALSE(routing.Migrate(kFn, 3, 2)) << "dead target refused";
+  EXPECT_EQ(routing.epoch(), epoch_dead);
+  EXPECT_GT(routing.epoch(), epoch_after - 1);
+}
+
+TEST(RoutingMigrateTest, MigrateInvalidatesSpreaderState) {
+  RoutingTable routing;
+  WeightedSpreader spreader(3);
+  routing.Place(kFn, 1);
+  routing.Place(kFn, 2);
+  routing.SetPolicy(&spreader);
+  for (int i = 0; i < 5; ++i) {
+    routing.ResolveFor(kFn, kInvalidNode);
+  }
+  ASSERT_TRUE(routing.Migrate(kFn, 1, 2));
+  // Only node 2 remains: every subsequent resolution is the short-circuit.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(routing.ResolveFor(kFn, kInvalidNode), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace nadino
