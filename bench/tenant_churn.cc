@@ -1,0 +1,75 @@
+// Tenant churn — the elastic RDMA control plane under arrival/departure
+// (DESIGN.md §3f). A seeded Poisson process drives tenants onto a two-worker
+// cluster; each echoes for an exponential lifetime, idles out, and is
+// reclaimed when the cold-start sweeper retires its server instance. The
+// three setup policies are compared on the two axes the Swift-style lifecycle
+// targets: time-to-first-byte for a cold tenant (what the RC handshake costs
+// the tenant) and control-plane amplification (setup + destroy verbs per
+// completed invocation).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/experiments.h"
+
+using namespace nadino;
+
+namespace {
+
+TenantChurnOptions Scenario(ConnectPolicy policy) {
+  TenantChurnOptions options;
+  options.policy = policy;
+  options.tenants = 200;
+  options.mean_interarrival = 10 * kMillisecond;
+  options.mean_lifetime = 120 * kMillisecond;
+  options.duration = 5 * kSecond;
+  return options;
+}
+
+const char* PolicyName(ConnectPolicy policy) {
+  switch (policy) {
+    case ConnectPolicy::kEager:
+      return "eager";
+    case ConnectPolicy::kLazy:
+      return "lazy";
+    case ConnectPolicy::kLazyShared:
+      return "lazy+shared";
+  }
+  return "?";
+}
+
+void PrintRow(ConnectPolicy policy, const TenantChurnResult& result) {
+  std::printf("%-12s %8llu %8llu %10llu %12.2f %12.2f %8llu %8llu %12.4f\n",
+              PolicyName(policy), static_cast<unsigned long long>(result.tenants_arrived),
+              static_cast<unsigned long long>(result.tenants_departed),
+              static_cast<unsigned long long>(result.completed), result.ttfb_mean_ms,
+              result.ttfb_p99_ms, static_cast<unsigned long long>(result.setup_verbs),
+              static_cast<unsigned long long>(result.destroy_verbs),
+              result.verbs_per_invocation);
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("Tenant churn — elastic RDMA control plane",
+               "section 3.3 QP pooling + Swift-style costed QP lifecycle (DESIGN.md §3f)");
+  const CostModel& cost = CostModel::Default();
+  std::printf("%-12s %8s %8s %10s %12s %12s %8s %8s %12s\n", "policy", "arrived", "departed",
+              "completed", "ttfb_ms", "ttfb_p99", "setup_v", "destr_v", "verbs/invoc");
+  TenantChurnResult shared;
+  for (const ConnectPolicy policy :
+       {ConnectPolicy::kEager, ConnectPolicy::kLazy, ConnectPolicy::kLazyShared}) {
+    const TenantChurnResult result = RunTenantChurn(cost, Scenario(policy));
+    PrintRow(policy, result);
+    if (policy == ConnectPolicy::kLazyShared) {
+      shared = result;
+    }
+  }
+  bench::Note(
+      "eager pays the all-pairs prewarm before a cold tenant's first byte and "
+      "4 QPs/tenant of verbs; lazy defers setup but handshakes each direction "
+      "separately; lazy+shared establishes once, adopts the remote half at "
+      "the peer, and destroys half the QPs at departure.");
+  bench::WriteMetricsJson("tenant_churn", shared.metrics_json);
+  return 0;
+}

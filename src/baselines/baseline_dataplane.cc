@@ -62,7 +62,7 @@ void BaselineDataPlane::AddWorkerNode(Node* node) {
                                    "fuyao_rdma_" + std::to_string(node->id()),
                                    TenantRegistry::PoolConfig{kFuyaoRdmaSlots, kFuyaoSlotSize});
     node->rnic().mr_table().Register(state.rdma_pool, kMrRemoteWrite);
-    state.connections = std::make_unique<ConnectionManager>(env(), &node->rnic());
+    state.connections = &node->connections();
     // The receiver-side poller busy-spins on its core.
     state.engine_core->set_pinned(true);
   }
@@ -294,7 +294,7 @@ bool BaselineDataPlane::SendInterFuyao(FunctionRuntime* src, Buffer* buffer, Fun
         }
         src_state->engine_core->Submit(env().cost().fuyao_relay_tx, [this, src_state, dst_state,
                                                                src_pool, out]() {
-          const ConnectionManager::Acquired acquired =
+          const ConnectionService::Acquired acquired =
               src_state->connections->Acquire(dst_state->node->id(), tenant_);
           if (acquired.qp == 0) {
             m_drops_.Increment();

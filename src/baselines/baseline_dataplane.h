@@ -24,7 +24,7 @@
 
 #include "src/core/calibration.h"
 #include "src/mem/copy_engine.h"
-#include "src/rdma/connection_manager.h"
+#include "src/rdma/control_plane.h"
 #include "src/runtime/dataplane.h"
 #include "src/runtime/routing_table.h"
 #include "src/runtime/skmsg.h"
@@ -67,7 +67,7 @@ class BaselineDataPlane : public DataPlane {
     Node* node = nullptr;
     FifoResource* engine_core = nullptr;     // Relay / poller / scheduler.
     BufferPool* rdma_pool = nullptr;         // FUYAO only.
-    std::unique_ptr<ConnectionManager> connections;  // FUYAO only.
+    ConnectionService* connections = nullptr;  // FUYAO only (node-owned).
     uint32_t next_slot = 0;                  // FUYAO remote-slot cursor.
   };
 

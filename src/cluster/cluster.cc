@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "src/rdma/control_plane.h"
+
 namespace nadino {
 
 Cluster::Cluster(const CostModel* cost, const ClusterConfig& config)
@@ -9,6 +11,29 @@ Cluster::Cluster(const CostModel* cost, const ClusterConfig& config)
       network_(env_),
       membership_(env_, &routing_),
       config_(config) {
+  // Control-plane hygiene: when membership declares a node dead, every other
+  // node's ConnectionService quiesces its idle active QPs toward it (the
+  // active -> shadow transition), reclaiming RNIC cache context while the
+  // pools survive for post-heal reactivation. Nodes that never pooled a
+  // connection have no service (connections_or_null) and are skipped.
+  membership_.Subscribe([this](NodeId node, NodeHealth health, uint64_t /*epoch*/) {
+    if (health != NodeHealth::kDead) {
+      return;
+    }
+    for (auto& worker : workers_) {
+      if (worker->id() == node) {
+        continue;
+      }
+      if (ConnectionService* service = worker->connections_or_null()) {
+        service->QuiescePeer(node);
+      }
+    }
+    if (ingress_ != nullptr && ingress_->id() != node) {
+      if (ConnectionService* service = ingress_->connections_or_null()) {
+        service->QuiescePeer(node);
+      }
+    }
+  });
   for (int i = 0; i < config.worker_nodes; ++i) {
     Node::Config node_config;
     node_config.host_cores = config.host_cores_per_node;

@@ -54,6 +54,15 @@ struct CostModel {
   SimDuration rc_connect_cost = 20 * kMillisecond;
   // Activating / deactivating a pooled shadow QP (no cross-node sync, [55]).
   SimDuration qp_activate_cost = 2 * kMicrosecond;
+  // Control-plane verbs as first-class costs (Swift: the QP lifecycle, not
+  // just the handshake, bottlenecks elastic tenants). Creation allocates the
+  // QP context (ICM) and buffers; each state transition (INIT -> RTR -> RTS,
+  // three modifies per RC setup) is a driver round trip; destroy tears the
+  // context out of the NIC. These serialize on the issuing CPU, while the
+  // rc_connect_cost handshake round trip pipelines across a batch.
+  SimDuration qp_create_verb = 35 * kMicrosecond;
+  SimDuration qp_modify_verb = 10 * kMicrosecond;
+  SimDuration qp_destroy_verb = 25 * kMicrosecond;
 
   // --- DPU (BlueField-2: 8 Armv8 A72 cores, up to 2.5 GHz) -----------------
   // Wimpy-core penalty vs the host Xeon (2.4-3.7 GHz, wider issue): a job

@@ -4,9 +4,12 @@
 #include <cassert>
 #include <deque>
 
+#include "src/rdma/control_plane.h"
 #include "src/rdma/distributed_lock.h"
 #include "src/runtime/chain.h"
+#include "src/runtime/coldstart.h"
 #include "src/runtime/message_header.h"
+#include "src/sim/random.h"
 
 namespace nadino {
 
@@ -726,6 +729,146 @@ MultiTenantResult RunMultiTenant(const CostModel& cost, const MultiTenantOptions
   result.sim_events = sim.events_processed();
   result.metrics_text = metrics.SnapshotText();
   result.metrics_json = metrics.SnapshotJson();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Tenant churn: elastic control plane (DESIGN.md §3f)
+// ---------------------------------------------------------------------------
+
+TenantChurnResult RunTenantChurn(const CostModel& cost, const TenantChurnOptions& options) {
+  constexpr TenantId kChurnTenantBase = 10;
+  constexpr FunctionId kClientFnBase = 10000;
+  constexpr FunctionId kServerFnBase = 20000;
+
+  ClusterConfig config;
+  config.worker_nodes = 2;
+  config.with_ingress_node = false;
+  config.seed = options.seed;
+  Cluster cluster(&cost, config);
+  Simulator& sim = cluster.sim();
+
+  NadinoDataPlane::Options dp_options;
+  dp_options.connect_policy = options.policy;
+  dp_options.establish_batch = options.establish_batch;
+  dp_options.prewarm_connections = options.prewarm_connections;
+  dp_options.instrument_control_plane = true;
+  // Small per-tenant pools: hundreds of tenants are resident at once, and the
+  // churn traffic is a narrow closed-loop echo, not a bandwidth test.
+  dp_options.initial_recv_buffers = 8;
+  NadinoDataPlane dataplane(cluster.env(), &cluster.routing(), dp_options);
+  dataplane.AddWorkerNode(cluster.worker(0));
+  dataplane.AddWorkerNode(cluster.worker(1));
+  dataplane.Start();
+
+  ColdStartManager::Options cold_options;
+  cold_options.keep_warm_timeout = options.keep_warm_timeout;
+  cold_options.sweep_period = options.sweep_period;
+  ColdStartManager coldstart(cluster.env(), cold_options);
+
+  struct ChurnTenant {
+    std::unique_ptr<FunctionRuntime> client;
+    std::unique_ptr<FunctionRuntime> server;
+    std::unique_ptr<TenantEchoLoad> load;
+  };
+  std::vector<std::unique_ptr<ChurnTenant>> slots(static_cast<size_t>(options.tenants));
+  std::map<FunctionId, TenantId> server_tenants;
+  TenantChurnResult result;
+  LatencyHistogram ttfb;
+
+  // Instance retirement is the departure signal: once the sweeper retires a
+  // tenant's (idle) server, the tenant's QPs on every node are destroyed and
+  // their RNIC context reclaimed.
+  coldstart.SetRetireHook([&](FunctionId fn) {
+    const auto it = server_tenants.find(fn);
+    if (it == server_tenants.end()) {
+      return;
+    }
+    const TenantId tenant = it->second;
+    server_tenants.erase(it);
+    ++result.tenants_departed;
+    dataplane.DetachTenant(tenant);
+  });
+
+  // Pre-generated Poisson schedule: equal seeds replay identical churn.
+  Rng rng(options.seed);
+  SimTime next_arrival = 0;
+  for (int i = 0; i < options.tenants; ++i) {
+    next_arrival += static_cast<SimTime>(
+        rng.Exponential(static_cast<double>(options.mean_interarrival)));
+    const SimDuration lifetime = std::max<SimDuration>(
+        static_cast<SimDuration>(rng.Exponential(static_cast<double>(options.mean_lifetime))),
+        5 * kMillisecond);
+    const SimTime arrival = next_arrival;
+    if (arrival >= options.duration) {
+      break;
+    }
+    sim.Schedule(arrival, [&, i, arrival, lifetime]() {
+      const TenantId tenant = kChurnTenantBase + static_cast<TenantId>(i);
+      cluster.CreateTenantPools(tenant, 32, 2048);
+      // Eager: all-pairs prewarm now; traffic is gated on the returned setup
+      // latency. Lazy: returns 0, the first send pays the handshake inline.
+      const SimDuration setup = dataplane.AttachTenant(tenant, 1);
+      auto slot = std::make_unique<ChurnTenant>();
+      slot->client = std::make_unique<FunctionRuntime>(
+          kClientFnBase + static_cast<FunctionId>(i), tenant, "client", cluster.worker(0),
+          cluster.worker(0)->AllocateCore(),
+          cluster.worker(0)->tenants().PoolOfTenant(tenant));
+      slot->server = std::make_unique<FunctionRuntime>(
+          kServerFnBase + static_cast<FunctionId>(i), tenant, "server", cluster.worker(1),
+          cluster.worker(1)->AllocateCore(),
+          cluster.worker(1)->tenants().PoolOfTenant(tenant));
+      dataplane.RegisterFunction(slot->client.get());
+      dataplane.RegisterFunction(slot->server.get());
+      TenantEchoLoad::Options load_options;
+      load_options.payload_bytes = options.payload;
+      load_options.window = options.window;
+      slot->load = std::make_unique<TenantEchoLoad>(cluster.env(), &dataplane,
+                                                    slot->client.get(), slot->server.get(),
+                                                    load_options);
+      // Wrap the server AFTER the echo load installed its handler, then
+      // prewarm the instance: TTFB isolates the control plane, not the
+      // container boot, and the keep-warm clock starts ticking.
+      coldstart.Manage(slot->server.get());
+      coldstart.Prewarm(slot->server->id());
+      server_tenants[slot->server->id()] = tenant;
+      slot->load->SetOnFirstResponse([&, arrival]() {
+        ttfb.Record(sim.now() - arrival);
+        ++result.tenants_first_byte;
+      });
+      slot->load->ScheduleActive(sim.now() + setup, arrival + lifetime);
+      ++result.tenants_arrived;
+      slots[static_cast<size_t>(i)] = std::move(slot);
+    });
+  }
+
+  sim.RunFor(options.duration);
+
+  for (const auto& slot : slots) {
+    if (slot != nullptr && slot->load != nullptr) {
+      result.completed += slot->load->completed();
+    }
+  }
+  result.ttfb_mean_ms = ttfb.MeanUs() / 1000.0;
+  result.ttfb_p99_ms = static_cast<double>(ttfb.Percentile(0.99)) / kMillisecond;
+  for (int node = 0; node < 2; ++node) {
+    if (const ConnectionService* service = cluster.worker(node)->connections_or_null()) {
+      const ConnectionService::Stats stats = service->stats();
+      result.setup_verbs += stats.create_verbs + stats.modify_verbs;
+      result.destroy_verbs += stats.destroy_verbs;
+      result.connects += stats.connects;
+      result.establishes += stats.establishes;
+      result.destroys += stats.destroys;
+    }
+  }
+  if (result.completed > 0) {
+    result.verbs_per_invocation =
+        static_cast<double>(result.setup_verbs + result.destroy_verbs) /
+        static_cast<double>(result.completed);
+  }
+  result.sim_events = sim.events_processed();
+  result.metrics_text = cluster.metrics().SnapshotText();
+  result.metrics_json = cluster.metrics().SnapshotJson();
   return result;
 }
 

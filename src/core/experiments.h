@@ -276,6 +276,54 @@ struct NodeScaleResult {
 };
 NodeScaleResult RunNodeScale(const CostModel& cost, const NodeScaleOptions& options);
 
+// ---------------------------------------------------------------------------
+// Tenant churn: the elastic control plane under arrival/departure (DESIGN.md
+// §3f). Tenants arrive by a seeded Poisson process on a two-worker cluster,
+// echo for an exponential lifetime, then idle out: the cold-start sweeper
+// retires the server instance and the retirement hook tears the tenant's QPs
+// down (ConnectionService::DestroyTenant). Compares setup policies: eager
+// per-tenant prewarm vs. lazy on-demand vs. lazy + tenant-shared QPs.
+// ---------------------------------------------------------------------------
+
+struct TenantChurnOptions {
+  ConnectPolicy policy = ConnectPolicy::kEager;
+  int tenants = 200;
+  SimDuration mean_interarrival = 10 * kMillisecond;  // Poisson arrivals.
+  SimDuration mean_lifetime = 120 * kMillisecond;     // Exponential, >= 5 ms.
+  SimDuration duration = 5 * kSecond;
+  uint32_t payload = 256;
+  int window = 2;
+  int establish_batch = 1;
+  int prewarm_connections = 2;  // Eager policy only.
+  // Instance lifetime: a server instance idle this long is retired by the
+  // sweeper, which triggers the tenant's control-plane reclaim.
+  SimDuration keep_warm_timeout = 60 * kMillisecond;
+  SimDuration sweep_period = 20 * kMillisecond;
+  uint64_t seed = kDefaultSeed;
+};
+struct TenantChurnResult {
+  uint64_t tenants_arrived = 0;
+  uint64_t tenants_departed = 0;    // Retired and reclaimed.
+  uint64_t tenants_first_byte = 0;  // Completed at least one echo.
+  uint64_t completed = 0;           // Echo invocations across all tenants.
+  // Time from tenant arrival to its first completed echo — what a cold
+  // tenant actually waits on the control plane for.
+  double ttfb_mean_ms = 0.0;
+  double ttfb_p99_ms = 0.0;
+  // Control-plane verb accounting, summed over both node services.
+  uint64_t setup_verbs = 0;    // create + modify.
+  uint64_t destroy_verbs = 0;
+  uint64_t connects = 0;
+  uint64_t establishes = 0;    // On-demand setups (lazy policies).
+  uint64_t destroys = 0;       // QPs reclaimed on departure.
+  // Amplification: (setup + destroy verbs) per completed invocation.
+  double verbs_per_invocation = 0.0;
+  uint64_t sim_events = 0;
+  std::string metrics_text;
+  std::string metrics_json;
+};
+TenantChurnResult RunTenantChurn(const CostModel& cost, const TenantChurnOptions& options);
+
 }  // namespace nadino
 
 #endif  // SRC_CORE_EXPERIMENTS_H_

@@ -38,7 +38,7 @@
 #include "src/mem/hugepage_arena.h"
 #include "src/mem/tenant_registry.h"
 #include "src/mem/token.h"
-#include "src/rdma/connection_manager.h"
+#include "src/rdma/control_plane.h"
 #include "src/rdma/distributed_lock.h"
 #include "src/rdma/rdma_engine.h"
 #include "src/runtime/chain.h"

@@ -1,5 +1,8 @@
 #include "src/dne/nadino_dataplane.h"
 
+#include <algorithm>
+
+#include "src/rdma/control_plane.h"
 #include "src/runtime/message_header.h"
 
 namespace nadino {
@@ -19,25 +22,70 @@ NetworkEngine* NadinoDataPlane::AddWorkerNode(Node* node) {
   config.initial_recv_buffers = options_.initial_recv_buffers;
   auto engine = std::make_unique<NetworkEngine>(env(), node, routing_, config);
   NetworkEngine* raw = engine.get();
+  if (options_.connect_policy != ConnectPolicy::kEager ||
+      options_.instrument_control_plane) {
+    // Retune the node's control plane (created by the engine's constructor
+    // with the legacy-equivalent defaults). Gated so default-option runs
+    // leave the service — and the bench goldens — untouched.
+    ConnectionService::Config service_config;
+    service_config.policy = options_.connect_policy;
+    service_config.establish_batch = options_.establish_batch;
+    service_config.instrument = options_.instrument_control_plane;
+    node->connections().Reconfigure(service_config);
+  }
   engines_[node->id()] = std::move(engine);
   return raw;
 }
 
-void NadinoDataPlane::AttachTenant(TenantId tenant, uint32_t weight) {
+SimDuration NadinoDataPlane::AttachTenant(TenantId tenant, uint32_t weight) {
   tenants_.emplace_back(tenant, weight);
   for (auto& [node, engine] : engines_) {
     engine->AttachTenant(tenant, weight);
   }
+  if (options_.connect_policy != ConnectPolicy::kEager) {
+    return 0;  // Lazy policies defer all connection setup to first use.
+  }
+  SimDuration setup = 0;
   for (auto& [node_a, engine_a] : engines_) {
+    SimDuration node_setup = 0;
     for (auto& [node_b, engine_b] : engines_) {
       if (node_a != node_b) {
-        engine_a->PrewarmPeer(engine_b.get(), tenant, options_.prewarm_connections);
+        node_setup += engine_a->PrewarmPeer(engine_b.get(), tenant,
+                                            options_.prewarm_connections);
       }
     }
+    setup = std::max(setup, node_setup);
   }
+  return setup;
+}
+
+SimDuration NadinoDataPlane::DetachTenant(TenantId tenant) {
+  SimDuration reclaim = 0;
+  for (auto& [node, engine] : engines_) {
+    reclaim = std::max(reclaim, engine->node()->connections().DestroyTenant(tenant));
+  }
+  for (auto it = tenants_.begin(); it != tenants_.end(); ++it) {
+    if (it->first == tenant) {
+      tenants_.erase(it);
+      break;
+    }
+  }
+  return reclaim;
 }
 
 void NadinoDataPlane::Start() {
+  if (options_.connect_policy == ConnectPolicy::kLazyShared) {
+    // Symmetric pooling: every node's service may register the remote half of
+    // its connected pairs with the peer's service.
+    for (auto& [node_a, engine_a] : engines_) {
+      for (auto& [node_b, engine_b] : engines_) {
+        if (node_a != node_b) {
+          engine_a->node()->connections().LinkPeer(node_b,
+                                                   &engine_b->node()->connections());
+        }
+      }
+    }
+  }
   for (auto& [node, engine] : engines_) {
     engine->Start();
   }

@@ -27,6 +27,12 @@ class NadinoDataPlane : public DataPlane {
     int prewarm_connections = 2;
     int initial_recv_buffers = 256;
     uint32_t dwrr_quantum_bytes = 2048;
+    // Control-plane setup policy (src/rdma/control_plane.h). kEager keeps the
+    // legacy prewarm-at-attach behavior byte-for-byte; the lazy policies skip
+    // the attach-time prewarm and establish on first use.
+    ConnectPolicy connect_policy = ConnectPolicy::kEager;
+    int establish_batch = 1;
+    bool instrument_control_plane = false;
   };
 
   NadinoDataPlane(Env& env, RoutingTable* routing, const Options& options);
@@ -35,9 +41,17 @@ class NadinoDataPlane : public DataPlane {
   // node's functions.
   NetworkEngine* AddWorkerNode(Node* node);
 
-  // Attaches `tenant` (weight for DWRR) on every engine, and pre-establishes
-  // RC connections between every pair of worker nodes for it.
-  void AttachTenant(TenantId tenant, uint32_t weight);
+  // Attaches `tenant` (weight for DWRR) on every engine and, under the eager
+  // policy, pre-establishes RC connections between every pair of worker nodes
+  // for it. Returns the modeled control-plane setup latency (max over nodes;
+  // each node's verbs serialize, nodes proceed in parallel) — zero under the
+  // lazy policies, which defer setup to first use.
+  SimDuration AttachTenant(TenantId tenant, uint32_t weight);
+
+  // Tenant departure: destroys the tenant's pooled QPs on every node
+  // (ConnectionService::DestroyTenant) so their RNIC context is reclaimed.
+  // Returns the modeled reclaim latency (max over nodes).
+  SimDuration DetachTenant(TenantId tenant);
 
   // Starts all engines (CQ handling + receive-buffer replenishers).
   void Start();

@@ -12,7 +12,7 @@ NetworkEngine::NetworkEngine(Env& env, Node* node, RoutingTable* routing, const 
       node_(node),
       routing_(routing),
       config_(config),
-      connections_(env, &node->rnic()),
+      connections_(&node->connections()),
       mmap_table_(&exporter_) {
   if (config_.kind == Kind::kDne) {
     assert(node_->dpu() != nullptr && "DNE requires a DPU on the node");
@@ -103,12 +103,14 @@ bool NetworkEngine::AttachTenant(TenantId tenant, uint32_t weight) {
   return true;
 }
 
-void NetworkEngine::PrewarmPeer(NetworkEngine* peer, TenantId tenant, int num_connections) {
-  connections_.Prewarm(&peer->node()->rnic(), tenant, num_connections);
+SimDuration NetworkEngine::PrewarmPeer(NetworkEngine* peer, TenantId tenant,
+                                       int num_connections) {
+  return connections_->Prewarm(&peer->node()->rnic(), tenant, num_connections);
 }
 
-void NetworkEngine::PrewarmRemoteRnic(RdmaEngine* remote, TenantId tenant, int num_connections) {
-  connections_.Prewarm(remote, tenant, num_connections);
+SimDuration NetworkEngine::PrewarmRemoteRnic(RdmaEngine* remote, TenantId tenant,
+                                             int num_connections) {
+  return connections_->Prewarm(remote, tenant, num_connections);
 }
 
 void NetworkEngine::RegisterLocalFunction(FunctionId fn, FifoResource* fn_core,
@@ -282,12 +284,36 @@ void NetworkEngine::ExecuteTx(const TxItem& item) {
     DeliverLocal(item.desc.dst_function, buffer, pool);
     return;
   }
-  const ConnectionManager::Acquired acquired = connections_.Acquire(dst_node, item.tenant);
+  const uint64_t stream = connections_->TxStream(item.desc.dst_function);
+  const ConnectionService::Acquired acquired =
+      connections_->Acquire(dst_node, item.tenant, stream);
   if (acquired.qp == 0) {
+    if (connections_->CanEstablish(dst_node, item.tenant)) {
+      // Lazy policy: first use of (peer, tenant) — establish on demand and
+      // resume this send when the handshake lands. The buffer stays
+      // engine-owned across the setup; a failed establishment recycles it
+      // ("counted not hung").
+      connections_->EstablishThen(
+          dst_node, item.tenant, stream,
+          [this, item, buffer, pool](const ConnectionService::Acquired& late) {
+            if (late.qp == 0) {
+              m_unroutable_.Increment();
+              pool->Put(buffer, owner_id());
+              return;
+            }
+            FinishTx(item, buffer, pool, late);
+          });
+      return;
+    }
     m_unroutable_.Increment();
     pool->Put(buffer, owner_id());
     return;
   }
+  FinishTx(item, buffer, pool, acquired);
+}
+
+void NetworkEngine::FinishTx(const TxItem& item, Buffer* buffer, BufferPool* pool,
+                             const ConnectionService::Acquired& acquired) {
   auto post = [this, item, buffer, pool, qp = acquired.qp]() {
     PostToRnic(item, buffer, pool, qp);
   };
@@ -348,9 +374,13 @@ void NetworkEngine::OnCompletion(const Completion& cqe) {
       }
       const InFlightSend inflight = it->second;
       in_flight_.erase(it);
-      connections_.NoteIdle(inflight.qp);
+      connections_->NoteIdle(inflight.qp);
       m_send_completions_.Increment();
       if (cqe.status != WrStatus::kSuccess) {
+        // RC semantics: a transport error kills the connection. Under lazy
+        // policies the service marks it errored and kicks off a repair
+        // handshake (no-op under the legacy eager policy).
+        connections_->NoteTransportError(inflight.qp);
         // Transport NACK ("counted not hung": an injected RNIC loss completes
         // the WR with an error while the QP stays usable). Reclaim the buffer
         // and re-enter the TX pipeline after backoff when the tenant's retry

@@ -33,7 +33,7 @@
 #include "src/dpu/comch.h"
 #include "src/dpu/cross_mmap.h"
 #include "src/mem/buffer_pool.h"
-#include "src/rdma/connection_manager.h"
+#include "src/rdma/control_plane.h"
 #include "src/rdma/rdma_engine.h"
 #include "src/runtime/function.h"
 #include "src/runtime/node.h"
@@ -88,7 +88,7 @@ class NetworkEngine {
   OwnerId owner_id() const { return OwnerId::Engine(config_.engine_id); }
   FifoResource* worker_core() { return worker_core_; }
   ComchServer* comch() { return comch_.get(); }
-  ConnectionManager& connections() { return connections_; }
+  ConnectionService& connections() { return *connections_; }
   // Thin shim over the MetricsRegistry counters; see metrics.h.
   Stats stats() const;
   TxScheduler& scheduler() { return *scheduler_; }
@@ -103,11 +103,12 @@ class NetworkEngine {
   bool AttachTenant(TenantId tenant, uint32_t weight);
 
   // Pre-establishes RC connections to a peer engine's node for a tenant.
-  void PrewarmPeer(NetworkEngine* peer, TenantId tenant, int connections = 2);
+  // Returns the modeled control-plane setup latency (ConnectionService).
+  SimDuration PrewarmPeer(NetworkEngine* peer, TenantId tenant, int connections = 2);
 
   // Pre-establishes RC connections to an arbitrary remote RNIC (e.g. the
   // ingress node, which runs gateway workers rather than a network engine).
-  void PrewarmRemoteRnic(RdmaEngine* remote, TenantId tenant, int connections = 2);
+  SimDuration PrewarmRemoteRnic(RdmaEngine* remote, TenantId tenant, int connections = 2);
 
   // Registers a local function endpoint: how the RX stage hands descriptors
   // to this function. For the DNE this also connects a Comch endpoint; for
@@ -182,6 +183,11 @@ class NetworkEngine {
   // backoff. Returns false (after counting the terminal outcome) when the
   // caller must recycle the buffer.
   bool ScheduleTxRetry(const TxItem& item, const char* stage);
+  // The post-Acquire tail of ExecuteTx: control cost, optional on-path SoC
+  // DMA staging, then the RNIC post. Split out so a lazy establishment can
+  // resume a send when its handshake lands.
+  void FinishTx(const TxItem& item, Buffer* buffer, BufferPool* pool,
+                const ConnectionService::Acquired& acquired);
   void PostToRnic(const TxItem& item, Buffer* buffer, BufferPool* pool, QpNum qp);
   void OnCompletion(const Completion& cqe);
   void HandleRecvCompletion(const Completion& cqe);
@@ -202,7 +208,9 @@ class NetworkEngine {
   std::unique_ptr<SkMsgChannel> skmsg_;         // CNE only.
   std::unique_ptr<TxScheduler> scheduler_;
   TenantRateLimiter rate_limiter_;
-  ConnectionManager connections_;
+  // The node-owned control plane (src/rdma/control_plane.h); the engine is
+  // one of its consumers, not its owner.
+  ConnectionService* connections_;
   RbrTable rbr_;
   HostMemoryExporter exporter_;
   DpuMmapTable mmap_table_;

@@ -74,7 +74,7 @@ void IngressGateway::StartWorker(int index) {
   worker->active = true;
   routing_->Place(worker->self_fn, node_->id());
   fn_to_worker_[worker->self_fn] = index;
-  worker->connections = std::make_unique<ConnectionManager>(*env_, &node_->rnic());
+  worker->connections = &node_->connections();
   workers_.push_back(std::move(worker));
 }
 
@@ -114,7 +114,8 @@ void IngressGateway::ConnectWorkerEngines(const std::vector<NetworkEngine*>& eng
   for (const auto& worker : workers_) {
     for (NetworkEngine* engine : engines) {
       worker->connections->Prewarm(&engine->node()->rnic(), options_.tenant,
-                                   options_.prewarm_connections);
+                                   options_.prewarm_connections,
+                                   static_cast<uint64_t>(worker->index));
     }
   }
   for (NetworkEngine* engine : engines) {
@@ -253,15 +254,44 @@ void IngressGateway::NadinoHandleRequest(Worker* worker, const Route& route,
   // with a spreading policy installed, successive requests rotate across the
   // entry's live replicas); kInvalidNode = no surviving placement.
   const NodeId dst_node = routing_->ResolveFor(route.entry, node_->id());
-  const ConnectionManager::Acquired acquired =
-      dst_node == kInvalidNode ? ConnectionManager::Acquired{}
-                               : worker->connections->Acquire(dst_node, options_.tenant);
-  if (acquired.qp == 0) {
+  if (dst_node == kInvalidNode) {
     pool_->Put(buffer, owner_id());
     m_http_errors_.Increment();
     FinishResponse(worker, request_id, 0);
     return;
   }
+  const uint64_t stream = static_cast<uint64_t>(worker->index);
+  const ConnectionService::Acquired acquired =
+      worker->connections->Acquire(dst_node, options_.tenant, stream);
+  if (acquired.qp == 0) {
+    if (worker->connections->CanEstablish(dst_node, options_.tenant)) {
+      // Lazy policy: hold the request across the handshake; the continuation
+      // resumes the post (or fails closed if the tenant departed meanwhile).
+      worker->connections->EstablishThen(
+          dst_node, options_.tenant, stream,
+          [this, worker, buffer, route, request_id,
+           dst_node](const ConnectionService::Acquired& late) {
+            if (late.qp == 0) {
+              pool_->Put(buffer, owner_id());
+              m_http_errors_.Increment();
+              FinishResponse(worker, request_id, 0);
+              return;
+            }
+            PostNadinoSend(worker, buffer, route, request_id, dst_node, late);
+          });
+      return;
+    }
+    pool_->Put(buffer, owner_id());
+    m_http_errors_.Increment();
+    FinishResponse(worker, request_id, 0);
+    return;
+  }
+  PostNadinoSend(worker, buffer, route, request_id, dst_node, acquired);
+}
+
+void IngressGateway::PostNadinoSend(Worker* worker, Buffer* buffer, const Route& route,
+                                    uint64_t request_id, NodeId dst_node,
+                                    const ConnectionService::Acquired& acquired) {
   auto post = [this, worker, buffer, route, request_id, dst_node, qp = acquired.qp]() {
     pool_->Transfer(buffer, owner_id(), OwnerId::Rnic(node_->id()));
     const uint64_t wr_id = next_wr_id_++;
@@ -351,8 +381,8 @@ void IngressGateway::HandleSendFailure(InFlightSend send) {
     }
   }
   if (dst_node != kInvalidNode && send.attempt < 2) {
-    const ConnectionManager::Acquired acquired =
-        worker->connections->Acquire(dst_node, options_.tenant);
+    const ConnectionService::Acquired acquired = worker->connections->Acquire(
+        dst_node, options_.tenant, static_cast<uint64_t>(worker->index));
     if (acquired.qp != 0) {
       if (!m_failover_attempts_.resolved()) {
         MetricLabels labels = MetricLabels::Node(node_->id());

@@ -29,7 +29,7 @@
 #include "src/dne/network_engine.h"
 #include "src/dne/rbr_table.h"
 #include "src/mem/buffer_pool.h"
-#include "src/rdma/connection_manager.h"
+#include "src/rdma/control_plane.h"
 #include "src/runtime/chain.h"
 #include "src/runtime/dataplane.h"
 #include "src/runtime/node.h"
@@ -109,7 +109,10 @@ class IngressGateway {
     int index = 0;
     FifoResource* core = nullptr;
     FunctionId self_fn = kInvalidFunction;
-    std::unique_ptr<ConnectionManager> connections;
+    // The ingress node's shared control plane; each worker keys its pools
+    // with its own stream (index), preserving the per-worker pools of the
+    // pre-ConnectionService gateway.
+    ConnectionService* connections = nullptr;
     bool active = false;
   };
 
@@ -130,6 +133,12 @@ class IngressGateway {
   // NADINO mode data path.
   void NadinoHandleRequest(Worker* worker, const Route& route, uint32_t payload_bytes,
                            uint64_t request_id);
+  // The post-Acquire tail of NadinoHandleRequest (control cost, RNIC post);
+  // split out so a lazy establishment can resume the request when its
+  // handshake lands.
+  void PostNadinoSend(Worker* worker, Buffer* buffer, const Route& route,
+                      uint64_t request_id, NodeId dst_node,
+                      const ConnectionService::Acquired& acquired);
   void NadinoHandleResponse(Worker* worker, Buffer* buffer);
   void OnRnicCompletion(const Completion& cqe);
   void PostIngressRecvBuffers(uint64_t count);

@@ -158,6 +158,21 @@ void RdmaEngine::ResetQp(QpNum qp) {
   }
 }
 
+NodeId RdmaEngine::RemoteNodeOfQp(QpNum qp) const {
+  const RcQp* q = FindQp(qp);
+  return q == nullptr ? kInvalidNode : q->remote_node;
+}
+
+QpNum RdmaEngine::RemoteQpOf(QpNum qp) const {
+  const RcQp* q = FindQp(qp);
+  return q == nullptr ? 0 : q->remote_qp;
+}
+
+void RdmaEngine::DestroyQp(QpNum qp) {
+  qp_cache_.Evict(qp);
+  qps_.erase(qp);
+}
+
 uint64_t RdmaEngine::TenantBytesTx(TenantId tenant) const {
   const auto it = tenant_bytes_tx_.find(tenant);
   return it == tenant_bytes_tx_.end() ? 0 : it->second;

@@ -84,7 +84,7 @@ class RdmaEngine {
   QpNum CreateQp(TenantId tenant);
 
   // Binds a local QP to its remote peer. Control-plane only: connection setup
-  // *time* is charged by the ConnectionManager (section 3.3), not here.
+  // *time* is charged by the ConnectionService (section 3.3), not here.
   bool Connect(QpNum local_qp, NodeId remote_node, QpNum remote_qp);
 
   // Creates and pairs a QP on each engine; returns {qp_on_a, qp_on_b}.
@@ -122,11 +122,22 @@ class RdmaEngine {
   bool InError(QpNum qp) const;
 
   // Control-plane reset (back to RTS); the pair's peer QP is NOT reset here —
-  // real recovery re-runs the connection handshake, which ConnectionManager's
+  // real recovery re-runs the connection handshake, which ConnectionService's
   // Repair() models with the full reconnect cost.
   void ResetQp(QpNum qp);
 
   TenantId TenantOfQp(QpNum qp) const;
+
+  // Peer coordinates of a connected QP (kInvalidNode / 0 when unknown); the
+  // control plane's Repair() resolves the peer engine through these.
+  NodeId RemoteNodeOfQp(QpNum qp) const;
+  QpNum RemoteQpOf(QpNum qp) const;
+
+  // Tears a QP's context out of the RNIC (tenant departure): the QP number
+  // is retired and its ICM cache slot is freed. Packets already in flight
+  // toward the destroyed QP resolve to null lookups — dropped, counted by
+  // their senders' ACK timeouts, never hung.
+  void DestroyQp(QpNum qp);
 
   // Per-tenant bytes transmitted (fairness accounting for Figs. 15/17).
   uint64_t TenantBytesTx(TenantId tenant) const;

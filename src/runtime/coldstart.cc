@@ -75,6 +75,9 @@ void ColdStartManager::SweepTick() {
         sim().now() - instance.last_active >= options_.keep_warm_timeout) {
       instance.state = InstanceState::kCold;
       ++stats_.retirements;
+      if (retire_hook_) {
+        retire_hook_(id);
+      }
     }
   }
   sim().Schedule(options_.sweep_period, [this]() { SweepTick(); });

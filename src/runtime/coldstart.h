@@ -12,6 +12,7 @@
 #define SRC_RUNTIME_COLDSTART_H_
 
 #include <deque>
+#include <functional>
 #include <map>
 
 #include "src/core/env.h"
@@ -55,6 +56,11 @@ class ColdStartManager {
   // Pre-warms an instance (e.g. at deployment), skipping the first cold hit.
   void Prewarm(FunctionId function);
 
+  // Fires whenever the idle sweeper retires a warm instance. Lets the
+  // control plane tie resource reclaim to instance lifetime: the tenant-churn
+  // harness maps a retired function to ConnectionService::DestroyTenant.
+  void SetRetireHook(std::function<void(FunctionId)> hook) { retire_hook_ = std::move(hook); }
+
   InstanceState StateOf(FunctionId function) const;
   const Stats& stats() const { return stats_; }
 
@@ -83,6 +89,7 @@ class ColdStartManager {
   std::map<FunctionId, Instance> instances_;
   bool sweeping_ = false;
   Stats stats_;
+  std::function<void(FunctionId)> retire_hook_;
 };
 
 }  // namespace nadino

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "src/rdma/control_plane.h"
+
 namespace nadino {
 
 Node::Node(Env& env, NodeId id, RdmaNetwork* network, const Config& config)
@@ -16,6 +18,15 @@ Node::Node(Env& env, NodeId id, RdmaNetwork* network, const Config& config)
   }
   rnic_ = std::make_unique<RdmaEngine>(env, id, network);
   tenants_.BindMetrics(&env.metrics(), static_cast<int64_t>(id));
+}
+
+Node::~Node() = default;
+
+ConnectionService& Node::connections() {
+  if (!connections_) {
+    connections_ = std::make_unique<ConnectionService>(*env_, rnic_.get());
+  }
+  return *connections_;
 }
 
 FifoResource* Node::AllocateCore() {

@@ -18,6 +18,8 @@
 
 namespace nadino {
 
+class ConnectionService;
+
 class Node {
  public:
   struct Config {
@@ -27,6 +29,7 @@ class Node {
   };
 
   Node(Env& env, NodeId id, RdmaNetwork* network, const Config& config);
+  ~Node();  // Out of line: ConnectionService is forward-declared here.
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -53,6 +56,14 @@ class Node {
 
   Dpu* dpu() { return dpu_.get(); }
   RdmaEngine& rnic() { return *rnic_; }
+
+  // The node's RDMA control plane: one ConnectionService owns every RC
+  // connection the node holds, shared by all of its data-plane consumers
+  // (engine, gateway workers, baseline pollers). Created lazily on first use
+  // so nodes that never pool connections register no connmgr_* metrics —
+  // the pre-refactor snapshot shape.
+  ConnectionService& connections();
+  ConnectionService* connections_or_null() { return connections_.get(); }
   TenantRegistry& tenants() { return tenants_; }
   Env& env() { return *env_; }
   Simulator* sim() { return &env_->sim(); }
@@ -69,6 +80,7 @@ class Node {
   CounterHandle m_oversubscribed_;
   std::unique_ptr<Dpu> dpu_;
   std::unique_ptr<RdmaEngine> rnic_;
+  std::unique_ptr<ConnectionService> connections_;
   TenantRegistry tenants_;
 };
 

@@ -53,6 +53,13 @@ TenantEchoLoad::TenantEchoLoad(Env& env, DataPlane* dataplane, FunctionRuntime* 
 }
 
 void TenantEchoLoad::ScheduleActive(SimTime from, SimTime to) {
+  if (to <= from) {
+    // Empty window: a tenant whose lifetime ends before its setup gate opens
+    // (e.g. eager connection prewarm outlasting a short-lived tenant) never
+    // issues — otherwise the deactivation would fire first and the late
+    // activation would run the load forever.
+    return;
+  }
   sim().ScheduleAt(from, [this]() { SetActive(true); });
   sim().ScheduleAt(to, [this]() { SetActive(false); });
 }
@@ -112,6 +119,9 @@ void TenantEchoLoad::OnClientMessage(Buffer* buffer) {
   client_->pool()->Put(buffer, client_->owner_id());
   --outstanding_;
   ++completed_;
+  if (completed_ == 1 && on_first_response_) {
+    on_first_response_();
+  }
   rate_.RecordCompletion();
   Fill();
 }

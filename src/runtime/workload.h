@@ -83,6 +83,10 @@ class TenantEchoLoad {
   void SetActive(bool active);
   bool active() const { return active_; }
 
+  // Fires once, when the tenant's first echo response completes. The churn
+  // harness uses it to measure time-to-first-byte for a cold tenant.
+  void SetOnFirstResponse(std::function<void()> hook) { on_first_response_ = std::move(hook); }
+
   RateMeter& rate() { return rate_; }
   uint64_t completed() const { return completed_; }
   TenantId tenant() const { return client_->tenant(); }
@@ -111,6 +115,7 @@ class TenantEchoLoad {
   RateMeter rate_;
   LatencyHistogram latencies_;
   std::map<uint64_t, SimTime> issue_times_;
+  std::function<void()> on_first_response_;
 };
 
 // Samples a set of RateMeters (and optionally utilizations) once per window,

@@ -1,6 +1,8 @@
-// Tests for shadow-QP connection pooling and the distributed lock service.
+// Tests for shadow-QP connection pooling (ConnectionService legacy surface)
+// and the distributed lock service. Lifecycle extensions are covered in
+// control_plane_test.cc.
 
-#include "src/rdma/connection_manager.h"
+#include "src/rdma/control_plane.h"
 #include "src/rdma/distributed_lock.h"
 
 #include <gtest/gtest.h>
@@ -10,9 +12,9 @@
 namespace nadino {
 namespace {
 
-class ConnectionManagerTest : public ::testing::Test {
+class ConnectionServiceTest : public ::testing::Test {
  protected:
-  ConnectionManagerTest()
+  ConnectionServiceTest()
       : network_(env_),
         a_(env_, 1, &network_),
         b_(env_, 2, &network_) {}
@@ -26,29 +28,29 @@ class ConnectionManagerTest : public ::testing::Test {
   RdmaEngine b_;
 };
 
-TEST_F(ConnectionManagerTest, PrewarmCreatesBoundedActiveSet) {
-  ConnectionManager manager(env_, &a_, /*max_active=*/2);
+TEST_F(ConnectionServiceTest, PrewarmCreatesBoundedActiveSet) {
+  ConnectionService manager(env_, &a_, /*max_active=*/2);
   manager.Prewarm(&b_, kTenant, 5);
   EXPECT_EQ(manager.PooledCount(2, kTenant), 5);
   EXPECT_EQ(manager.ActiveCount(2, kTenant), 2);
   EXPECT_EQ(manager.stats().connects, 5u);
 }
 
-TEST_F(ConnectionManagerTest, AcquireReturnsActiveConnection) {
-  ConnectionManager manager(env_, &a_, 2);
+TEST_F(ConnectionServiceTest, AcquireReturnsActiveConnection) {
+  ConnectionService manager(env_, &a_, 2);
   manager.Prewarm(&b_, kTenant, 3);
   const auto acquired = manager.Acquire(2, kTenant);
   EXPECT_NE(acquired.qp, 0u);
   EXPECT_EQ(acquired.control_cost, 0);
 }
 
-TEST_F(ConnectionManagerTest, AcquireUnknownPeerFails) {
-  ConnectionManager manager(env_, &a_, 2);
+TEST_F(ConnectionServiceTest, AcquireUnknownPeerFails) {
+  ConnectionService manager(env_, &a_, 2);
   EXPECT_EQ(manager.Acquire(99, kTenant).qp, 0u);
 }
 
-TEST_F(ConnectionManagerTest, PicksLeastCongestedConnection) {
-  ConnectionManager manager(env_, &a_, 4);
+TEST_F(ConnectionServiceTest, PicksLeastCongestedConnection) {
+  ConnectionService manager(env_, &a_, 4);
   manager.Prewarm(&b_, kTenant, 2);
   const auto first = manager.Acquire(2, kTenant);
   // Load the first QP with outstanding work; the next acquire should pick the
@@ -63,8 +65,8 @@ TEST_F(ConnectionManagerTest, PicksLeastCongestedConnection) {
   EXPECT_NE(second.qp, first.qp);
 }
 
-TEST_F(ConnectionManagerTest, ActivatesShadowQpUnderCongestion) {
-  ConnectionManager manager(env_, &a_, /*max_active=*/2,
+TEST_F(ConnectionServiceTest, ActivatesShadowQpUnderCongestion) {
+  ConnectionService manager(env_, &a_, /*max_active=*/2,
                             /*congestion_threshold=*/1);
   manager.Prewarm(&b_, kTenant, 3);  // 2 active + 1 shadow... max_active=2.
   EXPECT_EQ(manager.ActiveCount(2, kTenant), 2);
@@ -84,8 +86,8 @@ TEST_F(ConnectionManagerTest, ActivatesShadowQpUnderCongestion) {
   EXPECT_EQ(manager.ActiveCount(2, kTenant), 2);
 }
 
-TEST_F(ConnectionManagerTest, NoteIdleDeactivatesOnlyAboveBound) {
-  ConnectionManager manager(env_, &a_, 2);
+TEST_F(ConnectionServiceTest, NoteIdleDeactivatesOnlyAboveBound) {
+  ConnectionService manager(env_, &a_, 2);
   manager.Prewarm(&b_, kTenant, 2);
   const auto acquired = manager.Acquire(2, kTenant);
   manager.NoteIdle(acquired.qp);
@@ -93,8 +95,8 @@ TEST_F(ConnectionManagerTest, NoteIdleDeactivatesOnlyAboveBound) {
   EXPECT_EQ(manager.ActiveCount(2, kTenant), 2);
 }
 
-TEST_F(ConnectionManagerTest, SeparatePoolsPerTenant) {
-  ConnectionManager manager(env_, &a_, 2);
+TEST_F(ConnectionServiceTest, SeparatePoolsPerTenant) {
+  ConnectionService manager(env_, &a_, 2);
   manager.Prewarm(&b_, 3, 2);
   manager.Prewarm(&b_, 4, 1);
   EXPECT_EQ(manager.PooledCount(2, 3), 2);
@@ -102,8 +104,8 @@ TEST_F(ConnectionManagerTest, SeparatePoolsPerTenant) {
   EXPECT_EQ(manager.Acquire(2, 5).qp, 0u);
 }
 
-TEST_F(ConnectionManagerTest, ErroredQpExcludedUntilRepaired) {
-  ConnectionManager manager(env_, &a_, 2);
+TEST_F(ConnectionServiceTest, ErroredQpExcludedUntilRepaired) {
+  ConnectionService manager(env_, &a_, 2);
   manager.Prewarm(&b_, kTenant, 2);
   const auto first = manager.Acquire(2, kTenant);
   ASSERT_NE(first.qp, 0u);

@@ -1,0 +1,84 @@
+// Tenant churn scenario (DESIGN.md §3f): seeded Poisson arrival/departure
+// over the elastic control plane. Pins the two acceptance properties of the
+// refactor — equal seeds replay byte-identical snapshots, and the
+// lazy+shared policy strictly reduces both control-plane amplification and
+// cold-tenant TTFB versus the eager all-pairs prewarm — at a scale small
+// enough for CI (the full-size comparison lives in bench/tenant_churn.cc).
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiments.h"
+
+namespace nadino {
+namespace {
+
+TenantChurnOptions SmallScenario(ConnectPolicy policy) {
+  TenantChurnOptions options;
+  options.policy = policy;
+  options.tenants = 40;
+  options.mean_interarrival = 5 * kMillisecond;
+  options.mean_lifetime = 60 * kMillisecond;
+  options.duration = 1500 * kMillisecond;
+  options.keep_warm_timeout = 30 * kMillisecond;
+  options.sweep_period = 10 * kMillisecond;
+  // Single-slot window: pins per-invocation amplification to the verb counts
+  // rather than to the extra QP-level parallelism the eager pool buys.
+  options.window = 1;
+  return options;
+}
+
+TEST(TenantChurnTest, EqualSeedsReplayByteIdentical) {
+  const CostModel& cost = CostModel::Default();
+  const TenantChurnResult a = RunTenantChurn(cost, SmallScenario(ConnectPolicy::kLazyShared));
+  const TenantChurnResult b = RunTenantChurn(cost, SmallScenario(ConnectPolicy::kLazyShared));
+  EXPECT_EQ(a.metrics_text, b.metrics_text);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.setup_verbs, b.setup_verbs);
+}
+
+TEST(TenantChurnTest, DifferentSeedsDrawDifferentChurn) {
+  const CostModel& cost = CostModel::Default();
+  TenantChurnOptions reseeded = SmallScenario(ConnectPolicy::kLazyShared);
+  reseeded.seed += 1;
+  const TenantChurnResult a = RunTenantChurn(cost, SmallScenario(ConnectPolicy::kLazyShared));
+  const TenantChurnResult b = RunTenantChurn(cost, reseeded);
+  EXPECT_NE(a.metrics_text, b.metrics_text);
+}
+
+TEST(TenantChurnTest, LazySharedBeatsEagerOnVerbsAndTtfb) {
+  const CostModel& cost = CostModel::Default();
+  const TenantChurnResult eager = RunTenantChurn(cost, SmallScenario(ConnectPolicy::kEager));
+  const TenantChurnResult shared =
+      RunTenantChurn(cost, SmallScenario(ConnectPolicy::kLazyShared));
+  ASSERT_GT(eager.completed, 0u);
+  ASSERT_GT(shared.completed, 0u);
+  ASSERT_GT(shared.tenants_first_byte, 0u);
+  // Amplification: one shared handshake per tenant-pair versus the eager
+  // all-pairs, all-directions prewarm — strictly fewer verbs, absolute and
+  // per completed invocation.
+  EXPECT_LT(shared.setup_verbs, eager.setup_verbs);
+  EXPECT_LT(shared.setup_verbs + shared.destroy_verbs,
+            eager.setup_verbs + eager.destroy_verbs);
+  EXPECT_LT(shared.verbs_per_invocation, eager.verbs_per_invocation);
+  // Cold-tenant TTFB: the single on-demand handshake undercuts the gated
+  // eager prewarm (which batches more QPs into its setup latency).
+  EXPECT_LT(shared.ttfb_mean_ms, eager.ttfb_mean_ms);
+  EXPECT_LE(shared.ttfb_p99_ms, eager.ttfb_p99_ms);
+}
+
+TEST(TenantChurnTest, DepartedTenantsReclaimTheirQps) {
+  const CostModel& cost = CostModel::Default();
+  const TenantChurnResult result =
+      RunTenantChurn(cost, SmallScenario(ConnectPolicy::kLazyShared));
+  // Churn actually happened: the keep-warm sweeper retired idle tenants and
+  // departure destroyed their QPs (paying destroy verbs at the RNIC).
+  EXPECT_GT(result.tenants_arrived, 10u);
+  EXPECT_GT(result.tenants_departed, 0u);
+  EXPECT_GT(result.destroys, 0u);
+  EXPECT_GT(result.destroy_verbs, 0u);
+  EXPECT_EQ(result.destroy_verbs, result.destroys);
+}
+
+}  // namespace
+}  // namespace nadino
