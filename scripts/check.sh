@@ -6,6 +6,7 @@
 #   scripts/check.sh                   # Release build, all tests
 #   scripts/check.sh address           # AddressSanitizer build (Debug)
 #   scripts/check.sh undefined         # UBSan build (Debug)
+#   scripts/check.sh thread            # ThreadSanitizer build (Debug)
 #   scripts/check.sh --bench-diff      # ...then run the golden bench set
 #                                      # and diff their BENCH_<name>.json
 #                                      # artifacts against bench/goldens/;
@@ -30,7 +31,7 @@ UPDATE_GOLDENS=0
 PERF_GATE=0
 for arg in "$@"; do
   case "${arg}" in
-    address|undefined) SANITIZER="${arg}" ;;
+    address|undefined|thread) SANITIZER="${arg}" ;;
     --bench-diff) BENCH_DIFF=1 ;;
     --update-goldens)
       BENCH_DIFF=1
@@ -38,7 +39,7 @@ for arg in "$@"; do
       ;;
     --perf) PERF_GATE=1 ;;
     *)
-      echo "usage: $0 [address|undefined] [--bench-diff|--update-goldens] [--perf]" >&2
+      echo "usage: $0 [address|undefined|thread] [--bench-diff|--update-goldens] [--perf]" >&2
       exit 2
       ;;
   esac
@@ -48,9 +49,9 @@ BUILD_DIR=build
 CMAKE_ARGS=()
 if [[ -n "${SANITIZER}" ]]; then
   case "${SANITIZER}" in
-    address|undefined) ;;
+    address|undefined|thread) ;;
     *)
-      echo "NADINO_SANITIZE must be 'address' or 'undefined', got '${SANITIZER}'" >&2
+      echo "NADINO_SANITIZE must be 'address', 'undefined', or 'thread', got '${SANITIZER}'" >&2
       exit 2
       ;;
   esac
@@ -80,6 +81,18 @@ if [[ "${PERF_GATE}" -eq 1 ]]; then
     echo "perf: FAILED (see output above)" >&2
     exit "${PERF_STATUS}"
   fi
+  # Sharded-admission gate (DESIGN.md §3g): 16-node bulk admission must beat
+  # the single-heap baseline. Same wall-clock caveats as simperf above.
+  PERF_RUN_DIR="$(mktemp -d)"
+  echo "perf: running bench/openloop_scale --perf-compare..."
+  PERF_STATUS=0
+  (cd "${PERF_RUN_DIR}" &&
+   "${ROOT_DIR}/${BUILD_DIR}/bench/openloop_scale" --perf-compare) || PERF_STATUS=$?
+  rm -rf "${PERF_RUN_DIR}"
+  if [[ "${PERF_STATUS}" -ne 0 ]]; then
+    echo "perf: FAILED (see output above)" >&2
+    exit "${PERF_STATUS}"
+  fi
 fi
 
 if [[ "${BENCH_DIFF}" -eq 0 ]]; then
@@ -94,12 +107,12 @@ fi
 GOLDEN_DIR=bench/goldens
 GOLDEN_BENCHES=(fig06_isolation_cost fig09_comch fig11_offpath_onpath fig12_rdma_primitives
                 fig13_ingress fig14_ingress_scaling fig15_multitenancy fig16_boutique
-                node_scale tenant_churn)
+                node_scale openloop_scale tenant_churn)
 GOLDEN_ARTIFACTS=(BENCH_fig06_dne_4096.json BENCH_fig09_comch_e6.json BENCH_fig11_offpath_c8.json
                   BENCH_fig12_twosided_4096.json BENCH_fig13_nadino_c16.json
                   BENCH_fig14_nadino_ramp.json BENCH_fig15_dwrr.json BENCH_fig15_fcfs.json
                   BENCH_fig16_dne_home.json BENCH_node_scale_16.json
-                  BENCH_tenant_churn.json)
+                  BENCH_openloop_scale.json BENCH_tenant_churn.json)
 
 RUN_DIR="$(mktemp -d)"
 trap 'rm -rf "${RUN_DIR}"' EXIT

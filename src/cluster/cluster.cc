@@ -1,5 +1,6 @@
 #include "src/cluster/cluster.h"
 
+#include <algorithm>
 #include <string>
 
 #include "src/rdma/control_plane.h"
@@ -11,6 +12,12 @@ Cluster::Cluster(const CostModel* cost, const ClusterConfig& config)
       network_(env_),
       membership_(env_, &routing_),
       config_(config) {
+  // Shard the event queue before any component schedules (SetShardCount is
+  // safe mid-run, but pre-split keeps admission on per-node heaps from the
+  // first event). 0 = one shard per worker node.
+  sim_.SetShardCount(config.event_shards > 0
+                         ? config.event_shards
+                         : static_cast<uint32_t>(std::max(config.worker_nodes, 1)));
   // Control-plane hygiene: when membership declares a node dead, every other
   // node's ConnectionService quiesces its idle active QPs toward it (the
   // active -> shadow transition), reclaiming RNIC cache context while the

@@ -39,6 +39,11 @@ struct ClusterConfig {
   int dpu_cores = 8;
   bool with_ingress_node = true;
   int ingress_cores = 12;
+  // Event-queue shards for the simulator (clamped to [1, kMaxShards]). 0 =
+  // one shard per worker node, the intended mapping for big topologies; 1 =
+  // the classic single heap. Any value produces byte-identical runs (the
+  // (when, seq) merge in src/sim/simulator.h); shards only change wall-clock.
+  uint32_t event_shards = 1;
   // Seeds the cluster Env's PRNG; equal seeds reproduce runs bit-for-bit,
   // including the metrics snapshot (tests/determinism_test.cc).
   uint64_t seed = kDefaultSeed;

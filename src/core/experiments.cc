@@ -9,6 +9,7 @@
 #include "src/runtime/chain.h"
 #include "src/runtime/coldstart.h"
 #include "src/runtime/message_header.h"
+#include "src/runtime/openloop.h"
 #include "src/sim/random.h"
 
 namespace nadino {
@@ -1252,6 +1253,139 @@ NodeScaleResult RunNodeScale(const CostModel& cost, const NodeScaleOptions& opti
       }
     }
   }
+  result.metrics_text = cluster.metrics().SnapshotText();
+  result.metrics_json = cluster.metrics().SnapshotJson();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop scale (DESIGN.md §3g)
+// ---------------------------------------------------------------------------
+
+OpenLoopScaleResult RunOpenLoopScale(const CostModel& cost, const OpenLoopScaleOptions& options) {
+  constexpr TenantId kTenantBase = 1;
+
+  ClusterConfig config;
+  config.worker_nodes = options.nodes;
+  config.with_ingress_node = false;
+  config.seed = options.seed;
+  config.event_shards = options.event_shards;
+  Cluster cluster(&cost, config);
+  Simulator& sim = cluster.sim();
+  for (const FaultSpec& spec : options.faults) {
+    cluster.env().faults().Install(spec);
+  }
+
+  NadinoDataPlane::Options dp_options;
+  dp_options.extra_engine_cost = options.extra_engine_cost;
+  NadinoDataPlane dataplane(cluster.env(), &cluster.routing(), dp_options);
+  for (int i = 0; i < options.nodes; ++i) {
+    dataplane.AddWorkerNode(cluster.worker(i));
+  }
+
+  // Buffer pools are sized to the in-flight cap, not to the user count: the
+  // open loop sheds what it cannot hold, so a 100x offered-load increase
+  // leaves memory flat. Each node's engine pre-posts its RECV ring from the
+  // same pool, so that depth is headroom on top of the cap — without it a
+  // small cap leaves zero send buffers and every arrival sheds.
+  const size_t pool_buffers = static_cast<size_t>(options.max_in_flight_per_tenant) +
+                              static_cast<size_t>(dp_options.initial_recv_buffers) + 64;
+  const size_t pool_buffer_size = std::max<size_t>(1024, options.payload + 256u);
+  for (int t = 0; t < options.tenants; ++t) {
+    const TenantId tenant = kTenantBase + static_cast<TenantId>(t);
+    cluster.CreateTenantPools(tenant, pool_buffers, pool_buffer_size);
+    dataplane.AttachTenant(tenant, 1);
+  }
+  dataplane.Start();
+
+  // Aggregate the users into per-tenant rate curves: one compressed diurnal
+  // cycle over the horizon (mean multiplier 1.0, trough 0.5, peak 1.5) and an
+  // optional flash crowd at mid-run.
+  const double total_rps = static_cast<double>(options.users) * options.rps_per_user;
+  const double tenant_rps = total_rps / static_cast<double>(std::max(options.tenants, 1));
+
+  OpenLoopSource::Options source_options;
+  source_options.tick = options.tick;
+  source_options.horizon = options.horizon;
+  OpenLoopSource source(cluster.env(), source_options);
+
+  std::vector<std::unique_ptr<FunctionRuntime>> functions;
+  std::vector<std::unique_ptr<OpenLoopEchoDriver>> drivers;
+  for (int t = 0; t < options.tenants; ++t) {
+    const TenantId tenant = kTenantBase + static_cast<TenantId>(t);
+    const int client_node = t % options.nodes;
+    const int server_node = (t + 1) % options.nodes;
+    const FunctionId client_fn = 100 + static_cast<FunctionId>(t);
+    const FunctionId server_fn = 200 + static_cast<FunctionId>(t);
+    auto client = std::make_unique<FunctionRuntime>(
+        client_fn, tenant, "ol-client", cluster.worker(client_node),
+        cluster.worker(client_node)->AllocateCore(),
+        cluster.worker(client_node)->tenants().PoolOfTenant(tenant));
+    auto server = std::make_unique<FunctionRuntime>(
+        server_fn, tenant, "ol-server", cluster.worker(server_node),
+        cluster.worker(server_node)->AllocateCore(),
+        cluster.worker(server_node)->tenants().PoolOfTenant(tenant));
+    dataplane.RegisterFunction(client.get());
+    dataplane.RegisterFunction(server.get());
+
+    OpenLoopSource::TenantOptions tenant_options;
+    if (options.diurnal) {
+      tenant_options.schedule =
+          MakeDiurnalSchedule(tenant_rps, options.horizon, /*steps=*/24,
+                              /*trough_multiplier=*/0.5, /*peak_multiplier=*/1.5);
+    } else {
+      tenant_options.schedule.base_rps = tenant_rps;
+    }
+    if (options.flash_crowd_fraction > 0.0) {
+      FlashBurst burst;
+      burst.start = options.horizon / 2;
+      burst.duration = options.horizon / 10;
+      burst.add_rps = options.flash_crowd_fraction * tenant_rps;
+      tenant_options.schedule.bursts.push_back(burst);
+    }
+    // Per-node admission: the tenant's arrivals live on its client node's
+    // event-queue shard.
+    tenant_options.shard = static_cast<uint32_t>(client_node);
+    tenant_options.max_in_flight = options.max_in_flight_per_tenant;
+    const uint32_t index = source.AddTenant(tenant_options);
+    (void)index;  // == t by construction.
+
+    drivers.push_back(std::make_unique<OpenLoopEchoDriver>(
+        cluster.env(), &source, &dataplane, client.get(), server.get(),
+        static_cast<uint32_t>(t), options.payload));
+    functions.push_back(std::move(client));
+    functions.push_back(std::move(server));
+  }
+  source.SetDispatch([&drivers](uint32_t tenant, SimTime issued_at) {
+    return drivers[tenant]->Issue(issued_at);
+  });
+
+  PeriodicSampler sampler(cluster.env(), options.sample_period);
+  sampler.AddRate(&source.rate());
+  sampler.Start();
+  source.Start();
+  sim.RunUntil(options.horizon + options.drain);
+  sampler.Stop();
+
+  OpenLoopScaleResult result;
+  result.offered = source.offered();
+  result.dispatched = source.dispatched();
+  result.completed = source.completed();
+  result.shed = source.shed();
+  result.in_flight_peak = source.in_flight_peak();
+  const double horizon_seconds = ToSeconds(options.horizon);
+  result.offered_rps =
+      horizon_seconds > 0 ? static_cast<double>(result.offered) / horizon_seconds : 0.0;
+  result.goodput_rps =
+      horizon_seconds > 0 ? static_cast<double>(result.completed) / horizon_seconds : 0.0;
+  result.mean_latency_us = source.latencies().MeanUs();
+  result.p99_latency_us = ToUs(source.latencies().Percentile(0.99));
+  for (const auto& driver : drivers) {
+    result.unmatched_responses += driver->unmatched_responses();
+    result.pending_at_end += driver->pending_requests();
+  }
+  result.slab_slots = sim.slab_slots();
+  result.sim_events = sim.events_processed();
   result.metrics_text = cluster.metrics().SnapshotText();
   result.metrics_json = cluster.metrics().SnapshotJson();
   return result;

@@ -324,6 +324,60 @@ struct TenantChurnResult {
 };
 TenantChurnResult RunTenantChurn(const CostModel& cost, const TenantChurnOptions& options);
 
+// ---------------------------------------------------------------------------
+// Open-loop scale (DESIGN.md §3g): simulated users aggregated into per-tenant
+// Poisson arrival processes (diurnal curve + optional flash crowd) driving
+// DNE echo pairs across an N-worker cluster. Arrivals are batch-admitted onto
+// per-node event-queue shards; load that outruns capacity is shed, not
+// queued, so memory stays O(tenants + in-flight) while offered load scales
+// from 10k to 1M users. bench/openloop_scale.cc sweeps `users` and, in
+// --perf-compare mode, races sharded admission against the single heap.
+// ---------------------------------------------------------------------------
+
+struct OpenLoopScaleOptions {
+  int nodes = 4;
+  int tenants = 8;     // One echo pair per tenant, round-robin across nodes.
+  uint64_t users = 10000;
+  double rps_per_user = 1.0;  // users x rps_per_user = aggregate offered rate.
+  uint32_t event_shards = 0;  // 0 = one shard per worker node; 1 = single heap.
+  uint32_t payload = 256;
+  SimDuration tick = 10 * kMillisecond;  // Admission quantum.
+  SimTime horizon = 1 * kSecond;         // Generation window.
+  SimDuration drain = 200 * kMillisecond;
+  uint64_t max_in_flight_per_tenant = 1024;  // Open-loop shed threshold.
+  // Rate shaping: one compressed diurnal cycle over the horizon, plus a
+  // flash crowd adding this fraction of the base rate for horizon/10 at
+  // mid-run (0 disables the burst).
+  bool diurnal = true;
+  double flash_crowd_fraction = 0.0;
+  SimDuration sample_period = 250 * kMillisecond;
+  SimDuration extra_engine_cost = 1200;  // Same DNE throttle as Fig. 15.
+  uint64_t seed = kDefaultSeed;
+  std::vector<FaultSpec> faults;
+};
+struct OpenLoopScaleResult {
+  uint64_t offered = 0;
+  uint64_t dispatched = 0;
+  uint64_t completed = 0;
+  uint64_t shed = 0;
+  uint64_t in_flight_peak = 0;
+  double offered_rps = 0.0;
+  double goodput_rps = 0.0;
+  double mean_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  // Responses that matched no pending request (fault-free runs: 0).
+  uint64_t unmatched_responses = 0;
+  // Requests still pending after the drain (lost in flight under faults).
+  uint64_t pending_at_end = 0;
+  // Simulator slab slots ever allocated: the flat-per-user-memory evidence
+  // (stays bounded by in-flight + ticks, not by users).
+  uint64_t slab_slots = 0;
+  uint64_t sim_events = 0;
+  std::string metrics_text;
+  std::string metrics_json;
+};
+OpenLoopScaleResult RunOpenLoopScale(const CostModel& cost, const OpenLoopScaleOptions& options);
+
 }  // namespace nadino
 
 #endif  // SRC_CORE_EXPERIMENTS_H_

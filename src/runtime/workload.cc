@@ -1,5 +1,7 @@
 #include "src/runtime/workload.h"
 
+#include <algorithm>
+
 namespace nadino {
 
 ClosedLoopClients::ClosedLoopClients(Env& env, IngressGateway* gateway, const Options& options)
@@ -11,10 +13,27 @@ void ClosedLoopClients::Start() {
   }
 }
 
+SimDuration ClosedLoopClients::StaggerDelay(uint32_t client_id) const {
+  const SimDuration stagger = options_.start_stagger;
+  if (stagger <= 0) {
+    return 0;
+  }
+  const SimDuration window = std::max(options_.stagger_window, stagger);
+  // The ramp cycles inside `window` ON PURPOSE (an unbounded ramp would push
+  // late clients arbitrarily far out), but wrapping must not re-synchronize:
+  // the old `stagger * id % window` put client slots_per_window·k back onto
+  // client 0's instant, recreating the burst the stagger exists to avoid.
+  // Each lap through the window instead shifts by one nanosecond, so starts
+  // stay distinct for the first slots·stagger clients (1M at the defaults).
+  const uint32_t slots = static_cast<uint32_t>(window / stagger);
+  const uint32_t lap = client_id / slots;
+  return static_cast<SimDuration>(client_id % slots) * stagger +
+         static_cast<SimDuration>(lap % static_cast<uint64_t>(stagger));
+}
+
 void ClosedLoopClients::AddClient() {
   const uint32_t client_id = static_cast<uint32_t>(next_client_++);
-  sim().Schedule(options_.start_stagger * client_id % (1 * kMillisecond),
-                 [this, client_id]() { IssueRequest(client_id); });
+  sim().Schedule(StaggerDelay(client_id), [this, client_id]() { IssueRequest(client_id); });
 }
 
 void ClosedLoopClients::IssueRequest(uint32_t client_id) {
@@ -95,27 +114,35 @@ bool TenantEchoLoad::IssueOne() {
     return false;
   }
   issue_times_[header.request_id] = sim().now();
+  pending_peak_ = std::max(pending_peak_, issue_times_.size());
   ++outstanding_;
   if (SloObject* slo = env_->slos().OfTenant(client_->tenant())) {
     slo->RecordRequest();
   }
+  ArmReaper();
   return true;
 }
 
 void TenantEchoLoad::OnClientMessage(Buffer* buffer) {
   const std::optional<MessageHeader> header = ReadMessage(*buffer);
-  if (header.has_value()) {
-    const auto it = issue_times_.find(header->request_id);
-    if (it != issue_times_.end()) {
-      const SimDuration latency = sim().now() - it->second;
-      latencies_.Record(latency);
-      if (SloObject* slo = env_->slos().OfTenant(client_->tenant())) {
-        slo->RecordLatency(latency);
-      }
-      issue_times_.erase(it);
-    }
+  const auto it = header.has_value() ? issue_times_.find(header->request_id)
+                                     : issue_times_.end();
+  if (it == issue_times_.end()) {
+    // Unparseable header (corruption) or a request id we no longer track (a
+    // FaultPlane duplicate, or a response outliving its reaped request).
+    // Counting it would drive outstanding_ negative and over-fill the window
+    // on the next Fill(), so only the buffer is recycled.
+    ++unmatched_responses_;
+    client_->pool()->Put(buffer, client_->owner_id());
+    return;
   }
-  // An echo response: recycle and keep the window full.
+  const SimDuration latency = sim().now() - it->second;
+  latencies_.Record(latency);
+  if (SloObject* slo = env_->slos().OfTenant(client_->tenant())) {
+    slo->RecordLatency(latency);
+  }
+  issue_times_.erase(it);
+  // A matched echo response: recycle and keep the window full.
   client_->pool()->Put(buffer, client_->owner_id());
   --outstanding_;
   ++completed_;
@@ -144,13 +171,39 @@ void TenantEchoLoad::OnServerMessage(FunctionRuntime& server, Buffer* buffer) {
   }
 }
 
+void TenantEchoLoad::ArmReaper() {
+  if (options_.pending_timeout <= 0 || reaper_armed_) {
+    return;
+  }
+  reaper_armed_ = true;
+  sim().Schedule(options_.pending_timeout, [this]() { ReapTick(); });
+}
+
+void TenantEchoLoad::ReapTick() {
+  reaper_armed_ = false;
+  const SimTime cutoff = sim().now() - options_.pending_timeout;
+  while (!issue_times_.empty() && issue_times_.begin()->second <= cutoff) {
+    // Permanently dropped ("counted not hung" at the injection site, retries
+    // exhausted): the response will never arrive. Release the window slot and
+    // forget the id — a zombie late response lands in unmatched_responses_.
+    issue_times_.erase(issue_times_.begin());
+    --outstanding_;
+    ++reaped_;
+  }
+  Fill();
+  if (active_ || !issue_times_.empty()) {
+    reaper_armed_ = true;
+    sim().Schedule(options_.pending_timeout, [this]() { ReapTick(); });
+  }
+}
+
 void PeriodicSampler::Start() { Tick(); }
 
 void PeriodicSampler::Tick() {
   if (stopped_) {
     return;
   }
-  sim().Schedule(period_, [this]() {
+  tick_event_ = sim().Schedule(period_, [this]() {
     for (RateMeter* meter : meters_) {
       meter->Roll(sim().now());
     }
@@ -159,6 +212,24 @@ void PeriodicSampler::Tick() {
     }
     Tick();
   });
+}
+
+void PeriodicSampler::Stop() {
+  if (stopped_) {
+    return;
+  }
+  stopped_ = true;
+  sim().Cancel(tick_event_);
+  tick_event_ = kInvalidEventId;
+  // Flush the final partial window: without this, completions since the last
+  // tick never reach the series (RateMeter::Roll's zero-width guard makes a
+  // Stop() exactly on a tick boundary harmless).
+  for (RateMeter* meter : meters_) {
+    meter->Roll(sim().now());
+  }
+  for (const SampleHook& hook : hooks_) {
+    hook(sim().now());
+  }
 }
 
 }  // namespace nadino

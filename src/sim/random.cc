@@ -61,6 +61,28 @@ double Rng::Exponential(double mean) {
   return -mean * std::log(u);
 }
 
+uint64_t Rng::Poisson(double mean) {
+  if (!(mean > 0.0)) {
+    return 0;
+  }
+  // Knuth's product method, chunked: Poisson(a + b) = Poisson(a) + Poisson(b)
+  // for independent draws, so means beyond the exp() underflow range split
+  // into 32-mean chunks (e^-32 is comfortably representable).
+  uint64_t count = 0;
+  constexpr double kChunk = 32.0;
+  while (mean > 0.0) {
+    const double lambda = mean > kChunk ? kChunk : mean;
+    mean -= lambda;
+    const double limit = std::exp(-lambda);
+    double product = NextDouble();
+    while (product >= limit) {
+      ++count;
+      product *= NextDouble();
+    }
+  }
+  return count;
+}
+
 bool Rng::Chance(double p) { return NextDouble() < p; }
 
 double Rng::BoundedHeavyTail(double lo, double hi, double alpha) {

@@ -31,6 +31,12 @@ class Rng {
   // Exponentially distributed value with the given mean (> 0).
   double Exponential(double mean);
 
+  // Poisson-distributed count with the given mean (>= 0). Deterministic
+  // across platforms (no std::poisson_distribution); large means are split
+  // into bounded chunks so exp(-mean) never underflows. Cost is O(mean),
+  // which open-loop admission amortizes over the events it schedules.
+  uint64_t Poisson(double mean);
+
   // Bernoulli trial: true with probability p.
   bool Chance(double p);
 

@@ -1,32 +1,46 @@
 // Deterministic discrete-event simulation core.
 //
-// The simulator owns a slab of intrusive event records plus a binary heap of
-// small POD entries ordered by (time, sequence). Components schedule
-// callbacks at future virtual times; Run() drains the heap in that order, so
-// two events scheduled for the same instant fire in scheduling order. This
-// total order plus a seeded PRNG makes every experiment in this repository
-// exactly reproducible.
+// The simulator owns a slab of intrusive event records plus one or more
+// binary heaps ("shards") of small POD entries ordered by (time, sequence).
+// Components schedule callbacks at future virtual times; Run() drains the
+// shards in that order, so two events scheduled for the same instant fire in
+// scheduling order. This total order plus a seeded PRNG makes every
+// experiment in this repository exactly reproducible.
 //
-// Hot-path design (DESIGN.md §3c):
+// Hot-path design (DESIGN.md §3c, §3g):
 //  - Event callbacks live inline in slab slots (small-buffer optimization,
 //    kInlineBytes of capture storage); only oversized captures fall back to
 //    the heap, so a steady-state event costs zero allocations.
-//  - The heap holds 24-byte {when, seq, slot} PODs — sift operations move
-//    trivially-copyable values, never callbacks.
+//  - Each shard heap holds 24-byte {when, seq, slot} PODs — sift operations
+//    move trivially-copyable values, never callbacks.
 //  - Slots are recycled through a free list; EventIds carry a per-slot
 //    generation tag, making Cancel() an O(1) slot probe (no hash set) with
 //    stale-id safety across slot reuse.
-//  - Cancelled slots are discarded lazily when their heap entry surfaces,
-//    exactly once per pop (the single PopAndRunBefore() path).
+//  - Cancelled slots are discarded lazily when their heap entry surfaces at a
+//    shard head, exactly once per surfacing (the single EarliestShard() path).
+//  - Sharding (§3g): SetShardCount(k) splits the queue into k independent
+//    heaps merged by a head scan on (when, seq). Because (when, seq) is a
+//    strict total order assigned at Schedule time, the executed event
+//    sequence — and with it every metric snapshot — is byte-identical for
+//    ANY shard count; sharding only changes sift depth and cache locality.
+//    Big topologies map per-node admission onto per-node shards so a
+//    million-arrival workload never serializes on one deep heap.
+//  - ScheduleBatch() admits many events in one call: equivalent to per-item
+//    ScheduleAt in index order (same seq assignment), but the appended run
+//    is pre-sorted into an empty shard (a sorted array IS a valid heap) or
+//    bulk-rebuilt bottom-up when it dominates the shard, amortizing the
+//    per-arrival sift cost of open-loop admission.
 
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <new>
 #include <type_traits>
@@ -148,7 +162,13 @@ class Simulator {
   // template and stores the callable directly (no std::function wrapping).
   using Callback = std::function<void()>;
 
-  Simulator() = default;
+  // Upper bound on event-queue shards; one per node is the intended mapping,
+  // so this matches the largest topology the benches sweep.
+  static constexpr uint32_t kMaxShards = 64;
+
+  Simulator() : shards_(1) {
+    std::fill(std::begin(head_keys_), std::end(head_keys_), kEmptyHead);
+  }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
   ~Simulator();
@@ -156,19 +176,45 @@ class Simulator {
   // Current virtual time. Only advances inside Run*/Step.
   SimTime now() const { return now_; }
 
+  // Splits the event queue into `shards` independent heaps (clamped to
+  // [1, kMaxShards]) merged deterministically on (when, seq). The executed
+  // order is byte-identical for any shard count; already-pending events are
+  // consolidated onto shard 0. Shard indices passed to *On/ScheduleBatch are
+  // taken modulo the shard count, so `node_id % anything` is always safe.
+  void SetShardCount(uint32_t shards);
+  uint32_t shard_count() const { return static_cast<uint32_t>(shards_.size()); }
+
   // Schedules `f` to run `delay` nanoseconds from now. Negative delays clamp
   // to zero (fire this instant, after already-queued same-instant events).
+  // The event lands on the shard of the currently-running event (shard 0
+  // outside event context): a request admitted onto its node's shard keeps
+  // its whole event chain there without threading shard ids through every
+  // component. Inheritance never changes the executed order — only which
+  // heap carries the entry.
   template <typename F>
   EventId Schedule(SimDuration delay, F&& f) {
+    return ScheduleOn(current_shard_, delay, std::forward<F>(f));
+  }
+
+  // Schedules `f` at an absolute virtual time (clamped to >= now()). Same
+  // shard inheritance as Schedule().
+  template <typename F>
+  EventId ScheduleAt(SimTime when, F&& f) {
+    return ScheduleAtOn(current_shard_, when, std::forward<F>(f));
+  }
+
+  // Shard-targeted variants: identical semantics, but the event lives on the
+  // given shard's heap (per-node admission in big topologies).
+  template <typename F>
+  EventId ScheduleOn(uint32_t shard, SimDuration delay, F&& f) {
     if (delay < 0) {
       delay = 0;
     }
-    return ScheduleAt(now_ + delay, std::forward<F>(f));
+    return ScheduleAtOn(shard, now_ + delay, std::forward<F>(f));
   }
 
-  // Schedules `f` at an absolute virtual time (clamped to >= now()).
   template <typename F>
-  EventId ScheduleAt(SimTime when, F&& f) {
+  EventId ScheduleAtOn(uint32_t shard, SimTime when, F&& f) {
     if (when < now_) {
       when = now_;
     }
@@ -176,14 +222,59 @@ class Simulator {
     Slot& slot = SlotAt(slot_index);
     slot.state = SlotState::kLive;
     slot.cb.Emplace(std::forward<F>(f));
-    HeapPush(HeapEntry{when, next_seq_++, slot_index});
+    HeapPush(ShardIndex(shard), HeapEntry{when, next_seq_++, slot_index});
     ++live_count_;
     return MakeId(slot_index, slot.generation);
   }
 
+  // Bulk admission of `whens.size()` events onto one shard; `make(i)` builds
+  // the i-th callback. Equivalent to calling ScheduleAtOn(shard, whens[i],
+  // make(i)) in index order — same seq assignment, same total order, so runs
+  // are byte-identical either way — but heap maintenance is amortized:
+  //  - into an empty shard, the run is sorted once (a sorted ascending array
+  //    is already a valid binary min-heap);
+  //  - when the batch rivals the shard's backlog, the whole heap is rebuilt
+  //    bottom-up (Floyd) in O(old + m) instead of m O(log n) sifts;
+  //  - small batches fall back to per-entry sift-up.
+  // Timestamps clamp to >= now(). Batch events cannot be cancelled
+  // individually (no ids are returned); open-loop arrivals never need to be.
+  template <typename MakeFn>
+  void ScheduleBatch(uint32_t shard, const std::vector<SimTime>& whens, MakeFn&& make) {
+    if (whens.empty()) {
+      return;
+    }
+    std::vector<HeapEntry>& heap = shards_[ShardIndex(shard)].heap;
+    const size_t old_size = heap.size();
+    const size_t m = whens.size();
+    heap.reserve(old_size + m);
+    for (size_t i = 0; i < m; ++i) {
+      SimTime when = whens[i];
+      if (when < now_) {
+        when = now_;
+      }
+      const uint32_t slot_index = AllocSlot();
+      Slot& slot = SlotAt(slot_index);
+      slot.state = SlotState::kLive;
+      slot.cb.Emplace(make(i));
+      heap.push_back(HeapEntry{when, next_seq_++, slot_index});
+    }
+    live_count_ += m;
+    if (old_size == 0) {
+      std::sort(heap.begin(), heap.end(),
+                [](const HeapEntry& a, const HeapEntry& b) { return Earlier(a, b); });
+    } else if (m >= old_size) {
+      HeapRebuild(heap);
+    } else {
+      for (size_t i = old_size; i < heap.size(); ++i) {
+        SiftUp(heap, i);
+      }
+    }
+    SyncHead(ShardIndex(shard));
+  }
+
   // Cancels a pending event. Returns false if the event already fired, was
   // already cancelled, or never existed. O(1): decodes the id into a slot
-  // probe; the heap entry is lazily discarded when it reaches the top.
+  // probe; the heap entry is lazily discarded when it reaches its shard head.
   bool Cancel(EventId id);
 
   // Runs until the event queue is empty or Stop() is called.
@@ -228,10 +319,11 @@ class Simulator {
     SlotState state = SlotState::kFree;
   };
 
-  // What the binary heap actually moves: a trivially-copyable 24-byte record.
+  // What the binary heaps actually move: a trivially-copyable 24-byte record.
   // `seq` is the monotonic scheduling sequence — the same tie-break the old
   // priority_queue used as its event id — so the (when, seq) total order (and
-  // with it every metric snapshot) is byte-identical to the pre-slab core.
+  // with it every metric snapshot) is byte-identical to the pre-slab core,
+  // and independent of how entries are distributed across shards.
   struct HeapEntry {
     SimTime when;
     uint64_t seq;
@@ -240,6 +332,23 @@ class Simulator {
   static_assert(std::is_trivially_copyable_v<HeapEntry>,
                 "heap sifts must never run user code (the pop path mutates no "
                 "const refs — the old const_cast<Event&> move is gone)");
+
+  // One independent event queue.
+  struct Shard {
+    std::vector<HeapEntry> heap;
+  };
+
+  // Merge key of one shard's head, mirrored into the compact head_keys_
+  // array: the scan for the global minimum reads 16 bytes per shard from one
+  // contiguous block (branch-predictor- and prefetch-friendly) instead of
+  // dereferencing every heap's out-of-line storage. Empty shards carry the
+  // +inf sentinel so the scan needs no emptiness branch.
+  struct HeadKey {
+    SimTime when;
+    uint64_t seq;
+  };
+  static constexpr HeadKey kEmptyHead{std::numeric_limits<SimTime>::max(),
+                                      std::numeric_limits<uint64_t>::max()};
 
   static bool Earlier(const HeapEntry& a, const HeapEntry& b) {
     if (a.when != b.when) {
@@ -260,23 +369,49 @@ class Simulator {
     return chunks_[index >> kChunkShift][index & (kChunkSize - 1)];
   }
 
+  uint32_t ShardIndex(uint32_t shard) const {
+    return shard % static_cast<uint32_t>(shards_.size());
+  }
+
   uint32_t AllocSlot();
   void FreeSlot(uint32_t index);
 
-  void HeapPush(HeapEntry entry);
-  void HeapPopTop();
+  // Re-mirrors shard's heap head into head_keys_ (sentinel when empty).
+  void SyncHead(uint32_t shard) {
+    const std::vector<HeapEntry>& heap = shards_[shard].heap;
+    head_keys_[shard] =
+        heap.empty() ? kEmptyHead : HeadKey{heap.front().when, heap.front().seq};
+  }
 
-  // The single pop path: skips cancelled entries (exactly once per pop), then
-  // runs the next live event if its timestamp is <= `deadline`. Returns false
-  // when idle or the next live event is beyond the deadline.
+  void HeapPush(uint32_t shard, HeapEntry entry);
+  void HeapPopTop(uint32_t shard);
+  // Hole-based sift primitives shared by push/pop/rebuild.
+  static void SiftUp(std::vector<HeapEntry>& heap, size_t i);
+  static void SiftDown(std::vector<HeapEntry>& heap, size_t i);
+  // Floyd bottom-up heapify of one shard heap (bulk admission).
+  static void HeapRebuild(std::vector<HeapEntry>& heap);
+
+  // The deterministic merge: scans the cached heads for the globally
+  // earliest (when, seq); a cancelled entry that wins the scan is discarded
+  // (the single discard path — cancelled entries buried in a heap, or at a
+  // losing head, cost nothing until they surface as the global minimum) and
+  // the scan repeats. Returns -1 when every shard is drained.
+  int EarliestShard();
+
+  // The single pop path: merges shard heads, then runs the next live event if
+  // its timestamp is <= `deadline`. Returns false when idle or the next live
+  // event is beyond the deadline.
   bool PopAndRunBefore(SimTime deadline);
 
   SimTime now_ = 0;
+  // Shard of the event currently executing; Schedule/ScheduleAt inherit it.
+  uint32_t current_shard_ = 0;
   uint64_t next_seq_ = 1;
   uint64_t events_processed_ = 0;
   size_t live_count_ = 0;
   bool stopped_ = false;
-  std::vector<HeapEntry> heap_;
+  std::vector<Shard> shards_;
+  HeadKey head_keys_[kMaxShards] = {};  // Synced in SetShardCount and on push/pop.
   std::vector<std::unique_ptr<Slot[]>> chunks_;
   uint32_t slot_count_ = 0;
   uint32_t free_head_ = kNoFreeSlot;

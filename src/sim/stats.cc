@@ -135,7 +135,16 @@ std::string TimeSeries::ToText() const {
 
 double RateMeter::Roll(SimTime now) {
   const double seconds = ToSeconds(now - last_roll_);
-  const double rate = seconds > 0 ? static_cast<double>(in_window_) / seconds : 0.0;
+  if (seconds <= 0.0) {
+    // Zero-width window: a roll at (or before) the previous roll instant has
+    // no elapsed time to average over. Recording would fabricate a 0.0-rate
+    // sample AND swallow any completions already counted into the window
+    // (they would fold into total_ without ever appearing in the series), so
+    // a degenerate roll is a no-op: the pending window stays open and the
+    // next real roll accounts for it.
+    return 0.0;
+  }
+  const double rate = static_cast<double>(in_window_) / seconds;
   series_.Record(now, rate);
   total_ += in_window_;
   in_window_ = 0;

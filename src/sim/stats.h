@@ -105,11 +105,18 @@ class RateMeter {
   void RecordCompletion(uint64_t n = 1) { in_window_ += n; }
 
   // Closes the window at `now` and returns ops/sec over the actual elapsed
-  // time since the previous roll.
+  // time since the previous roll. A zero-width roll (now <= last roll) is a
+  // no-op returning 0.0: it records no sample and leaves the open window's
+  // completions for the next real roll to account.
   double Roll(SimTime now);
 
   const TimeSeries& series() const { return series_; }
   uint64_t total() const { return total_; }
+  // Completions counted since the last roll (the still-open window) and the
+  // instant that window opened; PeriodicSampler::Stop() uses these to flush
+  // the final partial window instead of dropping it.
+  uint64_t in_window() const { return in_window_; }
+  SimTime last_roll() const { return last_roll_; }
 
  private:
   SimTime last_roll_ = 0;

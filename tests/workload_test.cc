@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "src/core/experiments.h"
+#include "src/core/fault.h"
 
 namespace nadino {
 namespace {
@@ -26,6 +29,90 @@ TEST(TcpModelTest, CostsScaleWithBytes) {
   CostModel cost = CostModel::Default();
   TcpStackModel kernel(TcpStackKind::kKernel, &cost);
   EXPECT_GT(kernel.RxCost(65536), kernel.RxCost(64) + 30000);
+}
+
+TEST(ClosedLoopClientsTest, StaggerRampStaysInWindowWithDistinctStarts) {
+  // Regression for the ramp wrap bug: `stagger * id % window` put client
+  // slots_per_window*k back onto client 0's instant, so Fig. 14's +1-client
+  // ramp re-synchronized into a burst every 100 clients at the defaults.
+  Simulator sim;
+  CostModel cost = CostModel::Default();
+  Env env{&sim, &cost};
+  ClosedLoopClients::Options options;  // 10 us stagger, 1 ms window: 100 slots.
+  ClosedLoopClients fleet(env, nullptr, options);
+  const SimDuration window = options.stagger_window;
+  std::set<SimDuration> starts;
+  for (uint32_t id = 0; id < 500; ++id) {
+    const SimDuration delay = fleet.StaggerDelay(id);
+    EXPECT_GE(delay, 0);
+    EXPECT_LT(delay, window) << "client " << id << " pushed outside the window";
+    EXPECT_TRUE(starts.insert(delay).second) << "client " << id << " collides";
+  }
+  // The first lap is the plain ramp...
+  EXPECT_EQ(fleet.StaggerDelay(0), 0);
+  EXPECT_EQ(fleet.StaggerDelay(1), options.start_stagger);
+  // ...and wrapping clients land next to (never on) their first-lap twins.
+  EXPECT_EQ(fleet.StaggerDelay(100), 1);
+  EXPECT_EQ(fleet.StaggerDelay(201), options.start_stagger + 2);
+}
+
+TEST(TenantEchoLoadTest, ChaosPendingStaysBoundedAndOutstandingNonNegative) {
+  // Drops at the DNE TX stage leak pending entries ("counted not hung"
+  // losses) and duplicates at RX replay already-matched responses; with the
+  // reaper armed, pending_requests() must stay bounded by the window and the
+  // duplicate/late responses must land in unmatched_responses() instead of
+  // driving outstanding_ negative.
+  CostModel cost = CostModel::Default();
+  ClusterConfig config;
+  config.worker_nodes = 2;
+  config.with_ingress_node = false;
+  Cluster cluster(&cost, config);
+  cluster.CreateTenantPools(1, 512, 8192);
+  NadinoDataPlane dp(cluster.env(), &cluster.routing(), NadinoDataPlane::Options{});
+  dp.AddWorkerNode(cluster.worker(0));
+  dp.AddWorkerNode(cluster.worker(1));
+  dp.AttachTenant(1, 1);
+  dp.Start();
+  FunctionRuntime client(101, 1, "c", cluster.worker(0), cluster.worker(0)->AllocateCore(),
+                         cluster.worker(0)->tenants().PoolOfTenant(1));
+  FunctionRuntime server(201, 1, "s", cluster.worker(1), cluster.worker(1)->AllocateCore(),
+                         cluster.worker(1)->tenants().PoolOfTenant(1));
+  dp.RegisterFunction(&client);
+  dp.RegisterFunction(&server);
+
+  FaultPlane& plane = cluster.env().faults();
+  FaultSpec drop;
+  drop.site = FaultSite::kDneTx;
+  drop.action = FaultAction::kDrop;
+  drop.probability = 0.05;
+  ASSERT_GE(plane.Install(drop), 0);
+  FaultSpec dup;
+  dup.site = FaultSite::kRnicRx;  // Wire-level site: duplication is supported.
+  dup.action = FaultAction::kDuplicate;
+  dup.probability = 0.05;
+  ASSERT_GE(plane.Install(dup), 0);
+
+  TenantEchoLoad::Options options;
+  options.window = 16;
+  options.pending_timeout = 5 * kMillisecond;
+  TenantEchoLoad load(cluster.env(), &dp, &client, &server, options);
+  load.SetActive(true);
+  cluster.sim().RunFor(400 * kMillisecond);
+  load.SetActive(false);
+  cluster.sim().RunFor(50 * kMillisecond);
+
+  EXPECT_GT(load.completed(), 1000u);
+  EXPECT_GT(plane.injected_at(FaultSite::kDneTx), 0u);
+  EXPECT_GT(plane.injected_at(FaultSite::kRnicRx), 0u);
+  // The leak fix: dropped requests were reaped, so the pending map never
+  // outgrew the window even over a long chaos run.
+  EXPECT_GT(load.reaped(), 0u);
+  EXPECT_LE(load.pending_peak(), static_cast<size_t>(options.window));
+  EXPECT_LE(load.pending_requests(), static_cast<size_t>(options.window));
+  // The accounting fix: duplicated responses are tallied, not double-counted.
+  EXPECT_GT(load.unmatched_responses(), 0u);
+  EXPECT_GE(load.outstanding(), 0);
+  EXPECT_LE(load.outstanding(), options.window);
 }
 
 TEST(TenantEchoLoadTest, WindowBoundsOutstandingRequests) {
