@@ -1,0 +1,99 @@
+// The tournament-tree merge (src/sim/simulator.cc) must be invisible: for
+// any shard count, forcing the tree on or the linear scan on yields the
+// exact same executed sequence. Randomized schedules with cancels and
+// callback-driven reschedules probe the tree's arbitrary-leaf updates (the
+// case a loser-tree replay gets wrong).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace nadino {
+namespace {
+
+struct Executed {
+  SimTime when;
+  uint64_t tag;
+  bool operator==(const Executed& other) const {
+    return when == other.when && tag == other.tag;
+  }
+};
+
+// Drives one randomized run: `events` roots scattered over shards and time,
+// a third of them cancelled, half of the survivors rescheduling a child on
+// another (random) shard. threshold < 0 keeps the default (tree for > 8).
+std::vector<Executed> RunMerge(uint32_t shards, int threshold, uint64_t seed, int events) {
+  Simulator sim;
+  sim.SetShardCount(shards);
+  sim.SetMergeTreeThresholdForTest(threshold);
+  std::mt19937_64 rng(seed);
+  std::vector<Executed> trace;
+  std::vector<EventId> cancellable;
+
+  std::uniform_int_distribution<SimTime> when_dist(1, 5000);
+  std::uniform_int_distribution<uint32_t> shard_dist(0, shards - 1);
+  for (int i = 0; i < events; ++i) {
+    const SimTime when = when_dist(rng);
+    const uint32_t shard = shard_dist(rng);
+    const uint64_t tag = static_cast<uint64_t>(i);
+    const bool respawn = (rng() & 1) != 0;
+    const uint32_t child_shard = shard_dist(rng);
+    const SimTime child_delay = when_dist(rng);
+    const EventId id = sim.ScheduleAtOn(
+        shard, when, [&sim, &trace, tag, respawn, child_shard, child_delay] {
+          trace.push_back({sim.now(), tag});
+          if (respawn) {
+            const uint64_t child_tag = tag | (1ull << 32);
+            sim.ScheduleAtOn(child_shard, sim.now() + child_delay,
+                             [&sim, &trace, child_tag] { trace.push_back({sim.now(), child_tag}); });
+          }
+        });
+    if (i % 3 == 0) {
+      cancellable.push_back(id);
+    }
+  }
+  for (size_t i = 0; i < cancellable.size(); i += 2) {
+    EXPECT_TRUE(sim.Cancel(cancellable[i]));
+  }
+  sim.Run();
+  return trace;
+}
+
+TEST(ShardMergeTreeTest, TreeAndLinearScanExecuteIdentically) {
+  constexpr int kForceLinear = 1000;
+  constexpr int kForceTree = 0;
+  for (uint32_t shards : {2u, 5u, 9u, 16u, 33u, 64u}) {
+    for (uint64_t seed : {1ull, 42ull, 0xFEEDull}) {
+      const std::vector<Executed> linear = RunMerge(shards, kForceLinear, seed, 400);
+      const std::vector<Executed> tree = RunMerge(shards, kForceTree, seed, 400);
+      const std::vector<Executed> deflt = RunMerge(shards, -1, seed, 400);
+      ASSERT_FALSE(linear.empty());
+      EXPECT_EQ(tree, linear) << "shards=" << shards << " seed=" << seed;
+      EXPECT_EQ(deflt, linear) << "shards=" << shards << " seed=" << seed;
+    }
+  }
+}
+
+TEST(ShardMergeTreeTest, ThresholdGatesTheTreeBySize) {
+  // Not directly observable from outside, so probe the contract's edges: a
+  // forced-on tree works at shard count 1, and toggling the threshold
+  // mid-stream (with events pending) rebuilds cleanly.
+  Simulator sim;
+  sim.SetShardCount(12);
+  int runs = 0;
+  for (uint32_t s = 0; s < 12; ++s) {
+    sim.ScheduleAtOn(s, 100 + s, [&runs] { ++runs; });
+  }
+  sim.SetMergeTreeThresholdForTest(0);     // Tree on, 12 pending events.
+  sim.SetMergeTreeThresholdForTest(1000);  // Back to linear.
+  sim.SetMergeTreeThresholdForTest(-1);    // Default: 12 > 8 ⇒ tree.
+  sim.Run();
+  EXPECT_EQ(runs, 12);
+}
+
+}  // namespace
+}  // namespace nadino
