@@ -1,0 +1,79 @@
+// NIC-offloaded chain dispatch vs the software engine paths (DESIGN.md §3i).
+//
+// Linear 3-stage pipeline chains striped across a 3-node cluster so every hop
+// crosses the wire. Three dispatch paths over the identical workload:
+//   * Comch-E  — software executor, DNE with event-driven Comch channels;
+//   * Comch-P  — software executor, DNE with polling Comch channels;
+//   * offload  — the chains compiled into triggered/conditional WR programs
+//     (ChainExecutor::OffloadChain): each hop's forwarding decision and
+//     payload transform execute on the RNIC, skipping the DPU worker, the
+//     Comch hop, and the function core entirely (RedN-style).
+//
+// The per-hop latency column is the figure: offloaded dispatch must beat both
+// software variants (asserted by tests/chain_offload_test.cc). The offload
+// run's snapshot is the pinned golden (BENCH_chain_offload.json).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/experiments.h"
+
+using namespace nadino;
+
+namespace {
+
+ChainOffloadOptions Scenario(bool offload, ComchVariant variant) {
+  ChainOffloadOptions options;
+  options.nodes = 3;
+  options.stages = 3;
+  options.tenants = 2;
+  options.requests_per_tenant = 300;
+  options.payload = 256;
+  options.spacing = 150 * kMicrosecond;
+  options.comch_variant = variant;
+  options.offload = offload;
+  options.duration = 2 * kSecond;
+  return options;
+}
+
+void PrintRow(const char* name, const ChainOffloadResult& result) {
+  std::printf("%-10s %10llu %8llu %12.2f %12.2f %12.2f %10llu %10llu %10llu\n", name,
+              static_cast<unsigned long long>(result.completed),
+              static_cast<unsigned long long>(result.errors), result.mean_latency_us,
+              result.p99_latency_us, result.per_hop_latency_us,
+              static_cast<unsigned long long>(result.offloaded_hops),
+              static_cast<unsigned long long>(result.fallbacks),
+              static_cast<unsigned long long>(result.software_requests));
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("Chain offload — WR-program dispatch vs software engine paths",
+               "RedN-style triggered WRs on the RNIC (sections 2.1, 3.2)");
+  const CostModel& cost = CostModel::Default();
+  std::printf("%-10s %10s %8s %12s %12s %12s %10s %10s %10s\n", "path", "completed",
+              "errors", "mean_us", "p99_us", "per_hop_us", "nic_hops", "fallbacks",
+              "sw_hops");
+  const ChainOffloadResult comch_e =
+      RunChainOffload(cost, Scenario(/*offload=*/false, ComchVariant::kEvent));
+  PrintRow("comch-e", comch_e);
+  const ChainOffloadResult comch_p =
+      RunChainOffload(cost, Scenario(/*offload=*/false, ComchVariant::kPolling));
+  PrintRow("comch-p", comch_p);
+  const ChainOffloadResult offload =
+      RunChainOffload(cost, Scenario(/*offload=*/true, ComchVariant::kEvent));
+  PrintRow("offload", offload);
+  std::printf("\nper-hop speedup: %.2fx vs comch-e, %.2fx vs comch-p "
+              "(%llu WR programs installed)\n",
+              comch_e.per_hop_latency_us / offload.per_hop_latency_us,
+              comch_p.per_hop_latency_us / offload.per_hop_latency_us,
+              static_cast<unsigned long long>(offload.hops_installed));
+  bench::Note(
+      "every interior hop and the final response execute as triggered WRs on "
+      "the RNIC: no Comch descriptor hop, no DPU worker wakeup, no function "
+      "core occupancy — the chain's critical path collapses to wire transit "
+      "plus the wrprog trigger costs.");
+  bench::WriteMetricsJson("chain_offload", offload.metrics_json);
+  return 0;
+}

@@ -136,13 +136,13 @@ fi
 # them; unintended drift in calibrated costs, scheduling, or metric plumbing
 # shows up here as a diff.
 GOLDEN_DIR=bench/goldens
-GOLDEN_BENCHES=(fig06_isolation_cost fig09_comch fig11_offpath_onpath fig12_rdma_primitives
-                fig13_ingress fig14_ingress_scaling fig15_multitenancy fig16_boutique
-                node_scale openloop_scale tenant_churn)
-GOLDEN_ARTIFACTS=(BENCH_fig06_dne_4096.json BENCH_fig09_comch_e6.json BENCH_fig11_offpath_c8.json
-                  BENCH_fig12_twosided_4096.json BENCH_fig13_nadino_c16.json
-                  BENCH_fig14_nadino_ramp.json BENCH_fig15_dwrr.json BENCH_fig15_fcfs.json
-                  BENCH_fig16_dne_home.json BENCH_node_scale_16.json
+GOLDEN_BENCHES=(chain_offload fig06_isolation_cost fig09_comch fig11_offpath_onpath
+                fig12_rdma_primitives fig13_ingress fig14_ingress_scaling fig15_multitenancy
+                fig16_boutique node_scale openloop_scale tenant_churn)
+GOLDEN_ARTIFACTS=(BENCH_chain_offload.json BENCH_fig06_dne_4096.json BENCH_fig09_comch_e6.json
+                  BENCH_fig11_offpath_c8.json BENCH_fig12_twosided_4096.json
+                  BENCH_fig13_nadino_c16.json BENCH_fig14_nadino_ramp.json BENCH_fig15_dwrr.json
+                  BENCH_fig15_fcfs.json BENCH_fig16_dne_home.json BENCH_node_scale_16.json
                   BENCH_openloop_scale.json BENCH_tenant_churn.json)
 
 RUN_DIR="$(mktemp -d)"

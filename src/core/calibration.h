@@ -154,6 +154,17 @@ struct CostModel {
   // Calibrated so the OWDL echo lands near the paper's 26.1 us at 4 KB.
   SimDuration dlock_manager_op = 2000;
 
+  // --- NIC-resident WR programs (RedN-style triggered/conditional WRs) ------
+  // A recv completion waking a posted WR program: the RNIC recognizes the
+  // CQE, matches the WAIT WR, and enables the chained steps. RedN measures
+  // self-triggering at single-microsecond scale on ConnectX-class NICs.
+  SimDuration wrprog_trigger = 1200;
+  // Evaluating one conditional (CAS-gated) edge against the arrived header.
+  SimDuration wrprog_cond = 500;
+  // Installing one WR of a program at a QP: WQE write + doorbell, charged at
+  // compile/install time on the installing core, never on the data path.
+  SimDuration wrprog_install_per_wr = 800;
+
   // --- Ingress autoscaler (section 3.6) -------------------------------------
   double ingress_scale_up_util = 0.60;
   // Scale-up threshold while the gateway tenant is burning SLO error budget:

@@ -1259,6 +1259,162 @@ NodeScaleResult RunNodeScale(const CostModel& cost, const NodeScaleOptions& opti
 }
 
 // ---------------------------------------------------------------------------
+// NIC-offloaded chain dispatch (DESIGN.md §3i)
+// ---------------------------------------------------------------------------
+
+ChainOffloadResult RunChainOffload(const CostModel& cost, const ChainOffloadOptions& options) {
+  ClusterConfig config;
+  config.worker_nodes = options.nodes;
+  config.with_ingress_node = false;
+  config.seed = options.seed;
+  Cluster cluster(&cost, config);
+  Simulator& sim = cluster.sim();
+  for (const FaultSpec& spec : options.faults) {
+    cluster.env().faults().Install(spec);
+  }
+
+  NadinoDataPlane::Options dp_options;
+  dp_options.comch_variant = options.comch_variant;
+  dp_options.offload_chains = options.offload;
+  NadinoDataPlane dataplane(cluster.env(), &cluster.routing(), dp_options);
+  for (int i = 0; i < options.nodes; ++i) {
+    dataplane.AddWorkerNode(cluster.worker(i));
+  }
+
+  std::vector<ChainSpec> chains;
+  for (int t = 0; t < options.tenants; ++t) {
+    const TenantId tenant = static_cast<TenantId>(t + 1);
+    cluster.CreateTenantPools(tenant, 4096, 8192);
+    dataplane.AttachTenant(tenant, 1);
+    cluster.env().slos().Register(tenant, SloTarget{});
+    chains.push_back(BuildPipelineChain(tenant, 1000 + static_cast<FunctionId>(t) * 100,
+                                        options.stages, options.payload));
+  }
+  dataplane.Start();
+
+  ChainExecutor executor(cluster.env(), &dataplane);
+  ChainOffloadResult result;
+  std::vector<std::unique_ptr<FunctionRuntime>> functions;
+  std::vector<std::unique_ptr<FunctionRuntime>> clients;
+  for (int t = 0; t < options.tenants; ++t) {
+    const ChainSpec& spec = chains[static_cast<size_t>(t)];
+    executor.RegisterChain(spec);
+    // Stripe stage i of tenant t onto node (t + i) % nodes: every hop and the
+    // final response cross the wire, which is the regime NIC offload targets
+    // (an intra-node hop is an IPC delivery with nothing to offload).
+    int stage = 0;
+    for (const auto& [fn_id, behavior] : spec.behaviors) {
+      (void)behavior;
+      Node* node = cluster.worker((t + stage) % options.nodes);
+      functions.push_back(std::make_unique<FunctionRuntime>(
+          fn_id, spec.tenant, spec.name + "_fn" + std::to_string(fn_id), node,
+          node->AllocateCore(), node->tenants().PoolOfTenant(spec.tenant)));
+      dataplane.RegisterFunction(functions.back().get());
+      executor.AttachFunction(functions.back().get());
+      ++stage;
+    }
+  }
+  if (options.offload) {
+    for (const ChainSpec& spec : chains) {
+      result.hops_installed += executor.OffloadChain(spec.id);
+    }
+  }
+
+  LatencyHistogram latencies;
+  std::map<uint64_t, SimTime> issue_times;
+  for (const ChainSpec& spec : chains) {
+    Node* home = nullptr;
+    for (int i = 0; i < options.nodes; ++i) {
+      if (cluster.worker(i)->id() == cluster.routing().NodeOf(spec.entry)) {
+        home = cluster.worker(i);
+        break;
+      }
+    }
+    clients.push_back(std::make_unique<FunctionRuntime>(
+        900 + static_cast<FunctionId>(spec.tenant), spec.tenant, "client", home,
+        home->AllocateCore(), home->tenants().PoolOfTenant(spec.tenant)));
+    FunctionRuntime* client = clients.back().get();
+    dataplane.RegisterFunction(client);
+    const TenantId tenant = spec.tenant;
+    client->SetHandler([&, tenant](FunctionRuntime& fn, Buffer* buffer) {
+      const auto header = ReadMessage(*buffer);
+      if (header.has_value() && header->is_response()) {
+        const auto it = issue_times.find(header->request_id);
+        if (it != issue_times.end()) {
+          latencies.Record(cluster.env().now() - it->second);
+          issue_times.erase(it);
+        }
+        ++result.completed;
+        ++result.tenant_completed[tenant];
+      }
+      fn.pool()->Put(buffer, fn.owner_id());
+    });
+  }
+  for (size_t c = 0; c < clients.size(); ++c) {
+    FunctionRuntime* client = clients[c].get();
+    const ChainSpec& spec = chains[c];
+    for (int i = 0; i < options.requests_per_tenant; ++i) {
+      const SimTime at = static_cast<SimTime>(i) * options.spacing +
+                         static_cast<SimTime>(c) * (options.spacing / 7 + 1);
+      sim.ScheduleAt(at, [&, client]() {
+        Buffer* request = client->pool()->Get(client->owner_id());
+        if (request == nullptr) {
+          ++result.errors;
+          return;
+        }
+        MessageHeader header;
+        header.chain = spec.id;
+        header.src = client->id();
+        header.dst = spec.entry;
+        header.payload_length = options.payload;
+        header.request_id = executor.NextRequestId();
+        WriteMessage(request, header);
+        issue_times[header.request_id] = cluster.env().now();
+        if (!dataplane.Send(client, request)) {
+          issue_times.erase(header.request_id);
+          ++result.errors;
+          client->pool()->Put(request, client->owner_id());
+        }
+      });
+    }
+  }
+
+  sim.RunFor(options.duration);
+
+  result.errors += executor.errors();
+  result.software_requests = executor.requests_handled();
+  for (int i = 0; i < options.nodes; ++i) {
+    const NodeId node = cluster.worker(i)->id();
+    if (WrProgramEngine* programs = dataplane.wr_programs(node)) {
+      const WrProgramEngine::Stats stats = programs->stats();
+      result.offloaded_hops += stats.offloaded_hops;
+      result.offloaded_responses += stats.responses;
+      result.fallbacks += stats.fallbacks;
+      result.wrprog_send_errors += stats.send_errors;
+    }
+    for (int t = 0; t < options.tenants; ++t) {
+      const auto tenant = static_cast<TenantId>(t + 1);
+      BufferPool* pool = cluster.worker(i)->tenants().PoolOfTenant(tenant);
+      if (pool != nullptr) {
+        result.buffers_in_use_at_end += pool->in_use();
+      }
+      // The standing posted-RECV credits are RNIC-owned at quiesce by design;
+      // only what is out BEYOND them is a leak.
+      const size_t posted = cluster.worker(i)->rnic().SrqOfTenant(tenant).depth();
+      result.buffers_in_use_at_end -= std::min<uint64_t>(result.buffers_in_use_at_end, posted);
+    }
+  }
+  result.rps = static_cast<double>(result.completed) / ToSeconds(options.duration);
+  result.mean_latency_us = latencies.MeanUs();
+  result.p99_latency_us = ToUs(latencies.Percentile(0.99));
+  result.per_hop_latency_us =
+      result.mean_latency_us / static_cast<double>(options.stages + 1);
+  result.metrics_text = cluster.metrics().SnapshotText();
+  result.metrics_json = cluster.metrics().SnapshotJson();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
 // Open-loop scale (DESIGN.md §3g)
 // ---------------------------------------------------------------------------
 

@@ -451,6 +451,57 @@ struct ParallelDrainResult {
 };
 ParallelDrainResult RunParallelDrain(const CostModel& cost, const ParallelDrainOptions& options);
 
+// ---------------------------------------------------------------------------
+// NIC-offloaded chain dispatch (DESIGN.md §3i)
+// ---------------------------------------------------------------------------
+
+// Linear per-tenant pipeline chains striped across the cluster (stage i of
+// tenant t on node (t + i) % nodes, so every hop crosses the wire; the client
+// is colocated with its entry). With `offload` set the chains are compiled
+// into WR programs (ChainExecutor::OffloadChain) and every hop executes on
+// the RNIC — no DPU/host core occupancy per hop; otherwise the identical
+// workload runs through the software executor. bench/chain_offload.cc
+// compares both against the Comch-E/Comch-P software variants.
+struct ChainOffloadOptions {
+  int nodes = 3;
+  int stages = 3;  // Functions per pipeline, entry included.
+  int tenants = 2;
+  int requests_per_tenant = 300;
+  uint32_t payload = 256;
+  SimDuration spacing = 150 * kMicrosecond;  // Open-loop inter-request gap.
+  ComchVariant comch_variant = ComchVariant::kEvent;
+  bool offload = true;
+  SimDuration duration = 2 * kSecond;  // Total run (sends + drain).
+  std::vector<FaultSpec> faults;       // e.g. wrprog_trigger / wrprog_cond.
+  uint64_t seed = kDefaultSeed;
+};
+struct ChainOffloadResult {
+  uint64_t completed = 0;  // Responses observed by the clients.
+  uint64_t errors = 0;
+  // Per-tenant completions — what the offload/software equivalence property
+  // test compares under equal seeds.
+  std::map<TenantId, uint64_t> tenant_completed;
+  uint64_t hops_installed = 0;      // WR programs installed at setup.
+  uint64_t offloaded_hops = 0;      // Hops executed on-NIC.
+  uint64_t offloaded_responses = 0; // Final-hop responses issued on-NIC.
+  uint64_t fallbacks = 0;           // Runtime declines to the software path.
+  uint64_t wrprog_send_errors = 0;
+  uint64_t software_requests = 0;   // Hops handled by the software executor.
+  double rps = 0.0;
+  double mean_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  // mean / (stages + 1): the chain traverses stages+1 wire legs per request
+  // (client->entry, the stages-1 interior forwards, final->client).
+  double per_hop_latency_us = 0.0;
+  // Tenant-pool buffers still out after the drain, NET of the engines'
+  // standing posted-RECV credits (RNIC-owned at quiesce by design): 0 when
+  // nothing leaked, in software and offloaded runs alike.
+  uint64_t buffers_in_use_at_end = 0;
+  std::string metrics_text;
+  std::string metrics_json;
+};
+ChainOffloadResult RunChainOffload(const CostModel& cost, const ChainOffloadOptions& options);
+
 }  // namespace nadino
 
 #endif  // SRC_CORE_EXPERIMENTS_H_

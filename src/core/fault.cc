@@ -29,6 +29,10 @@ const char* FaultSiteName(FaultSite site) {
       return "dne_rx";
     case FaultSite::kNodePartition:
       return "node_partition";
+    case FaultSite::kWrProgTrigger:
+      return "wrprog_trigger";
+    case FaultSite::kWrProgCond:
+      return "wrprog_cond";
   }
   return "?";
 }
@@ -75,6 +79,13 @@ uint8_t FaultSiteSupportedActions(FaultSite site) {
       // A severed node loses messages outright; delaying/duplicating through
       // a partition has no physical analogue.
       return kFaultCanDrop;
+    case FaultSite::kWrProgTrigger:
+    case FaultSite::kWrProgCond:
+      // Drop = stuck trigger / misfired branch: the program declines and the
+      // message falls back to software delivery (conserved, counted). The
+      // NIC never duplicates a program wake, and the header the conditional
+      // reads is checksummed upstream — no duplicate/corrupt analogue.
+      return kFaultCanDrop | kFaultCanDelay;
   }
   return 0;
 }

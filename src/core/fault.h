@@ -55,8 +55,15 @@ enum class FaultSite : uint8_t {
   // schedule reproduces the partitioned run bit-for-bit. Enforced at the
   // pair-aware crossings (Fabric::Send, ComchServer) via InterceptPair.
   kNodePartition,
+  // NIC-resident WR programs (src/rdma/wr_program.*): a recv completion
+  // waking a posted program (kWrProgTrigger) and a conditional edge matching
+  // the arrived header (kWrProgCond). Drop = the trigger sticks / the branch
+  // misfires; the program declines the message and the software path delivers
+  // it instead — counted, never hung. Delay = a slow trigger.
+  kWrProgTrigger,
+  kWrProgCond,
 };
-inline constexpr size_t kFaultSiteCount = 11;
+inline constexpr size_t kFaultSiteCount = 13;
 
 const char* FaultSiteName(FaultSite site);
 

@@ -34,7 +34,16 @@ NetworkEngine* NadinoDataPlane::AddWorkerNode(Node* node) {
     node->connections().Reconfigure(service_config);
   }
   engines_[node->id()] = std::move(engine);
+  if (options_.offload_chains) {
+    wr_programs_[node->id()] =
+        std::make_unique<WrProgramEngine>(env(), node, raw, routing_);
+  }
   return raw;
+}
+
+WrProgramEngine* NadinoDataPlane::wr_programs(NodeId node) {
+  const auto it = wr_programs_.find(node);
+  return it == wr_programs_.end() ? nullptr : it->second.get();
 }
 
 SimDuration NadinoDataPlane::AttachTenant(TenantId tenant, uint32_t weight) {

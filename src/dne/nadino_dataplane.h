@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/dne/network_engine.h"
+#include "src/rdma/wr_program.h"
 #include "src/runtime/dataplane.h"
 #include "src/runtime/routing_table.h"
 
@@ -33,6 +34,12 @@ class NadinoDataPlane : public DataPlane {
     ConnectPolicy connect_policy = ConnectPolicy::kEager;
     int establish_batch = 1;
     bool instrument_control_plane = false;
+    // NIC-offloaded chain dispatch (src/rdma/wr_program.h): give every worker
+    // node a WrProgramEngine so ChainExecutor::OffloadChain can install WR
+    // programs at its RNIC. Off by default — the steering hook and the
+    // wrprog_* metric keys exist only when enabled, keeping default runs
+    // byte-identical (bench goldens).
+    bool offload_chains = false;
   };
 
   NadinoDataPlane(Env& env, RoutingTable* routing, const Options& options);
@@ -62,6 +69,7 @@ class NadinoDataPlane : public DataPlane {
 
   NetworkEngine* EngineAt(NodeId node);
   RoutingTable* routing() override { return routing_; }
+  WrProgramEngine* wr_programs(NodeId node) override;
 
  private:
   bool SendIntraNode(FunctionRuntime* src, FunctionRuntime* dst, Buffer* buffer);
@@ -71,6 +79,8 @@ class NadinoDataPlane : public DataPlane {
   Options options_;
   SkMsgChannel skmsg_;
   std::map<NodeId, std::unique_ptr<NetworkEngine>> engines_;
+  // Per-node WR-program interpreters (Options::offload_chains only).
+  std::map<NodeId, std::unique_ptr<WrProgramEngine>> wr_programs_;
   // Keyed per (function, node): a function replicated on several workers for
   // failover registers one runtime per node (the routing table orders them
   // primary-first).

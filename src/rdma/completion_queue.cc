@@ -4,6 +4,10 @@ namespace nadino {
 
 void CompletionQueue::Push(const Completion& cqe) {
   ++total_;
+  if (steering_ && steering_(cqe)) {
+    ++steered_;
+    return;
+  }
   if (handler_) {
     handler_(cqe);
     return;

@@ -22,10 +22,19 @@ class CompletionQueue {
  public:
   using Handler = std::function<void(const Completion&)>;
 
+  // A steering hook consulted before the handler. Returning true means the
+  // CQE was consumed "in the NIC" — an installed WR program matched it — and
+  // the software consumer (handler or Poll) never sees it. WR programs use
+  // this to take over chain-hop receives without waking the DPU cores.
+  using Steering = std::function<bool(const Completion&)>;
+
   // Registers the busy-poll consumer. With a handler set, pushed CQEs are
   // dispatched immediately (the poller would have seen them on its next spin);
   // without one they accumulate until Poll().
   void SetHandler(Handler handler) { handler_ = std::move(handler); }
+
+  // Installs the NIC-side steering hook (nullptr to remove). At most one.
+  void SetSteering(Steering steering) { steering_ = std::move(steering); }
 
   void Push(const Completion& cqe);
 
@@ -34,11 +43,14 @@ class CompletionQueue {
 
   size_t depth() const { return queue_.size(); }
   uint64_t total_completions() const { return total_; }
+  uint64_t steered_completions() const { return steered_; }
 
  private:
   Handler handler_;
+  Steering steering_;
   std::deque<Completion> queue_;
   uint64_t total_ = 0;
+  uint64_t steered_ = 0;
 };
 
 }  // namespace nadino

@@ -11,8 +11,15 @@ bool QpCache::Touch(QpNum qp) {
   }
   ++misses_;
   if (static_cast<int>(lru_.size()) >= capacity_) {
-    index_.erase(lru_.back());
-    lru_.pop_back();
+    // Evict from the LRU end, skipping pinned contexts (a WR program's QP
+    // must stay resident). With no pins this is exactly the old behavior.
+    for (auto victim = lru_.rbegin(); victim != lru_.rend(); ++victim) {
+      if (pins_.find(*victim) == pins_.end()) {
+        index_.erase(*victim);
+        lru_.erase(std::next(victim).base());
+        break;
+      }
+    }
   }
   lru_.push_front(qp);
   index_[qp] = lru_.begin();
@@ -20,12 +27,30 @@ bool QpCache::Touch(QpNum qp) {
 }
 
 void QpCache::Evict(QpNum qp) {
+  pins_.erase(qp);
   const auto it = index_.find(qp);
   if (it == index_.end()) {
     return;
   }
   lru_.erase(it->second);
   index_.erase(it);
+}
+
+void QpCache::Pin(QpNum qp) {
+  if (index_.find(qp) == index_.end()) {
+    Touch(qp);  // Fault the context in; the install path owns this miss.
+  }
+  ++pins_[qp];
+}
+
+void QpCache::Unpin(QpNum qp) {
+  const auto it = pins_.find(qp);
+  if (it == pins_.end()) {
+    return;
+  }
+  if (--it->second <= 0) {
+    pins_.erase(it);
+  }
 }
 
 }  // namespace nadino

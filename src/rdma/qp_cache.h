@@ -27,18 +27,27 @@ class QpCache {
   bool Touch(QpNum qp);
 
   // Drops a QP's context (e.g. when the shadow-QP manager deactivates it),
-  // freeing a slot without an eviction penalty for others.
+  // freeing a slot without an eviction penalty for others. Clears any pin.
   void Evict(QpNum qp);
+
+  // Pins `qp`'s context resident: a WR program installed at the QP keeps its
+  // WQEs and context in ICM, so LRU pressure from other tenants' traffic must
+  // not evict it (the program would stop firing on real hardware). Pinning
+  // faults the context in (one counted miss) if absent. Pins nest.
+  void Pin(QpNum qp);
+  void Unpin(QpNum qp);
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   size_t resident() const { return lru_.size(); }
+  size_t pinned() const { return pins_.size(); }
   int capacity() const { return capacity_; }
 
  private:
   int capacity_;
   std::list<QpNum> lru_;  // Front = most recent.
   std::unordered_map<QpNum, std::list<QpNum>::iterator> index_;
+  std::unordered_map<QpNum, int> pins_;  // qp -> nested pin count.
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
 };

@@ -275,77 +275,99 @@ void RdmaEngine::EnqueueTx(Packet pkt, SimDuration extra_cost) {
   });
 }
 
-bool RdmaEngine::PostSend(QpNum qp, const Buffer& src, uint64_t wr_id, uint32_t imm) {
-  RcQp* q = FindQp(qp);
-  if (q == nullptr || !q->connected || q->in_error) {
-    return false;
-  }
-  ++q->outstanding;
-  m_sends_.Increment();
-  Packet pkt;
-  pkt.kind = Packet::Kind::kSend;
-  pkt.src = node_;
-  pkt.dst = q->remote_node;
-  pkt.src_qp = qp;
-  pkt.dst_qp = q->remote_qp;
-  pkt.tenant = q->tenant;
-  pkt.wr_id = wr_id;
-  pkt.imm = imm;
-  // DMA read of the source buffer happens at post time; the sender must not
-  // touch the buffer again until the completion (ownership rules enforce it).
-  pkt.payload.assign(src.payload().begin(), src.payload().end());
-  Transmit(std::move(pkt), QpTouchCost(qp));
-  return true;
-}
-
-bool RdmaEngine::PostWrite(QpNum qp, const Buffer& src, PoolId remote_pool, uint32_t remote_index,
-                           uint64_t wr_id, uint32_t imm) {
+bool RdmaEngine::PostWr(QpNum qp, const WorkRequest& wr, WrCompletionHook on_complete) {
   RcQp* q = FindQp(qp);
   if (q == nullptr || !q->connected) {
     return false;
   }
-  ++q->outstanding;
-  m_writes_.Increment();
   Packet pkt;
-  pkt.kind = Packet::Kind::kWrite;
   pkt.src = node_;
   pkt.dst = q->remote_node;
   pkt.src_qp = qp;
   pkt.dst_qp = q->remote_qp;
   pkt.tenant = q->tenant;
-  pkt.wr_id = wr_id;
-  pkt.imm = imm;
-  pkt.remote_pool = remote_pool;
-  pkt.remote_index = remote_index;
-  pkt.payload.assign(src.payload().begin(), src.payload().end());
+  pkt.wr_id = wr.wr_id;
+  pkt.imm = wr.imm;
+  switch (wr.opcode) {
+    case RdmaOpcode::kSend:
+      if (q->in_error || wr.src == nullptr) {
+        return false;
+      }
+      pkt.kind = Packet::Kind::kSend;
+      // DMA read of the source buffer happens at post time; the sender must
+      // not touch the buffer again until the completion (ownership rules
+      // enforce it).
+      pkt.payload.assign(wr.src->payload().begin(), wr.src->payload().end());
+      m_sends_.Increment();
+      break;
+    case RdmaOpcode::kWrite:
+      if (wr.src == nullptr) {
+        return false;
+      }
+      pkt.kind = Packet::Kind::kWrite;
+      pkt.remote_pool = wr.remote_pool;
+      pkt.remote_index = wr.remote_index;
+      pkt.payload.assign(wr.src->payload().begin(), wr.src->payload().end());
+      m_writes_.Increment();
+      break;
+    case RdmaOpcode::kRead:
+      if (wr.dst == nullptr) {
+        return false;
+      }
+      pkt.kind = Packet::Kind::kReadReq;
+      pkt.remote_pool = wr.remote_pool;
+      pkt.remote_index = wr.remote_index;
+      pkt.read_len = wr.read_len;
+      // Stash where the response lands via wr_id -> caller keeps dst alive;
+      // the destination pointer lives in a side table keyed by wr_id.
+      pending_reads_[wr.wr_id] = wr.dst;
+      m_reads_.Increment();
+      break;
+    case RdmaOpcode::kRecv:
+      return false;  // Receives are posted via PostRecvBuffer, not as WRs.
+  }
+  ++q->outstanding;
+  // ArmAckTimeout (synchronous, inside Transmit) claims these into the
+  // PendingAck entry for this WR.
+  posting_hook_ = std::move(on_complete);
+  posting_signaled_ = wr.signaled;
   Transmit(std::move(pkt), QpTouchCost(qp));
+  posting_hook_ = nullptr;
+  posting_signaled_ = true;
   return true;
+}
+
+bool RdmaEngine::PostSend(QpNum qp, const Buffer& src, uint64_t wr_id, uint32_t imm) {
+  WorkRequest wr;
+  wr.opcode = RdmaOpcode::kSend;
+  wr.wr_id = wr_id;
+  wr.imm = imm;
+  wr.src = &src;
+  return PostWr(qp, wr);
+}
+
+bool RdmaEngine::PostWrite(QpNum qp, const Buffer& src, PoolId remote_pool, uint32_t remote_index,
+                           uint64_t wr_id, uint32_t imm) {
+  WorkRequest wr;
+  wr.opcode = RdmaOpcode::kWrite;
+  wr.wr_id = wr_id;
+  wr.imm = imm;
+  wr.src = &src;
+  wr.remote_pool = remote_pool;
+  wr.remote_index = remote_index;
+  return PostWr(qp, wr);
 }
 
 bool RdmaEngine::PostRead(QpNum qp, Buffer* dst, PoolId remote_pool, uint32_t remote_index,
                           uint32_t len, uint64_t wr_id) {
-  RcQp* q = FindQp(qp);
-  if (q == nullptr || !q->connected || dst == nullptr) {
-    return false;
-  }
-  ++q->outstanding;
-  m_reads_.Increment();
-  Packet pkt;
-  pkt.kind = Packet::Kind::kReadReq;
-  pkt.src = node_;
-  pkt.dst = q->remote_node;
-  pkt.src_qp = qp;
-  pkt.dst_qp = q->remote_qp;
-  pkt.tenant = q->tenant;
-  pkt.wr_id = wr_id;
-  pkt.remote_pool = remote_pool;
-  pkt.remote_index = remote_index;
-  pkt.read_len = len;
-  // Stash where the response lands via wr_id -> caller keeps dst alive; we
-  // record the destination pointer in a side table keyed by wr_id.
-  pending_reads_[wr_id] = dst;
-  Transmit(std::move(pkt), QpTouchCost(qp));
-  return true;
+  WorkRequest wr;
+  wr.opcode = RdmaOpcode::kRead;
+  wr.wr_id = wr_id;
+  wr.dst = dst;
+  wr.remote_pool = remote_pool;
+  wr.remote_index = remote_index;
+  wr.read_len = len;
+  return PostWr(qp, wr);
 }
 
 void RdmaEngine::DeliverFromWire(Packet pkt) {
@@ -483,11 +505,14 @@ void RdmaEngine::SetWriteArrivalHook(PoolId pool, WriteArrivalHook hook) {
 }
 
 void RdmaEngine::HandleAck(const Packet& pkt) {
-  if (pending_acks_.erase(AckKey{pkt.dst_qp, pkt.wr_id}) == 0) {
+  const auto it = pending_acks_.find(AckKey{pkt.dst_qp, pkt.wr_id});
+  if (it == pending_acks_.end()) {
     // The WR already completed locally (ack timeout) or this is the ACK of
     // an injected duplicate: the poster must see exactly one completion.
     return;
   }
+  const PendingAck info = std::move(it->second);
+  pending_acks_.erase(it);
   RcQp* q = FindQp(pkt.dst_qp);
   if (q != nullptr && q->outstanding > 0) {
     --q->outstanding;
@@ -506,7 +531,7 @@ void RdmaEngine::HandleAck(const Packet& pkt) {
   cqe.tenant = pkt.tenant;
   cqe.src_node = pkt.src;
   cqe.imm = pkt.imm;
-  cq_.Push(cqe);
+  DeliverWrCompletion(info, cqe);
 }
 
 void RdmaEngine::HandleReadReq(Packet pkt) {
@@ -532,9 +557,12 @@ void RdmaEngine::HandleReadReq(Packet pkt) {
 }
 
 void RdmaEngine::HandleReadResp(Packet pkt) {
-  if (pending_acks_.erase(AckKey{pkt.dst_qp, pkt.wr_id}) == 0) {
+  const auto ack_it = pending_acks_.find(AckKey{pkt.dst_qp, pkt.wr_id});
+  if (ack_it == pending_acks_.end()) {
     return;  // Already completed locally by the ack timeout.
   }
+  const PendingAck info = std::move(ack_it->second);
+  pending_acks_.erase(ack_it);
   RcQp* q = FindQp(pkt.dst_qp);
   if (q != nullptr && q->outstanding > 0) {
     --q->outstanding;
@@ -558,7 +586,7 @@ void RdmaEngine::HandleReadResp(Packet pkt) {
   cqe.qp = pkt.dst_qp;
   cqe.tenant = pkt.tenant;
   cqe.src_node = pkt.src;
-  cq_.Push(cqe);
+  DeliverWrCompletion(info, cqe);
 }
 
 void RdmaEngine::ArmAckTimeout(const Packet& pkt) {
@@ -570,7 +598,9 @@ void RdmaEngine::ArmAckTimeout(const Packet& pkt) {
   info.tenant = pkt.tenant;
   info.dst = pkt.dst;
   info.imm = pkt.imm;
-  pending_acks_[key] = info;
+  info.signaled = posting_signaled_;
+  info.hook = std::move(posting_hook_);
+  pending_acks_[key] = std::move(info);
   sim().Schedule(env_->cost().rnic_ack_timeout, [this, key]() { OnAckTimeout(key); });
 }
 
@@ -599,7 +629,17 @@ void RdmaEngine::OnAckTimeout(AckKey key) {
   cqe.tenant = info.tenant;
   cqe.src_node = info.dst;
   cqe.imm = info.imm;
-  cq_.Push(cqe);
+  DeliverWrCompletion(info, cqe);
+}
+
+void RdmaEngine::DeliverWrCompletion(const PendingAck& info, const Completion& cqe) {
+  if (info.hook) {
+    info.hook(cqe);
+    return;
+  }
+  if (info.signaled) {
+    cq_.Push(cqe);
+  }
 }
 
 void RdmaEngine::SendAck(const Packet& original, RdmaOpcode op, WrStatus status,

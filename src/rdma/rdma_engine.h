@@ -100,6 +100,19 @@ class RdmaEngine {
 
   // --- Data path (costs charged to the NIC pipelines, not the caller) -------
 
+  // Invoked with the WR's completion (success or error) INSTEAD of pushing a
+  // CQE. WR programs post their interior steps with a hook so the software
+  // completion consumers never wake for them; the hook runs in NIC context
+  // and must not charge core time.
+  using WrCompletionHook = std::function<void(const Completion&)>;
+
+  // The single posting path: every data-path verb is expressed as a
+  // WorkRequest. Legacy PostSend/PostWrite/PostRead lower to one-WR calls.
+  // Returns false without side effects when the QP or WR is unusable (the
+  // caller keeps its buffer). An unsignaled WR with no hook completes
+  // silently (outstanding is still decremented on ACK).
+  bool PostWr(QpNum qp, const WorkRequest& wr, WrCompletionHook on_complete = nullptr);
+
   // Two-sided send: the payload is snapshotted now (DMA read) and lands in a
   // receive buffer posted at the peer. `imm` travels in the CQE.
   bool PostSend(QpNum qp, const Buffer& src, uint64_t wr_id, uint32_t imm = 0);
@@ -192,6 +205,8 @@ class RdmaEngine {
     TenantId tenant = kInvalidTenant;
     NodeId dst = kInvalidNode;
     uint32_t imm = 0;
+    bool signaled = true;
+    WrCompletionHook hook;  // Consumes the completion instead of the CQ.
   };
   // (local qp, wr_id): wr_ids are per-poster, so qualify with the QP.
   using AckKey = std::pair<QpNum, uint64_t>;
@@ -233,6 +248,10 @@ class RdmaEngine {
 
   void SendAck(const Packet& original, RdmaOpcode op, WrStatus status, uint32_t byte_len);
 
+  // Routes a finished WR's completion: hook if one was attached, else the CQ
+  // when the WR was signaled, else nowhere.
+  void DeliverWrCompletion(const PendingAck& info, const Completion& cqe);
+
   SimDuration QpTouchCost(QpNum qp);
 
   Simulator& sim() const { return env_->sim(); }
@@ -252,6 +271,11 @@ class RdmaEngine {
   std::map<uint64_t, Buffer*> pending_reads_;  // wr_id -> destination buffer.
   std::map<AckKey, PendingAck> pending_acks_;
   std::map<PoolId, WriteArrivalHook> write_hooks_;
+  // Staging for the WR being posted right now: PostWr parks the hook and
+  // signaled flag here, and ArmAckTimeout (called synchronously inside
+  // Transmit) claims them into the PendingAck entry.
+  WrCompletionHook posting_hook_;
+  bool posting_signaled_ = true;
   // Registry-backed counters (labels: node), resolved once at construction
   // into raw-word handles (metrics.h). See Stats for field meanings.
   CounterHandle m_sends_;

@@ -1,5 +1,6 @@
 #include "src/runtime/chain.h"
 
+#include "src/rdma/wr_program.h"
 #include "src/runtime/routing_table.h"
 
 namespace nadino {
@@ -71,6 +72,17 @@ void ChainExecutor::HandleRequest(FunctionRuntime& fn, Buffer* buffer,
   const FunctionBehavior* behavior = BehaviorOf(header.chain, fn.id());
   if (behavior == nullptr) {
     Fail(fn, buffer);
+    return;
+  }
+  // NIC-offload doorbell: requests that arrive via IPC (intra-node send, or
+  // re-entry after a software fallback upstream) never produce the recv CQE
+  // the installed WR program waits on, so ring it from here. A successful
+  // Launch takes the buffer and runs the hop on the RNIC — including the
+  // tenant's SLO request accounting — so this executor is done with it. A
+  // decline (no program, injected wrprog_* fault, dead next hop) falls
+  // through to the ordinary software hop below.
+  if (WrProgramEngine* programs = dataplane_->wr_programs(fn.node()->id());
+      programs != nullptr && programs->Launch(fn, buffer, header)) {
     return;
   }
   ++requests_handled_;
@@ -437,6 +449,106 @@ void ChainExecutor::FailAttempt(const PendingCall& ctx) {
     return;
   }
   Reply(*fn, buffer, done.chain, done.parent_request, done.parent_src);
+}
+
+// ---------------------------------------------------------------------------
+// NIC offload: the chain-to-WR-program compiler (src/rdma/wr_program.h).
+// ---------------------------------------------------------------------------
+
+size_t ChainExecutor::OffloadChain(ChainId chain, SimDuration* install_latency) {
+  const auto chain_it = chains_.find(chain);
+  RoutingTable* routing = dataplane_->routing();
+  if (chain_it == chains_.end() || routing == nullptr) {
+    return 0;
+  }
+  const ChainSpec& spec = chain_it->second;
+  // Executor-level retries keep per-attempt state (pending calls, timeouts,
+  // stale ids) that only exists in software; a tenant with a RetryPolicy
+  // stays on the software path entirely.
+  if (env_->slos().RetryPolicyOf(spec.tenant) != nullptr) {
+    return 0;
+  }
+  // Walk the segment from the entry. Only linear shapes lower: a hop with
+  // several calls (sequential or fan-out) needs software response
+  // correlation, which a triggered-WR chain cannot express.
+  std::vector<FunctionId> hops;
+  FunctionId fn = spec.entry;
+  while (fn != kInvalidFunction) {
+    if (hops.size() >= 64) {
+      return 0;  // Cycle (or absurd depth): not a chain we can pin on a NIC.
+    }
+    const auto behavior_it = spec.behaviors.find(fn);
+    if (behavior_it == spec.behaviors.end() || behavior_it->second.calls.size() > 1) {
+      return 0;
+    }
+    hops.push_back(fn);
+    fn = behavior_it->second.calls.empty() ? kInvalidFunction
+                                           : behavior_it->second.calls[0].callee;
+  }
+  // Placement eligibility: exactly one live placement per hop (a replica set
+  // would need the routing policy's per-message pick — software state), a
+  // WrProgramEngine on every hop's node, and consecutive hops on distinct
+  // nodes (an intra-node hop is an IPC delivery with no recv CQE to trigger
+  // on, and a NIC cannot SEND to itself).
+  std::vector<NodeId> nodes;
+  for (const FunctionId hop : hops) {
+    const std::vector<NodeId>* placements = routing->PlacementsOf(hop);
+    if (placements == nullptr || placements->size() != 1 ||
+        !routing->NodeLive(placements->front())) {
+      return 0;
+    }
+    nodes.push_back(placements->front());
+    if (dataplane_->wr_programs(nodes.back()) == nullptr) {
+      return 0;
+    }
+  }
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    if (nodes[i] == nodes[i - 1]) {
+      return 0;
+    }
+  }
+  // Lower and install, all-or-nothing: a half-offloaded chain would work (the
+  // correlation contract composes), but eligibility failures here are static
+  // — better to report "kept in software" than silently split.
+  SimDuration total_install = 0;
+  size_t installed = 0;
+  for (size_t i = 0; i < hops.size(); ++i) {
+    WrProgramEngine* programs = dataplane_->wr_programs(nodes[i]);
+    const FunctionBehavior& behavior = spec.behaviors.at(hops[i]);
+    WrProgramEngine::HopSpec hop;
+    hop.chain = chain;
+    hop.tenant = spec.tenant;
+    hop.hop = hops[i];
+    hop.compute = behavior.compute;
+    if (i + 1 < hops.size()) {
+      hop.next_fn = hops[i + 1];
+      hop.next_node = nodes[i + 1];
+      hop.forward_payload = behavior.calls[0].request_payload;
+    } else {
+      // The final hop answers whoever issued into the offloaded segment. A
+      // chain hop as requester means the segment was entered mid-chain (a
+      // software fallback upstream): answer with the payload the hop AFTER it
+      // would have replied with in software. Anyone else is an external
+      // client, who sees the entry hop's response in the software execution.
+      for (size_t j = 0; j + 1 < hops.size(); ++j) {
+        hop.response_by_src[hops[j]] = spec.behaviors.at(hops[j + 1]).response_payload;
+      }
+      hop.response_payload = spec.behaviors.at(spec.entry).response_payload;
+    }
+    SimDuration hop_install = 0;
+    if (!programs->Install(hop, &hop_install)) {
+      for (size_t j = 0; j < installed; ++j) {
+        dataplane_->wr_programs(nodes[j])->Uninstall(chain, hops[j]);
+      }
+      return 0;
+    }
+    total_install += hop_install;
+    ++installed;
+  }
+  if (install_latency != nullptr) {
+    *install_latency = total_install;
+  }
+  return installed;
 }
 
 }  // namespace nadino

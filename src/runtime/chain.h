@@ -59,9 +59,11 @@ struct ChainSpec {
 
 class ChainExecutor {
  public:
-  // `on_complete(chain, request_id)` fires when a response reaches a non-chain
-  // endpoint is NOT routed here — endpoints own their handlers; this callback
-  // reports per-hop errors instead.
+  // Drives registered chains over `dataplane`. Responses that reach a
+  // non-chain endpoint (ingress gateway, load generator) are NOT routed
+  // through the executor — those endpoints own their handlers; per-hop
+  // failures inside the chain surface through errors() and the retry/SLO
+  // counters instead.
   ChainExecutor(Env& env, DataPlane* dataplane);
 
   void RegisterChain(const ChainSpec& spec);
@@ -72,6 +74,19 @@ class ChainExecutor {
   // Allocates a fresh correlation id for an externally injected request
   // (ingress / load generator).
   uint64_t NextRequestId() { return next_request_id_++; }
+
+  // --- NIC offload (src/rdma/wr_program.h) ----------------------------------
+  // Compiles `chain` into per-hop WR programs and installs them at each hop's
+  // RNIC. Only *linear* segments lower: every behavior has at most one call
+  // (no fan-out), every hop has exactly one placement, consecutive hops sit
+  // on distinct nodes, the tenant has no RetryPolicy (executor-level retries
+  // need software pending state), and the data plane exposes a
+  // WrProgramEngine on every hop's node. Returns the number of hop programs
+  // installed (0 = chain kept fully in software); `install_latency`, when
+  // non-null, receives the summed control-plane installation cost. Offloaded
+  // hops that decline at runtime (injected wrprog_* faults, migrations, QP
+  // errors) fall back to this executor automatically.
+  size_t OffloadChain(ChainId chain, SimDuration* install_latency = nullptr);
 
   uint64_t errors() const { return errors_; }
   uint64_t requests_handled() const { return requests_handled_; }

@@ -19,6 +19,7 @@
 namespace nadino {
 
 class RoutingTable;
+class WrProgramEngine;
 
 class DataPlane {
  public:
@@ -58,6 +59,13 @@ class DataPlane {
   // notice when a retry would land on a different (surviving) node —
   // cluster failover accounting (DESIGN.md §3d).
   virtual RoutingTable* routing() { return nullptr; }
+
+  // The WR-program interpreter installed at `node`'s RNIC (NIC-offloaded
+  // chain dispatch, src/rdma/wr_program.h), or nullptr when the plane does
+  // not offload (all planes except NADINO with Options::offload_chains set).
+  // The chain compiler (ChainExecutor::OffloadChain) and the per-hop launch
+  // path consult this.
+  virtual WrProgramEngine* wr_programs(NodeId /*node*/) { return nullptr; }
 
   // Thin shim over the MetricsRegistry counters (see metrics.h); kept so
   // existing `stats().sends`-style call sites compile unchanged.
